@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks for the computational kernels behind the
+//! paper's complexity analysis (Section 4.5): dense matmul, sparse × dense
+//! products, k-hop expansion, edge softmax, and Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ses_core::construct_pairs;
+use ses_graph::{khop_structure, Graph, NegativeSets};
+use ses_tensor::sparse::spmm;
+use ses_tensor::{CsrStructure, Matrix, Tape};
+use std::sync::Arc;
+
+fn random_graph(n: usize, avg_deg: usize, rng: &mut StdRng) -> Graph {
+    let mut edges: Vec<(usize, usize)> = (1..n).map(|v| (v, rng.gen_range(0..v))).collect();
+    while edges.len() < n * avg_deg / 2 {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Graph::new(n, &edges, Matrix::zeros(n, 1), vec![0; n])
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[64usize, 256] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = ses_tensor::init::normal(n, n, 1.0, &mut rng);
+        let b = ses_tensor::init::normal(n, n, 1.0, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmm");
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let graph = random_graph(n, 8, &mut rng);
+        let s = graph.adjacency().clone();
+        let vals = vec![0.5f32; s.nnz()];
+        let x = ses_tensor::init::normal(n, 64, 1.0, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| spmm(&s, &vals, &x))
+        });
+    }
+    g.finish();
+}
+
+fn bench_khop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("khop_expansion");
+    for &n in &[1_000usize, 5_000] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let graph = random_graph(n, 6, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| khop_structure(&graph, 2))
+        });
+    }
+    g.finish();
+}
+
+fn bench_edge_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let graph = random_graph(5_000, 8, &mut rng);
+    let s: Arc<CsrStructure> = graph.adjacency().clone();
+    let scores: Vec<f32> = (0..s.nnz()).map(|i| (i as f32 * 0.1).sin()).collect();
+    c.bench_function("edge_softmax_5k", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let sc = tape.leaf(Matrix::col_vec(&scores));
+            tape.edge_softmax(s.clone(), sc)
+        })
+    });
+}
+
+fn bench_pair_construction(c: &mut Criterion) {
+    // Table 8's kernel as a micro-benchmark.
+    let mut g = c.benchmark_group("algorithm1_pairs");
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let graph = random_graph(n, 4, &mut rng);
+        let khop = khop_structure(&graph, 1);
+        let negs = NegativeSets::sample(&khop, None, &mut rng);
+        let w: Vec<f32> = (0..khop.nnz()).map(|i| (i as f32 * 0.7).sin().abs()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut r = StdRng::seed_from_u64(6);
+                construct_pairs(&khop, &w, &negs, 0.8, &mut r)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    // One full GCN training step (forward + backward) on a 1k-node graph.
+    use ses_gnn::{AdjView, Encoder, ForwardCtx, Gcn};
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut graph = random_graph(1_000, 8, &mut rng);
+    graph.set_features(ses_tensor::init::normal(1_000, 64, 1.0, &mut rng));
+    let adj = AdjView::of_graph(&graph);
+    let gcn = Gcn::new(64, 64, 4, &mut rng);
+    let labels = Arc::new((0..1_000).map(|i| i % 4).collect::<Vec<_>>());
+    let idx = Arc::new((0..1_000).collect::<Vec<_>>());
+    c.bench_function("gcn_train_step_1k", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let x = tape.constant(graph.features().clone());
+            let out = {
+                let mut fctx = ForwardCtx {
+                    tape: &mut tape,
+                    adj: &adj,
+                    x,
+                    edge_mask: None,
+                    train: false,
+                    rng: &mut rng,
+                };
+                gcn.forward(&mut fctx)
+            };
+            let loss = tape.cross_entropy_masked(out.logits, labels.clone(), idx.clone());
+            tape.backward(loss);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_spmm, bench_khop, bench_edge_softmax,
+              bench_pair_construction, bench_backward
+}
+criterion_main!(benches);

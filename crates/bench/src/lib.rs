@@ -1,0 +1,156 @@
+//! `ses-bench` — the harness regenerating every table and figure of the SES
+//! paper. One binary per experiment (`table3` … `table10`, `fig4` … `fig8`)
+//! plus Criterion micro-benchmarks (`benches/micro.rs`).
+//!
+//! All binaries print a human-readable table to stdout **and** write CSV
+//! under `target/experiments/` for EXPERIMENTS.md. Dataset sizes follow
+//! [`Profile::from_env`]: set `SES_PROFILE=paper` for published sizes
+//! (slow on CPU); the default `fast` profile preserves degree/homophily/
+//! class structure at reduced node counts.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ses_core::{MaskGenerator, SesConfig};
+use ses_data::{realworld, Dataset, Profile, Splits};
+use ses_gnn::{Encoder, Gcn, TrainConfig};
+
+/// Where experiment CSVs land.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Writes a CSV file under `target/experiments/` (header + rows).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = experiments_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+/// Pretty-prints a table: `header` then aligned rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// The four real-world stand-ins in paper order (fresh sample per seed).
+pub fn realworld_datasets(profile: Profile, seed: u64) -> Vec<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    realworld::all_realworld(profile, &mut rng)
+}
+
+/// Default backbone training config for the prediction benchmarks.
+pub fn backbone_config(seed: u64) -> TrainConfig {
+    TrainConfig { epochs: 200, patience: 40, seed, ..Default::default() }
+}
+
+/// Default SES config for the prediction benchmarks (fast schedule; the
+/// paper schedule is 300 + 15 — set `SES_PROFILE=paper`).
+pub fn ses_prediction_config(profile: Profile, seed: u64) -> SesConfig {
+    let mut cfg = SesConfig { seed, ..Default::default() };
+    if profile == Profile::Paper {
+        cfg = cfg.paper_schedule();
+    }
+    cfg
+}
+
+/// SES config tuned for the synthetic explanation benchmarks (Table 4):
+/// mask-size penalty on, subgraph loss de-weighted, unfiltered negatives.
+pub fn ses_explanation_config(seed: u64) -> SesConfig {
+    SesConfig {
+        seed,
+        k: 2,
+        lr: 0.01,
+        epochs_explain: 400,
+        epochs_epl: 0,
+        sub_loss_weight: 0.3,
+        mask_size_weight: 0.5,
+        label_filtered_negatives: false,
+        ..Default::default()
+    }
+}
+
+/// Hidden width used across prediction experiments. The paper uses 128;
+/// the fast profile uses 64 to keep the full suite CPU-friendly.
+pub fn hidden_dim(profile: Profile) -> usize {
+    match profile {
+        Profile::Paper => 128,
+        Profile::Fast => 64,
+    }
+}
+
+/// Builds a fresh GCN encoder + mask generator pair for SES.
+pub fn ses_gcn(graph: &ses_graph::Graph, hidden: usize, seed: u64) -> (Gcn, MaskGenerator) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let enc = Gcn::new(graph.n_features(), hidden, graph.n_classes(), &mut rng);
+    let mg = MaskGenerator::new(enc.hidden_dim(), graph.n_features(), &mut rng);
+    (enc, mg)
+}
+
+/// Classification splits for a dataset under a given seed (60/20/20).
+pub fn classification_splits(dataset: &Dataset, seed: u64) -> Splits {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5e5));
+    Splits::classification(dataset.graph.n_nodes(), &mut rng)
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        write_csv("unit_test.csv", "a,b", &["1,2".to_string()]);
+        let content =
+            std::fs::read_to_string(experiments_dir().join("unit_test.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn dataset_factory_order() {
+        let ds = realworld_datasets(Profile::Fast, 1);
+        let names: Vec<&str> = ds.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["cora-like", "citeseer-like", "polblogs-like", "cs-like"]);
+    }
+
+    #[test]
+    fn config_profiles() {
+        assert_eq!(hidden_dim(Profile::Paper), 128);
+        let c = ses_prediction_config(Profile::Paper, 3);
+        assert_eq!(c.epochs_explain, 300);
+        let e = ses_explanation_config(0);
+        assert!(e.mask_size_weight > 0.0);
+    }
+}

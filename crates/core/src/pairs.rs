@@ -1,0 +1,154 @@
+//! Algorithm 1: construction of positive–negative node pairs from the
+//! learned structure mask.
+//!
+//! For each node `v`, its k-hop neighbours are sorted by mask weight; the
+//! top `r` fraction become the positive set `S^p(v)`, and an equal number of
+//! nodes drawn from the negative set `P_n(v)` become `S^n(v)`. The triplet
+//! loss (Eq. 12) then consumes flat `(anchor, positive, negative)` triples.
+
+use rand::Rng;
+use ses_graph::NegativeSets;
+use ses_tensor::CsrStructure;
+
+/// Positive/negative sample sets per node plus the flattened triples used by
+/// the triplet loss.
+#[derive(Debug, Clone)]
+pub struct PairSets {
+    /// `S^p(v)` for each node.
+    pub positives: Vec<Vec<usize>>,
+    /// `S^n(v)` for each node.
+    pub negatives: Vec<Vec<usize>>,
+    /// Flattened anchor indices (node `v` repeated `|S^p(v)|` times).
+    pub anchor_idx: Vec<usize>,
+    /// Flattened positive indices.
+    pub pos_idx: Vec<usize>,
+    /// Flattened negative indices.
+    pub neg_idx: Vec<usize>,
+}
+
+impl PairSets {
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.anchor_idx.len()
+    }
+
+    /// True when no triples were produced.
+    pub fn is_empty(&self) -> bool {
+        self.anchor_idx.is_empty()
+    }
+}
+
+/// Runs Algorithm 1. `mask_weights` are the structure-mask values aligned
+/// with `khop`'s entries; `ratio` is the sample ratio `r`.
+pub fn construct_pairs(
+    khop: &CsrStructure,
+    mask_weights: &[f32],
+    negatives: &NegativeSets,
+    ratio: f32,
+    rng: &mut impl Rng,
+) -> PairSets {
+    assert_eq!(mask_weights.len(), khop.nnz(), "construct_pairs: weight length mismatch");
+    assert!((0.0..=1.0).contains(&ratio), "construct_pairs: ratio must be in [0,1]");
+    let n = khop.n_rows();
+    let mut positives = Vec::with_capacity(n);
+    let mut neg_sets = Vec::with_capacity(n);
+    let mut anchor_idx = Vec::new();
+    let mut pos_idx = Vec::new();
+    let mut neg_idx = Vec::new();
+    let mut scored: Vec<(f32, usize)> = Vec::new();
+
+    for v in 0..n {
+        scored.clear();
+        for p in khop.row_range(v) {
+            scored.push((mask_weights[p], khop.indices()[p]));
+        }
+        // sort neighbours by weight, descending
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("mask weights must not be NaN"));
+        let num_sample = ((ratio * scored.len() as f32).floor() as usize).min(scored.len());
+        let sp: Vec<usize> = scored.iter().take(num_sample).map(|&(_, u)| u).collect();
+        let sn = negatives.draw(v, num_sample, rng);
+        // `draw` returns fewer only when P_n(v) is empty; drop the node then.
+        let usable = sp.len().min(sn.len());
+        for j in 0..usable {
+            anchor_idx.push(v);
+            pos_idx.push(sp[j]);
+            neg_idx.push(sn[j]);
+        }
+        positives.push(sp);
+        neg_sets.push(sn);
+    }
+    PairSets { positives, negatives: neg_sets, anchor_idx, pos_idx, neg_idx }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use ses_graph::{khop_structure, Graph, NegativeSets};
+    use ses_tensor::Matrix;
+
+    fn fixture() -> (Graph, std::sync::Arc<CsrStructure>, NegativeSets, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        // two separate 4-cliques
+        let mut edges = Vec::new();
+        for base in [0, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        let g = Graph::new(8, &edges, Matrix::zeros(8, 2), vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let khop = khop_structure(&g, 1);
+        let negs = NegativeSets::sample(&khop, Some(g.labels()), &mut rng);
+        (g, khop, negs, rng)
+    }
+
+    #[test]
+    fn positives_are_highest_weighted_neighbors() {
+        let (_, khop, negs, mut rng) = fixture();
+        // weights: give node 0's edge to node 3 the highest weight
+        let mut w = vec![0.1f32; khop.nnz()];
+        let p03 = khop.find(0, 3).unwrap();
+        w[p03] = 0.9;
+        let pairs = construct_pairs(&khop, &w, &negs, 0.4, &mut rng);
+        // node 0 has 3 neighbours; 0.4*3 = 1.2 -> 1 positive, the heaviest
+        assert_eq!(pairs.positives[0], vec![3]);
+    }
+
+    #[test]
+    fn triples_are_consistent() {
+        let (g, khop, negs, mut rng) = fixture();
+        let w: Vec<f32> = (0..khop.nnz()).map(|i| (i as f32 * 0.37).sin().abs()).collect();
+        let pairs = construct_pairs(&khop, &w, &negs, 0.8, &mut rng);
+        assert_eq!(pairs.anchor_idx.len(), pairs.pos_idx.len());
+        assert_eq!(pairs.anchor_idx.len(), pairs.neg_idx.len());
+        assert!(!pairs.is_empty());
+        for t in 0..pairs.len() {
+            let (a, p, n) = (pairs.anchor_idx[t], pairs.pos_idx[t], pairs.neg_idx[t]);
+            assert!(khop.find(a, p).is_some(), "positive must be a k-hop neighbour");
+            assert!(khop.find(a, n).is_none(), "negative must not be a k-hop neighbour");
+            assert_ne!(g.labels()[a], g.labels()[n], "negatives filtered by label");
+        }
+    }
+
+    #[test]
+    fn ratio_controls_sample_count() {
+        let (_, khop, negs, mut rng) = fixture();
+        let w = vec![0.5f32; khop.nnz()];
+        let full = construct_pairs(&khop, &w, &negs, 1.0, &mut rng);
+        let half = construct_pairs(&khop, &w, &negs, 0.5, &mut rng);
+        assert!(half.len() < full.len());
+        // every node has 3 neighbours in a 4-clique: ratio 1.0 -> 3 each
+        assert_eq!(full.positives[0].len(), 3);
+        assert_eq!(half.positives[0].len(), 1);
+    }
+
+    #[test]
+    fn zero_ratio_produces_no_pairs() {
+        let (_, khop, negs, mut rng) = fixture();
+        let w = vec![0.5f32; khop.nnz()];
+        let pairs = construct_pairs(&khop, &w, &negs, 0.0, &mut rng);
+        assert!(pairs.is_empty());
+    }
+}

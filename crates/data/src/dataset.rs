@@ -1,0 +1,131 @@
+//! Dataset container, train/val/test splitting, and size profiles.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use ses_graph::Graph;
+
+/// A named graph dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"cora-like"`).
+    pub name: String,
+    /// The attributed graph.
+    pub graph: Graph,
+}
+
+impl Dataset {
+    /// Wraps a graph with a name.
+    pub fn new(name: impl Into<String>, graph: Graph) -> Self {
+        Self { name: name.into(), graph }
+    }
+}
+
+/// Node index sets for train/validation/test.
+#[derive(Debug, Clone)]
+pub struct Splits {
+    /// Training node indices.
+    pub train: Vec<usize>,
+    /// Validation node indices.
+    pub val: Vec<usize>,
+    /// Test node indices.
+    pub test: Vec<usize>,
+}
+
+impl Splits {
+    /// Randomly splits `0..n` into train/val/test by the given fractions
+    /// (which must sum to ≤ 1; any remainder goes to test).
+    ///
+    /// The paper uses 60/20/20 for node classification and 80/10/10 for the
+    /// synthetic explanation benchmarks.
+    pub fn random(n: usize, train_frac: f64, val_frac: f64, rng: &mut impl Rng) -> Self {
+        assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0 + 1e-9);
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(rng);
+        let n_train = ((n as f64) * train_frac).round() as usize;
+        let n_val = ((n as f64) * val_frac).round() as usize;
+        let train = idx[..n_train].to_vec();
+        let val = idx[n_train..(n_train + n_val).min(n)].to_vec();
+        let test = idx[(n_train + n_val).min(n)..].to_vec();
+        Self { train, val, test }
+    }
+
+    /// The paper's node-classification split: 60% train / 20% val / 20% test.
+    pub fn classification(n: usize, rng: &mut impl Rng) -> Self {
+        Self::random(n, 0.6, 0.2, rng)
+    }
+
+    /// The paper's explanation-task split: 80% train / 10% val / 10% test.
+    pub fn explanation(n: usize, rng: &mut impl Rng) -> Self {
+        Self::random(n, 0.8, 0.1, rng)
+    }
+
+    /// Total number of indices across all three sets.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// True when all splits are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Dataset size profile.
+///
+/// `Paper` reproduces the published node/edge/feature counts; `Fast` scales
+/// the real-world stand-ins down (~4×) so the full benchmark suite runs on a
+/// laptop CPU in minutes. The synthetic explanation benchmarks are identical
+/// under both profiles (they are small already).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Profile {
+    /// Reduced sizes for CPU-friendly iteration (default).
+    #[default]
+    Fast,
+    /// Published dataset sizes.
+    Paper,
+}
+
+impl Profile {
+    /// Reads the profile from the `SES_PROFILE` environment variable
+    /// (`"paper"` selects [`Profile::Paper`]; anything else is `Fast`).
+    pub fn from_env() -> Self {
+        match std::env::var("SES_PROFILE").as_deref() {
+            Ok("paper") | Ok("PAPER") => Profile::Paper,
+            _ => Profile::Fast,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn splits_partition_nodes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = Splits::classification(100, &mut rng);
+        assert_eq!(s.train.len(), 60);
+        assert_eq!(s.val.len(), 20);
+        assert_eq!(s.test.len(), 20);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explanation_split_ratios() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let s = Splits::explanation(200, &mut rng);
+        assert_eq!(s.train.len(), 160);
+        assert_eq!(s.val.len(), 20);
+        assert_eq!(s.test.len(), 20);
+    }
+
+    #[test]
+    fn splits_differ_across_seeds() {
+        let a = Splits::classification(50, &mut rand::rngs::StdRng::seed_from_u64(1));
+        let b = Splits::classification(50, &mut rand::rngs::StdRng::seed_from_u64(2));
+        assert_ne!(a.train, b.train);
+    }
+}

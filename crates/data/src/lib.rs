@@ -1,0 +1,14 @@
+//! `ses-data` — datasets for the SES reproduction.
+//!
+//! * [`synthetic`] — the four explanation benchmarks (BAShapes, BACommunity,
+//!   Tree-Cycle, Tree-Grid) **with ground-truth motif explanations**;
+//! * [`realworld`] — planted-partition stand-ins for Cora, CiteSeer,
+//!   PolBlogs and Coauthor-CS (see DESIGN.md for the substitution rationale);
+//! * [`dataset`] — the `Dataset` container, splits and size profiles.
+
+pub mod dataset;
+pub mod realworld;
+pub mod synthetic;
+
+pub use dataset::{Dataset, Profile, Splits};
+pub use synthetic::{GroundTruth, SyntheticDataset};

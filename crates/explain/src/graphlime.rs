@@ -1,0 +1,179 @@
+//! GraphLIME (Huang et al., TKDE 2022): local, nonlinear feature explanation.
+//!
+//! The original solves an HSIC Lasso in kernel space over the target node's
+//! neighbourhood. This implementation keeps the estimator's structure —
+//! an L1-sparse regression from neighbourhood node features to the frozen
+//! model's class probability, solved by coordinate descent — and reads
+//! feature importance from the coefficient magnitudes. As the paper notes
+//! (Table 5), GraphLIME's importances tend to influence node classification
+//! only weakly; this baseline reproduces that behaviour.
+
+use ses_graph::Subgraph;
+use ses_tensor::Matrix;
+
+use crate::backbone::Backbone;
+use crate::traits::FeatureExplainer;
+
+/// GraphLIME configuration.
+#[derive(Debug, Clone)]
+pub struct GraphLimeConfig {
+    /// L1 regularisation strength.
+    pub lambda: f32,
+    /// Coordinate-descent sweeps.
+    pub iterations: usize,
+    /// Neighbourhood radius.
+    pub k: usize,
+}
+
+impl Default for GraphLimeConfig {
+    fn default() -> Self {
+        Self { lambda: 0.01, iterations: 40, k: 2 }
+    }
+}
+
+/// Local sparse-regression feature explainer.
+pub struct GraphLime<'a> {
+    backbone: &'a Backbone,
+    config: GraphLimeConfig,
+}
+
+impl<'a> GraphLime<'a> {
+    /// Creates a GraphLIME explainer over a frozen backbone.
+    pub fn new(backbone: &'a Backbone, config: GraphLimeConfig) -> Self {
+        Self { backbone, config }
+    }
+
+    /// Feature importance for one node: `|β|` of the local lasso fit.
+    pub fn explain(&self, node: usize) -> Vec<f32> {
+        let bb = self.backbone;
+        let f = bb.graph.n_features();
+        let sub = Subgraph::ego(&bb.graph, node, self.config.k);
+        let m = sub.len();
+        if m < 3 {
+            return vec![0.0; f];
+        }
+        // target: model probability of the node's predicted class, for each
+        // neighbourhood node
+        let probs = bb.probabilities(None, None);
+        let class = bb.predictions[node];
+        let y: Vec<f32> = sub.global_of.iter().map(|&g| probs[(g, class)]).collect();
+        let x: Vec<&[f32]> =
+            sub.global_of.iter().map(|&g| bb.graph.features().row(g)).collect();
+
+        lasso_coordinate_descent(&x, &y, f, self.config.lambda, self.config.iterations)
+            .into_iter()
+            .map(f32::abs)
+            .collect()
+    }
+}
+
+/// Plain lasso via cyclic coordinate descent on standardized columns.
+fn lasso_coordinate_descent(
+    x: &[&[f32]],
+    y: &[f32],
+    f: usize,
+    lambda: f32,
+    iterations: usize,
+) -> Vec<f32> {
+    let m = x.len();
+    let y_mean: f32 = y.iter().sum::<f32>() / m as f32;
+    // column norms
+    let mut col_sq = vec![0.0f32; f];
+    let mut col_mean = vec![0.0f32; f];
+    for row in x {
+        for j in 0..f {
+            col_mean[j] += row[j];
+        }
+    }
+    for cm in &mut col_mean {
+        *cm /= m as f32;
+    }
+    for row in x {
+        for j in 0..f {
+            let c = row[j] - col_mean[j];
+            col_sq[j] += c * c;
+        }
+    }
+    let mut beta = vec![0.0f32; f];
+    let mut residual: Vec<f32> = y.iter().map(|&v| v - y_mean).collect();
+    for _ in 0..iterations {
+        for j in 0..f {
+            if col_sq[j] < 1e-12 {
+                continue;
+            }
+            // rho = x_j . (residual + beta_j x_j)
+            let mut rho = 0.0f32;
+            for (i, row) in x.iter().enumerate() {
+                let c = row[j] - col_mean[j];
+                rho += c * (residual[i] + beta[j] * c);
+            }
+            let new_beta = soft_threshold(rho, lambda * m as f32) / col_sq[j];
+            if (new_beta - beta[j]).abs() > 0.0 {
+                let delta = new_beta - beta[j];
+                for (i, row) in x.iter().enumerate() {
+                    residual[i] -= delta * (row[j] - col_mean[j]);
+                }
+                beta[j] = new_beta;
+            }
+        }
+    }
+    beta
+}
+
+fn soft_threshold(x: f32, t: f32) -> f32 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+impl FeatureExplainer for GraphLime<'_> {
+    fn feature_importance(&mut self) -> Matrix {
+        let n = self.backbone.graph.n_nodes();
+        let f = self.backbone.graph.n_features();
+        let mut out = Matrix::zeros(n, f);
+        for v in 0..n {
+            let imp = self.explain(v);
+            out.row_mut(v).copy_from_slice(&imp);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "GraphLIME"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lasso_recovers_sparse_signal() {
+        // y = 2*x0 - 1*x2, features 0..4
+        let rows: Vec<Vec<f32>> = (0..30)
+            .map(|i| {
+                let t = i as f32 * 0.31;
+                vec![t.sin(), t.cos(), (t * 1.7).sin(), (t * 0.9).cos(), (t * 2.3).sin()]
+            })
+            .collect();
+        let x: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let y: Vec<f32> = rows.iter().map(|r| 2.0 * r[0] - r[2]).collect();
+        let beta = lasso_coordinate_descent(&x, &y, 5, 0.001, 100);
+        assert!(beta[0] > 1.5, "beta={beta:?}");
+        assert!(beta[2] < -0.5, "beta={beta:?}");
+        assert!(beta[1].abs() < 0.2 && beta[3].abs() < 0.2 && beta[4].abs() < 0.2);
+    }
+
+    #[test]
+    fn strong_lambda_zeroes_everything() {
+        let rows: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, (i * 2) as f32]).collect();
+        let x: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let y: Vec<f32> = rows.iter().map(|r| r[0] * 0.1).collect();
+        let beta = lasso_coordinate_descent(&x, &y, 2, 1e6, 50);
+        assert!(beta.iter().all(|&b| b == 0.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! ARMA graph convolution (Bianchi et al., 2021), single-stack recursive
+//! formulation: `X̄^{(t+1)} = σ(L̂ X̄^{(t)} W + X V)`.
+
+use rand::rngs::StdRng;
+use ses_tensor::{init, Matrix, Param};
+
+use crate::encoder::{restore_params, snapshot_params, Encoder, EncoderOutput, ForwardCtx};
+
+/// ARMA₁ filter with `t_iters` recursive propagation steps followed by a
+/// linear readout.
+#[derive(Debug, Clone)]
+pub struct Arma {
+    v_in: Param,
+    w_rec: Param,
+    b: Param,
+    w_out: Param,
+    b_out: Param,
+    hidden: usize,
+    out: usize,
+    t_iters: usize,
+}
+
+impl Arma {
+    /// Creates an ARMA encoder with `t_iters` propagation iterations
+    /// (the original paper uses T ∈ {1..4}; default callers pass 2).
+    pub fn new(in_dim: usize, hidden: usize, out: usize, t_iters: usize, rng: &mut StdRng) -> Self {
+        assert!(t_iters >= 1);
+        Self {
+            v_in: Param::new(init::xavier_uniform(in_dim, hidden, rng)),
+            w_rec: Param::new(init::xavier_uniform(hidden, hidden, rng)),
+            b: Param::new(Matrix::zeros(1, hidden)),
+            w_out: Param::new(init::xavier_uniform(hidden, out, rng)),
+            b_out: Param::new(Matrix::zeros(1, out)),
+            hidden,
+            out,
+            t_iters,
+        }
+    }
+}
+
+impl Encoder for Arma {
+    fn forward(&self, ctx: &mut ForwardCtx<'_>) -> EncoderOutput {
+        let tape = &mut *ctx.tape;
+        let v_in = self.v_in.watch(tape);
+        let w_rec = self.w_rec.watch(tape);
+        let b = self.b.watch(tape);
+        let w_out = self.w_out.watch(tape);
+        let b_out = self.b_out.watch(tape);
+
+        let norm = tape.constant(Matrix::col_vec(ctx.adj.sym_norm()));
+        let vals = match ctx.edge_mask {
+            Some(m) => tape.mul(norm, m),
+            None => norm,
+        };
+
+        // X V (skip connection to the raw input at every iteration)
+        let xv = tape.matmul(ctx.x, v_in);
+        let mut state = {
+            let pre = tape.add_row_broadcast(xv, b);
+            tape.relu(pre)
+        };
+        for _ in 0..self.t_iters {
+            let prop = tape.spmm(ctx.adj.structure().clone(), vals, state);
+            let rec = tape.matmul(prop, w_rec);
+            let sum = tape.add(rec, xv);
+            let pre = tape.add_row_broadcast(sum, b);
+            state = tape.relu(pre);
+        }
+        let hidden = state;
+        let logits = tape.linear(hidden, w_out, b_out);
+        EncoderOutput { hidden, logits, param_vars: vec![v_in, w_rec, b, w_out, b_out] }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.v_in, &mut self.w_rec, &mut self.b, &mut self.w_out, &mut self.b_out]
+    }
+
+    fn param_values(&self) -> Vec<Matrix> {
+        snapshot_params(&[&self.v_in, &self.w_rec, &self.b, &self.w_out, &self.b_out])
+    }
+
+    fn restore(&mut self, snapshot: &[Matrix]) {
+        restore_params(&mut self.params_mut(), snapshot);
+    }
+
+    fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out
+    }
+
+    fn name(&self) -> &'static str {
+        "ARMA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjview::AdjView;
+    use ses_tensor::Tape;
+    use rand::SeedableRng;
+    use ses_graph::Graph;
+
+    #[test]
+    fn forward_and_grads() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = Graph::new(4, &[(0, 1), (1, 2), (2, 3)], Matrix::identity(4), vec![0, 1, 0, 1]);
+        let adj = AdjView::of_graph(&g);
+        let arma = Arma::new(4, 6, 2, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(g.features().clone());
+        let mut ctx =
+            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: false, rng: &mut rng };
+        let out = arma.forward(&mut ctx);
+        assert_eq!(tape.shape(out.logits), (4, 2));
+        let labels = std::sync::Arc::new(g.labels().to_vec());
+        let idx = std::sync::Arc::new((0..4).collect::<Vec<_>>());
+        let loss = tape.cross_entropy_masked(out.logits, labels, idx);
+        tape.backward(loss);
+        for &pv in &out.param_vars {
+            assert!(tape.grad(pv).is_some());
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The [`Encoder`] trait every GNN backbone implements, plus the forward
+//! context and output types.
+
+use rand::rngs::StdRng;
+use ses_tensor::{Matrix, Param, Tape, Var};
+
+use crate::adjview::AdjView;
+
+/// Everything a backbone needs for one forward pass.
+pub struct ForwardCtx<'a> {
+    /// The autodiff tape for this step.
+    pub tape: &'a mut Tape,
+    /// Adjacency view to aggregate over.
+    pub adj: &'a AdjView,
+    /// Node features already recorded on the tape (constant or derived from
+    /// a mask — SES feeds `M_f ⊙ X` here).
+    pub x: Var,
+    /// Optional per-entry edge multiplier over `adj.structure()` (SES feeds
+    /// the lifted structure mask `M̂_s` here). `None` means all-ones.
+    pub edge_mask: Option<Var>,
+    /// True during training (enables dropout).
+    pub train: bool,
+    /// RNG for dropout masks.
+    pub rng: &'a mut StdRng,
+}
+
+/// Output of a backbone forward pass.
+pub struct EncoderOutput {
+    /// First-layer representation `H` (`n × hidden`), consumed by the SES
+    /// mask generator.
+    pub hidden: Var,
+    /// Class logits `Z` (`n × classes`).
+    pub logits: Var,
+    /// The parameter leaves recorded on the tape, aligned with the order of
+    /// [`Encoder::params_mut`]; the trainer reads gradients from these.
+    pub param_vars: Vec<Var>,
+}
+
+/// A trainable two-stage GNN encoder.
+pub trait Encoder {
+    /// Runs a forward pass, recording parameters on `ctx.tape`.
+    fn forward(&self, ctx: &mut ForwardCtx<'_>) -> EncoderOutput;
+
+    /// Mutable access to the parameters, in a stable order matching
+    /// [`EncoderOutput::param_vars`].
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Immutable snapshot of the parameter values (for best-epoch restore).
+    fn param_values(&self) -> Vec<Matrix>;
+
+    /// Restores parameter values from a snapshot.
+    fn restore(&mut self, snapshot: &[Matrix]);
+
+    /// Hidden (first-layer) dimensionality.
+    fn hidden_dim(&self) -> usize;
+
+    /// Output (class) dimensionality.
+    fn out_dim(&self) -> usize;
+
+    /// Short display name, e.g. `"GCN"`.
+    fn name(&self) -> &'static str;
+}
+
+/// Helper: default `param_values`/`restore` plumbing over a parameter list.
+pub(crate) fn snapshot_params(params: &[&Param]) -> Vec<Matrix> {
+    params.iter().map(|p| p.value.clone()).collect()
+}
+
+pub(crate) fn restore_params(params: &mut [&mut Param], snapshot: &[Matrix]) {
+    assert_eq!(params.len(), snapshot.len(), "restore: snapshot length mismatch");
+    for (p, s) in params.iter_mut().zip(snapshot.iter()) {
+        assert_eq!(p.value.shape(), s.shape(), "restore: shape mismatch");
+        p.value = s.clone();
+    }
+}

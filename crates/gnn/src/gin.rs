@@ -1,0 +1,176 @@
+//! Graph isomorphism network (Xu et al., 2019) with learnable `ε`.
+
+use rand::rngs::StdRng;
+use ses_tensor::{init, Matrix, Param, Tape, Var};
+
+use crate::adjview::AdjView;
+use crate::encoder::{restore_params, snapshot_params, Encoder, EncoderOutput, ForwardCtx};
+
+/// Two GIN layers: `h' = MLP((1 + ε) h + Σ_{u∈N(v)} h_u)` with a one-hidden-
+/// layer MLP per GIN layer and learnable `ε`.
+#[derive(Debug, Clone)]
+pub struct Gin {
+    eps1: Param,
+    mlp1_w1: Param,
+    mlp1_b1: Param,
+    mlp1_w2: Param,
+    mlp1_b2: Param,
+    eps2: Param,
+    mlp2_w1: Param,
+    mlp2_b1: Param,
+    mlp2_w2: Param,
+    mlp2_b2: Param,
+    hidden: usize,
+    out: usize,
+}
+
+impl Gin {
+    /// Creates a GIN encoder.
+    pub fn new(in_dim: usize, hidden: usize, out: usize, rng: &mut StdRng) -> Self {
+        Self {
+            eps1: Param::new(Matrix::scalar(0.0)),
+            mlp1_w1: Param::new(init::xavier_uniform(in_dim, hidden, rng)),
+            mlp1_b1: Param::new(Matrix::zeros(1, hidden)),
+            mlp1_w2: Param::new(init::xavier_uniform(hidden, hidden, rng)),
+            mlp1_b2: Param::new(Matrix::zeros(1, hidden)),
+            eps2: Param::new(Matrix::scalar(0.0)),
+            mlp2_w1: Param::new(init::xavier_uniform(hidden, hidden, rng)),
+            mlp2_b1: Param::new(Matrix::zeros(1, hidden)),
+            mlp2_w2: Param::new(init::xavier_uniform(hidden, out, rng)),
+            mlp2_b2: Param::new(Matrix::zeros(1, out)),
+            hidden,
+            out,
+        }
+    }
+
+    /// Sum aggregation over neighbours (self-loops excluded via the `(1+ε)h`
+    /// term, so we zero self-loop weights here).
+    fn sum_neighbors(tape: &mut Tape, adj: &AdjView, x: Var, edge_mask: Option<Var>) -> Var {
+        // binary values, but self-loops zeroed: GIN treats self separately
+        let mut vals = vec![1.0f32; adj.nnz()];
+        for (r, c, p) in adj.structure().iter_entries() {
+            if r == c {
+                vals[p] = 0.0;
+            }
+        }
+        let v = tape.constant(Matrix::col_vec(&vals));
+        let v = match edge_mask {
+            Some(m) => tape.mul(v, m),
+            None => v,
+        };
+        tape.spmm(adj.structure().clone(), v, x)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn layer(
+        tape: &mut Tape,
+        adj: &AdjView,
+        x: Var,
+        eps: Var,
+        w1: Var,
+        b1: Var,
+        w2: Var,
+        b2: Var,
+        edge_mask: Option<Var>,
+    ) -> Var {
+        let neigh = Self::sum_neighbors(tape, adj, x, edge_mask);
+        let eps1 = tape.add_scalar(eps, 1.0);
+        let scaled_self = tape.mul_scalar_var(eps1, x);
+        let agg = tape.add(scaled_self, neigh);
+        let h = tape.linear(agg, w1, b1);
+        let h = tape.relu(h);
+        tape.linear(h, w2, b2)
+    }
+}
+
+impl Encoder for Gin {
+    fn forward(&self, ctx: &mut ForwardCtx<'_>) -> EncoderOutput {
+        let tape = &mut *ctx.tape;
+        let vars: Vec<Var> = [
+            &self.eps1, &self.mlp1_w1, &self.mlp1_b1, &self.mlp1_w2, &self.mlp1_b2, &self.eps2,
+            &self.mlp2_w1, &self.mlp2_b1, &self.mlp2_w2, &self.mlp2_b2,
+        ]
+        .iter()
+        .map(|p| p.watch(tape))
+        .collect();
+        let pre = Self::layer(
+            tape, ctx.adj, ctx.x, vars[0], vars[1], vars[2], vars[3], vars[4], ctx.edge_mask,
+        );
+        let hidden = tape.relu(pre);
+        let logits = Self::layer(
+            tape, ctx.adj, hidden, vars[5], vars[6], vars[7], vars[8], vars[9], ctx.edge_mask,
+        );
+        EncoderOutput { hidden, logits, param_vars: vars }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.eps1,
+            &mut self.mlp1_w1,
+            &mut self.mlp1_b1,
+            &mut self.mlp1_w2,
+            &mut self.mlp1_b2,
+            &mut self.eps2,
+            &mut self.mlp2_w1,
+            &mut self.mlp2_b1,
+            &mut self.mlp2_w2,
+            &mut self.mlp2_b2,
+        ]
+    }
+
+    fn param_values(&self) -> Vec<Matrix> {
+        snapshot_params(&[
+            &self.eps1, &self.mlp1_w1, &self.mlp1_b1, &self.mlp1_w2, &self.mlp1_b2, &self.eps2,
+            &self.mlp2_w1, &self.mlp2_b1, &self.mlp2_w2, &self.mlp2_b2,
+        ])
+    }
+
+    fn restore(&mut self, snapshot: &[Matrix]) {
+        restore_params(&mut self.params_mut(), snapshot);
+    }
+
+    fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out
+    }
+
+    fn name(&self) -> &'static str {
+        "GIN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use ses_graph::Graph;
+
+    #[test]
+    fn forward_and_grads() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = Graph::new(
+            4,
+            &[(0, 1), (1, 2), (2, 3)],
+            Matrix::identity(4),
+            vec![0, 1, 0, 1],
+        );
+        let adj = AdjView::of_graph(&g);
+        let gin = Gin::new(4, 6, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(g.features().clone());
+        let mut ctx =
+            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: true, rng: &mut rng };
+        let out = gin.forward(&mut ctx);
+        assert_eq!(tape.shape(out.logits), (4, 2));
+        let labels = std::sync::Arc::new(g.labels().to_vec());
+        let idx = std::sync::Arc::new((0..4).collect::<Vec<_>>());
+        let loss = tape.cross_entropy_masked(out.logits, labels, idx);
+        tape.backward(loss);
+        for (i, &pv) in out.param_vars.iter().enumerate() {
+            assert!(tape.grad(pv).is_some(), "param {i} missing grad");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! GraphSAGE (Hamilton et al., 2017) with mean aggregation.
+
+use rand::rngs::StdRng;
+use ses_tensor::{init, Matrix, Param, Tape, Var};
+
+use crate::adjview::AdjView;
+use crate::encoder::{restore_params, snapshot_params, Encoder, EncoderOutput, ForwardCtx};
+
+/// Two-layer GraphSAGE-mean: `h' = σ(W_self h + W_neigh · mean_N(h))`.
+#[derive(Debug, Clone)]
+pub struct Sage {
+    w_self1: Param,
+    w_neigh1: Param,
+    b1: Param,
+    w_self2: Param,
+    w_neigh2: Param,
+    b2: Param,
+    hidden: usize,
+    out: usize,
+    dropout: f32,
+}
+
+impl Sage {
+    /// Creates a GraphSAGE encoder with Xavier-initialised weights.
+    pub fn new(in_dim: usize, hidden: usize, out: usize, rng: &mut StdRng) -> Self {
+        Self {
+            w_self1: Param::new(init::xavier_uniform(in_dim, hidden, rng)),
+            w_neigh1: Param::new(init::xavier_uniform(in_dim, hidden, rng)),
+            b1: Param::new(Matrix::zeros(1, hidden)),
+            w_self2: Param::new(init::xavier_uniform(hidden, out, rng)),
+            w_neigh2: Param::new(init::xavier_uniform(hidden, out, rng)),
+            b2: Param::new(Matrix::zeros(1, out)),
+            hidden,
+            out,
+            dropout: 0.5,
+        }
+    }
+
+    fn layer(
+        tape: &mut Tape,
+        adj: &AdjView,
+        x: Var,
+        w_self: Var,
+        w_neigh: Var,
+        bias: Var,
+        edge_mask: Option<Var>,
+    ) -> Var {
+        let norm = tape.constant(Matrix::col_vec(adj.row_norm()));
+        let vals = match edge_mask {
+            Some(m) => tape.mul(norm, m),
+            None => norm,
+        };
+        let mean_n = tape.spmm(adj.structure().clone(), vals, x);
+        let self_part = tape.matmul(x, w_self);
+        let neigh_part = tape.matmul(mean_n, w_neigh);
+        let sum = tape.add(self_part, neigh_part);
+        tape.add_row_broadcast(sum, bias)
+    }
+}
+
+impl Encoder for Sage {
+    fn forward(&self, ctx: &mut ForwardCtx<'_>) -> EncoderOutput {
+        let tape = &mut *ctx.tape;
+        let ws1 = self.w_self1.watch(tape);
+        let wn1 = self.w_neigh1.watch(tape);
+        let b1 = self.b1.watch(tape);
+        let ws2 = self.w_self2.watch(tape);
+        let wn2 = self.w_neigh2.watch(tape);
+        let b2 = self.b2.watch(tape);
+
+        let pre = Self::layer(tape, ctx.adj, ctx.x, ws1, wn1, b1, ctx.edge_mask);
+        let hidden = tape.relu(pre);
+        let h = if ctx.train && self.dropout > 0.0 {
+            let mask =
+                ses_tensor::dropout_mask(ctx.adj.n_nodes() * self.hidden, self.dropout, ctx.rng);
+            tape.dropout(hidden, mask)
+        } else {
+            hidden
+        };
+        let logits = Self::layer(tape, ctx.adj, h, ws2, wn2, b2, ctx.edge_mask);
+        EncoderOutput { hidden, logits, param_vars: vec![ws1, wn1, b1, ws2, wn2, b2] }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.w_self1,
+            &mut self.w_neigh1,
+            &mut self.b1,
+            &mut self.w_self2,
+            &mut self.w_neigh2,
+            &mut self.b2,
+        ]
+    }
+
+    fn param_values(&self) -> Vec<Matrix> {
+        snapshot_params(&[
+            &self.w_self1,
+            &self.w_neigh1,
+            &self.b1,
+            &self.w_self2,
+            &self.w_neigh2,
+            &self.b2,
+        ])
+    }
+
+    fn restore(&mut self, snapshot: &[Matrix]) {
+        restore_params(&mut self.params_mut(), snapshot);
+    }
+
+    fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out
+    }
+
+    fn name(&self) -> &'static str {
+        "GraphSAGE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use ses_graph::Graph;
+
+    #[test]
+    fn forward_and_grads() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = Graph::new(
+            4,
+            &[(0, 1), (1, 2), (2, 3)],
+            Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, 0.5]),
+            vec![0, 0, 1, 1],
+        );
+        let adj = AdjView::of_graph(&g);
+        let sage = Sage::new(2, 6, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(g.features().clone());
+        let mut ctx =
+            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: false, rng: &mut rng };
+        let out = sage.forward(&mut ctx);
+        assert_eq!(tape.shape(out.hidden), (4, 6));
+        assert_eq!(tape.shape(out.logits), (4, 2));
+        let labels = std::sync::Arc::new(g.labels().to_vec());
+        let idx = std::sync::Arc::new((0..4).collect::<Vec<_>>());
+        let loss = tape.cross_entropy_masked(out.logits, labels, idx);
+        tape.backward(loss);
+        for &pv in &out.param_vars {
+            assert!(tape.grad(pv).is_some());
+        }
+    }
+}

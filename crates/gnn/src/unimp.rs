@@ -1,0 +1,179 @@
+//! UniMP-style unified message passing (Shi et al., IJCAI 2021): feature and
+//! label propagation in one model.
+//!
+//! The full UniMP is a graph transformer with masked label prediction. This
+//! implementation keeps its defining idea — training-label embeddings are
+//! injected as input features and propagated together with node features,
+//! with random label masking during training to prevent leakage — on top of
+//! a GCN aggregator.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use ses_tensor::{init, Matrix, Param};
+
+use crate::encoder::{restore_params, snapshot_params, Encoder, EncoderOutput, ForwardCtx};
+
+/// UniMP-style encoder. Must be told which nodes are training nodes (their
+/// labels may be revealed at input) via [`UniMp::set_label_context`].
+#[derive(Debug, Clone)]
+pub struct UniMp {
+    w1: Param,
+    b1: Param,
+    w2: Param,
+    b2: Param,
+    label_embed: Param,
+    hidden: usize,
+    out: usize,
+    n_classes: usize,
+    /// `labels[i]` revealed iff `reveal[i]` — set from the training split.
+    labels: Vec<usize>,
+    reveal: Vec<bool>,
+    /// Fraction of revealed labels randomly re-masked each training step.
+    label_mask_rate: f32,
+}
+
+impl UniMp {
+    /// Creates a UniMP encoder for `n_classes` classes.
+    pub fn new(in_dim: usize, hidden: usize, n_classes: usize, rng: &mut StdRng) -> Self {
+        Self {
+            w1: Param::new(init::xavier_uniform(in_dim + hidden, hidden, rng)),
+            b1: Param::new(Matrix::zeros(1, hidden)),
+            w2: Param::new(init::xavier_uniform(hidden, n_classes, rng)),
+            b2: Param::new(Matrix::zeros(1, n_classes)),
+            label_embed: Param::new(init::xavier_uniform(n_classes, hidden, rng)),
+            hidden,
+            out: n_classes,
+            n_classes,
+            labels: Vec::new(),
+            reveal: Vec::new(),
+            label_mask_rate: 0.5,
+        }
+    }
+
+    /// Provides the label context: all node labels plus the training mask
+    /// (only training-node labels are ever revealed as inputs).
+    pub fn set_label_context(&mut self, labels: &[usize], train_idx: &[usize]) {
+        self.labels = labels.to_vec();
+        self.reveal = vec![false; labels.len()];
+        for &i in train_idx {
+            self.reveal[i] = true;
+        }
+    }
+
+    /// One-hot label inputs with training-time random masking.
+    fn label_onehot(&self, n: usize, train: bool, rng: &mut StdRng) -> Matrix {
+        let mut oh = Matrix::zeros(n, self.n_classes);
+        if self.labels.is_empty() {
+            return oh;
+        }
+        for i in 0..n {
+            if self.reveal[i] && !(train && rng.gen::<f32>() < self.label_mask_rate) {
+                oh[(i, self.labels[i])] = 1.0;
+            }
+        }
+        oh
+    }
+}
+
+impl Encoder for UniMp {
+    fn forward(&self, ctx: &mut ForwardCtx<'_>) -> EncoderOutput {
+        let n = ctx.adj.n_nodes();
+        let onehot = self.label_onehot(n, ctx.train, ctx.rng);
+        let tape = &mut *ctx.tape;
+        let w1 = self.w1.watch(tape);
+        let b1 = self.b1.watch(tape);
+        let w2 = self.w2.watch(tape);
+        let b2 = self.b2.watch(tape);
+        let le = self.label_embed.watch(tape);
+
+        let oh = tape.constant(onehot);
+        let label_feat = tape.matmul(oh, le);
+        let x_aug = tape.concat_cols(ctx.x, label_feat);
+
+        let norm = tape.constant(Matrix::col_vec(ctx.adj.sym_norm()));
+        let vals = match ctx.edge_mask {
+            Some(m) => tape.mul(norm, m),
+            None => norm,
+        };
+        let xw = tape.matmul(x_aug, w1);
+        let agg = tape.spmm(ctx.adj.structure().clone(), vals, xw);
+        let pre = tape.add_row_broadcast(agg, b1);
+        let hidden = tape.relu(pre);
+        let hw = tape.matmul(hidden, w2);
+        let agg2 = tape.spmm(ctx.adj.structure().clone(), vals, hw);
+        let logits = tape.add_row_broadcast(agg2, b2);
+        EncoderOutput { hidden, logits, param_vars: vec![w1, b1, w2, b2, le] }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2, &mut self.label_embed]
+    }
+
+    fn param_values(&self) -> Vec<Matrix> {
+        snapshot_params(&[&self.w1, &self.b1, &self.w2, &self.b2, &self.label_embed])
+    }
+
+    fn restore(&mut self, snapshot: &[Matrix]) {
+        restore_params(&mut self.params_mut(), snapshot);
+    }
+
+    fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out
+    }
+
+    fn name(&self) -> &'static str {
+        "UniMP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjview::AdjView;
+    use rand::SeedableRng;
+    use ses_graph::Graph;
+    use ses_tensor::Tape;
+
+    #[test]
+    fn forward_with_label_context() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = Graph::new(4, &[(0, 1), (1, 2), (2, 3)], Matrix::identity(4), vec![0, 1, 0, 1]);
+        let adj = AdjView::of_graph(&g);
+        let mut m = UniMp::new(4, 6, 2, &mut rng);
+        m.set_label_context(g.labels(), &[0, 1]);
+        let mut tape = Tape::new();
+        let x = tape.constant(g.features().clone());
+        let mut ctx =
+            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: false, rng: &mut rng };
+        let out = m.forward(&mut ctx);
+        assert_eq!(tape.shape(out.logits), (4, 2));
+    }
+
+    #[test]
+    fn test_labels_never_revealed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = UniMp::new(4, 6, 2, &mut rng);
+        m.set_label_context(&[0, 1, 0, 1], &[0]);
+        let oh = m.label_onehot(4, false, &mut rng);
+        assert_eq!(oh[(0, 0)], 1.0, "train label revealed");
+        for i in 1..4 {
+            assert_eq!(oh.row(i).iter().sum::<f32>(), 0.0, "non-train label {i} leaked");
+        }
+    }
+
+    #[test]
+    fn training_randomly_masks_labels() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut m = UniMp::new(4, 6, 2, &mut rng);
+        let labels: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let train: Vec<usize> = (0..100).collect();
+        m.set_label_context(&labels, &train);
+        let oh = m.label_onehot(100, true, &mut rng);
+        let revealed: f32 = oh.as_slice().iter().sum();
+        assert!(revealed > 20.0 && revealed < 80.0, "mask rate ~0.5, got {revealed}");
+    }
+}

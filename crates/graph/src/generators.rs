@@ -1,0 +1,298 @@
+//! Random-graph building blocks: Barabási–Albert, balanced trees, motif
+//! attachment, and stochastic block models.
+//!
+//! These are the primitives the dataset crate composes into the paper's
+//! synthetic benchmarks (BAShapes, BACommunity, Tree-Cycle, Tree-Grid) and
+//! the real-world stand-ins.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An edge list under construction plus the number of nodes so far.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeListBuilder {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl EdgeListBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` fresh nodes, returning the id of the first.
+    pub fn add_nodes(&mut self, count: usize) -> usize {
+        let first = self.n;
+        self.n += count;
+        first
+    }
+
+    /// Adds an undirected edge.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        debug_assert!(u < self.n && v < self.n);
+        self.edges.push((u, v));
+    }
+
+    /// Number of nodes so far.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Edges added so far.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Finishes, returning `(n_nodes, edges)`.
+    pub fn finish(self) -> (usize, Vec<(usize, usize)>) {
+        (self.n, self.edges)
+    }
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique of
+/// `m` nodes and attaches each new node to `m` existing nodes chosen with
+/// probability proportional to degree.
+pub fn barabasi_albert(n: usize, m: usize, rng: &mut impl Rng) -> Vec<(usize, usize)> {
+    assert!(m >= 1 && n > m, "barabasi_albert: need n > m >= 1");
+    let mut edges = Vec::with_capacity(n * m);
+    // Repeated-endpoint list: sampling an element uniformly is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * n * m);
+    for u in 0..m {
+        for v in (u + 1)..m {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for new in m..n {
+        let mut targets = Vec::with_capacity(m);
+        let mut guard = 0;
+        while targets.len() < m {
+            let t = if endpoints.is_empty() {
+                rng.gen_range(0..new)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if t != new && !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+            if guard > 100 * m {
+                // Degenerate corner (tiny graphs): fall back to any distinct node.
+                for cand in 0..new {
+                    if !targets.contains(&cand) {
+                        targets.push(cand);
+                        if targets.len() == m {
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        for &t in &targets {
+            edges.push((new, t));
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    edges
+}
+
+/// A balanced binary tree with `depth` levels (root at node 0,
+/// `2^depth − 1` nodes).
+pub fn balanced_binary_tree(depth: usize) -> (usize, Vec<(usize, usize)>) {
+    assert!(depth >= 1);
+    let n = (1usize << depth) - 1;
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n {
+        edges.push((v, (v - 1) / 2));
+    }
+    (n, edges)
+}
+
+/// The 5-node "house" motif used by BAShapes/BACommunity: a square
+/// (0-1-2-3) with a roof node 4 on top of 0 and 1.
+/// Node roles within the motif: 0,1 = "roof-adjacent top of square",
+/// 2,3 = bottom, 4 = roof.
+pub fn house_motif(builder: &mut EdgeListBuilder) -> [usize; 5] {
+    let base = builder.add_nodes(5);
+    let ids = [base, base + 1, base + 2, base + 3, base + 4];
+    // square
+    builder.add_edge(ids[0], ids[1]);
+    builder.add_edge(ids[1], ids[2]);
+    builder.add_edge(ids[2], ids[3]);
+    builder.add_edge(ids[3], ids[0]);
+    // roof
+    builder.add_edge(ids[0], ids[4]);
+    builder.add_edge(ids[1], ids[4]);
+    ids
+}
+
+/// A 6-node cycle motif (Tree-Cycle).
+pub fn cycle_motif(builder: &mut EdgeListBuilder) -> [usize; 6] {
+    let base = builder.add_nodes(6);
+    let ids = [base, base + 1, base + 2, base + 3, base + 4, base + 5];
+    for i in 0..6 {
+        builder.add_edge(ids[i], ids[(i + 1) % 6]);
+    }
+    ids
+}
+
+/// A 3×3 grid motif (Tree-Grid).
+pub fn grid_motif(builder: &mut EdgeListBuilder) -> [usize; 9] {
+    let base = builder.add_nodes(9);
+    let mut ids = [0usize; 9];
+    for (i, id) in ids.iter_mut().enumerate() {
+        *id = base + i;
+    }
+    for r in 0..3 {
+        for c in 0..3 {
+            let v = base + r * 3 + c;
+            if c + 1 < 3 {
+                builder.add_edge(v, v + 1);
+            }
+            if r + 1 < 3 {
+                builder.add_edge(v, v + 3);
+            }
+        }
+    }
+    ids
+}
+
+/// Stochastic block model: `sizes[b]` nodes in block `b`; an edge between
+/// nodes in blocks `(a, b)` appears with probability `p[a][b]`.
+/// Returns `(n, edges, block_of_node)`.
+pub fn stochastic_block_model(
+    sizes: &[usize],
+    p: &[Vec<f64>],
+    rng: &mut impl Rng,
+) -> (usize, Vec<(usize, usize)>, Vec<usize>) {
+    let k = sizes.len();
+    assert_eq!(p.len(), k, "sbm: probability matrix rows must match block count");
+    for row in p {
+        assert_eq!(row.len(), k, "sbm: probability matrix must be square");
+    }
+    let n: usize = sizes.iter().sum();
+    let mut block = Vec::with_capacity(n);
+    for (b, &s) in sizes.iter().enumerate() {
+        block.extend(std::iter::repeat(b).take(s));
+    }
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p[block[u]][block[v]].clamp(0.0, 1.0)) {
+                edges.push((u, v));
+            }
+        }
+    }
+    (n, edges, block)
+}
+
+/// Planted-partition convenience: `k` equal blocks of `size` nodes with
+/// intra-block probability `p_in` and inter-block probability `p_out`.
+pub fn planted_partition(
+    k: usize,
+    size: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut impl Rng,
+) -> (usize, Vec<(usize, usize)>, Vec<usize>) {
+    let sizes = vec![size; k];
+    let p: Vec<Vec<f64>> = (0..k)
+        .map(|a| (0..k).map(|b| if a == b { p_in } else { p_out }).collect())
+        .collect();
+    stochastic_block_model(&sizes, &p, rng)
+}
+
+/// A uniformly random spanning-tree-ish attachment: node `v` (v ≥ 1) links
+/// to a uniformly random earlier node. Produces a random recursive tree.
+pub fn random_recursive_tree(n: usize, rng: &mut impl Rng) -> Vec<(usize, usize)> {
+    (1..n).map(|v| (v, rng.gen_range(0..v))).collect()
+}
+
+/// Connects `motif_entry` nodes to random attachment points of a base graph,
+/// one edge per motif (the GNNExplainer construction).
+pub fn attach_motifs(
+    builder: &mut EdgeListBuilder,
+    base_nodes: usize,
+    motif_entries: &[usize],
+    rng: &mut impl Rng,
+) {
+    let mut bases: Vec<usize> = (0..base_nodes).collect();
+    bases.shuffle(rng);
+    for (i, &entry) in motif_entries.iter().enumerate() {
+        let b = bases[i % bases.len()];
+        builder.add_edge(entry, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ba_edge_count() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let edges = barabasi_albert(100, 3, &mut rng);
+        // clique(3)=3 edges + 97*3 new
+        assert_eq!(edges.len(), 3 + 97 * 3);
+        assert!(edges.iter().all(|&(u, v)| u < 100 && v < 100 && u != v));
+    }
+
+    #[test]
+    fn ba_is_preferential() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let edges = barabasi_albert(500, 2, &mut rng);
+        let mut deg = vec![0usize; 500];
+        for &(u, v) in &edges {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let max_deg = *deg.iter().max().unwrap();
+        let avg = deg.iter().sum::<usize>() as f64 / 500.0;
+        assert!(max_deg as f64 > 4.0 * avg, "hub expected: max={max_deg}, avg={avg}");
+    }
+
+    #[test]
+    fn tree_shape() {
+        let (n, edges) = balanced_binary_tree(4);
+        assert_eq!(n, 15);
+        assert_eq!(edges.len(), 14);
+    }
+
+    #[test]
+    fn motifs_have_expected_edges() {
+        let mut b = EdgeListBuilder::new();
+        let h = house_motif(&mut b);
+        assert_eq!(b.edges().len(), 6);
+        assert_eq!(h.len(), 5);
+        let mut b = EdgeListBuilder::new();
+        cycle_motif(&mut b);
+        assert_eq!(b.edges().len(), 6);
+        let mut b = EdgeListBuilder::new();
+        grid_motif(&mut b);
+        assert_eq!(b.edges().len(), 12);
+    }
+
+    #[test]
+    fn sbm_respects_blocks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let (n, edges, block) = planted_partition(2, 100, 0.2, 0.01, &mut rng);
+        assert_eq!(n, 200);
+        let intra = edges.iter().filter(|&&(u, v)| block[u] == block[v]).count();
+        let inter = edges.len() - intra;
+        assert!(intra > inter * 2, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn recursive_tree_is_connected_acyclic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let edges = random_recursive_tree(50, &mut rng);
+        assert_eq!(edges.len(), 49);
+        assert!(edges.iter().all(|&(v, p)| p < v));
+    }
+}

@@ -1,0 +1,93 @@
+//! Adjacency normalisations used by the GNN backbones.
+
+use std::sync::Arc;
+
+use ses_tensor::{CsrMatrix, CsrStructure};
+
+use crate::graph::Graph;
+
+/// Adds a self-loop to every node of `structure` and returns the new
+/// structure (idempotent when loops already exist).
+pub fn with_self_loops(structure: &CsrStructure) -> Arc<CsrStructure> {
+    let n = structure.n_rows();
+    let mut edges = structure.to_edges();
+    edges.extend((0..n).map(|i| (i, i)));
+    Arc::new(CsrStructure::from_edges(n, structure.n_cols(), &edges))
+}
+
+/// GCN symmetric normalisation `D^{-1/2} (A + I) D^{-1/2}` as a CSR matrix.
+pub fn gcn_norm(graph: &Graph) -> CsrMatrix {
+    let s = with_self_loops(graph.adjacency());
+    sym_norm_values(&s)
+}
+
+/// Symmetric normalisation of an arbitrary structure (degree computed from
+/// the structure itself): `val(i, j) = 1 / sqrt(d_i · d_j)`.
+pub fn sym_norm_values(structure: &Arc<CsrStructure>) -> CsrMatrix {
+    let n = structure.n_rows();
+    let deg: Vec<f32> = (0..n).map(|i| structure.row_nnz(i) as f32).collect();
+    let mut values = vec![0.0f32; structure.nnz()];
+    for (r, c, p) in structure.iter_entries() {
+        let d = (deg[r] * deg[c]).sqrt();
+        values[p] = if d > 0.0 { 1.0 / d } else { 0.0 };
+    }
+    CsrMatrix::new(Arc::clone(structure), values)
+}
+
+/// Row normalisation `D^{-1} A` (mean aggregation, GraphSAGE-style).
+pub fn row_norm_values(structure: &Arc<CsrStructure>) -> CsrMatrix {
+    let n = structure.n_rows();
+    let mut values = vec![0.0f32; structure.nnz()];
+    for r in 0..n {
+        let d = structure.row_nnz(r) as f32;
+        if d == 0.0 {
+            continue;
+        }
+        for p in structure.row_range(r) {
+            values[p] = 1.0 / d;
+        }
+    }
+    CsrMatrix::new(Arc::clone(structure), values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_tensor::Matrix;
+
+    fn path3() -> Graph {
+        Graph::new(3, &[(0, 1), (1, 2)], Matrix::zeros(3, 1), vec![0; 3])
+    }
+
+    #[test]
+    fn self_loops_added_once() {
+        let g = path3();
+        let s1 = with_self_loops(g.adjacency());
+        assert_eq!(s1.nnz(), g.adjacency().nnz() + 3);
+        let s2 = with_self_loops(&s1);
+        assert_eq!(s2.nnz(), s1.nnz(), "idempotent");
+    }
+
+    #[test]
+    fn gcn_norm_rows_reasonable() {
+        let g = path3();
+        let a = gcn_norm(&g);
+        // node 1 has degree 3 (self-loop + two neighbours):
+        // val(1,1) = 1/3; val(1,0) = 1/sqrt(3*2)
+        assert!((a.get(1, 1) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((a.get(1, 0) - 1.0 / (6.0f32).sqrt()).abs() < 1e-6);
+        // symmetry
+        assert!((a.get(0, 1) - a.get(1, 0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn row_norm_rows_sum_to_one() {
+        let g = path3();
+        let s = with_self_loops(g.adjacency());
+        let a = row_norm_values(&s);
+        for r in 0..3 {
+            let sum: f32 = s.row_range(r).map(|p| a.values()[p]).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Induced subgraph extraction with index mapping — the working unit of
+//! per-instance explainers (GNNExplainer, PGMExplainer operate on a node's
+//! k-hop ego network, not the full graph).
+
+use ses_tensor::Matrix;
+
+use crate::graph::Graph;
+use crate::khop::bfs_distances;
+
+/// An induced subgraph plus the mapping between local and global node ids.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The induced subgraph (local ids `0..len`).
+    pub graph: Graph,
+    /// `global_of[local] = global` node id.
+    pub global_of: Vec<usize>,
+    /// Local id of the centre node the subgraph was extracted around.
+    pub center_local: usize,
+}
+
+impl Subgraph {
+    /// Extracts the k-hop ego network around `center`.
+    pub fn ego(graph: &Graph, center: usize, k: usize) -> Self {
+        let dist = bfs_distances(graph, center, k);
+        let global_of: Vec<usize> =
+            (0..graph.n_nodes()).filter(|&v| dist[v] <= k).collect();
+        Self::induced(graph, &global_of, center)
+    }
+
+    /// Extracts the subgraph induced by `nodes` (must contain `center`).
+    pub fn induced(graph: &Graph, nodes: &[usize], center: usize) -> Self {
+        let mut local_of = vec![usize::MAX; graph.n_nodes()];
+        for (l, &g) in nodes.iter().enumerate() {
+            local_of[g] = l;
+        }
+        assert!(local_of[center] != usize::MAX, "induced: centre must be in node set");
+        let mut edges = Vec::new();
+        for (l, &g) in nodes.iter().enumerate() {
+            for &nb in graph.neighbors(g) {
+                let ln = local_of[nb];
+                if ln != usize::MAX && l < ln {
+                    edges.push((l, ln));
+                }
+            }
+        }
+        let mut feats = Matrix::zeros(nodes.len(), graph.n_features());
+        for (l, &g) in nodes.iter().enumerate() {
+            feats.row_mut(l).copy_from_slice(graph.features().row(g));
+        }
+        let labels: Vec<usize> = nodes.iter().map(|&g| graph.labels()[g]).collect();
+        // preserve the global class count by building labels directly
+        let sub = Graph::new(nodes.len(), &edges, feats, labels);
+        Self { graph: sub, global_of: nodes.to_vec(), center_local: local_of[center] }
+    }
+
+    /// Number of nodes in the subgraph.
+    pub fn len(&self) -> usize {
+        self.global_of.len()
+    }
+
+    /// True when the subgraph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.global_of.is_empty()
+    }
+
+    /// Translates a local edge to global ids.
+    pub fn to_global_edge(&self, u_local: usize, v_local: usize) -> (usize, usize) {
+        (self.global_of[u_local], self.global_of[v_local])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> Graph {
+        Graph::new(
+            5,
+            &[(0, 1), (1, 2), (2, 3), (3, 4)],
+            Matrix::from_vec(5, 2, (0..10).map(|x| x as f32).collect()),
+            vec![0, 1, 0, 1, 0],
+        )
+    }
+
+    #[test]
+    fn ego_radius_one() {
+        let g = path5();
+        let s = Subgraph::ego(&g, 2, 1);
+        assert_eq!(s.global_of, vec![1, 2, 3]);
+        assert_eq!(s.center_local, 1);
+        assert_eq!(s.graph.n_edges(), 2);
+        // features carried over
+        assert_eq!(s.graph.features().row(0), g.features().row(1));
+        assert_eq!(s.graph.labels(), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn ego_covers_all_at_large_k() {
+        let g = path5();
+        let s = Subgraph::ego(&g, 0, 10);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.graph.n_edges(), 4);
+    }
+
+    #[test]
+    fn edge_mapping_roundtrip() {
+        let g = path5();
+        let s = Subgraph::ego(&g, 2, 1);
+        let (u, v) = s.to_global_edge(0, 1);
+        assert!(g.has_edge(u, v));
+    }
+}

@@ -1,0 +1,118 @@
+//! ROC-AUC, the paper's explanation-accuracy metric (Table 4).
+
+/// Area under the ROC curve for binary `labels` (true/false) given real
+/// `scores`. Ties are handled by the midrank convention (equivalent to the
+/// Mann–Whitney U statistic). Returns `None` when either class is absent.
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "roc_auc: length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return None;
+    }
+    // ranks with midrank tie handling
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores must not be NaN"));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(ranks.iter())
+        .filter_map(|(&l, &r)| l.then_some(r))
+        .sum();
+    let u = rank_sum_pos - (n_pos as f64) * (n_pos as f64 + 1.0) / 2.0;
+    Some(u / (n_pos as f64 * n_neg as f64))
+}
+
+/// Average precision (area under the PR curve, step interpolation).
+pub fn average_precision(scores: &[f32], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    for (k, &i) in order.iter().enumerate() {
+        if labels[i] {
+            tp += 1;
+            ap += tp as f64 / (k + 1) as f64;
+        }
+    }
+    Some(ap / n_pos as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels).unwrap() - 1.0).abs() < 1e-12);
+        assert!((average_precision(&scores, &labels).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_separation() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(roc_auc(&scores, &labels).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_near_half() {
+        // deterministic interleave: AUC = 0.5 by symmetry
+        let scores = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+        let labels = [true, false, true, false, true, false, true, false];
+        let auc = roc_auc(&scores, &labels).unwrap();
+        assert!((auc - 0.5).abs() < 0.13, "auc={auc}");
+    }
+
+    #[test]
+    fn ties_get_midrank() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((roc_auc(&scores, &labels).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes_none() {
+        assert!(roc_auc(&[0.1, 0.2], &[true, true]).is_none());
+        assert!(roc_auc(&[0.1, 0.2], &[false, false]).is_none());
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform() {
+        let scores = [0.1f32, 0.4, 0.35, 0.8, 0.65, 0.2];
+        let labels = [false, true, false, true, true, false];
+        let base = roc_auc(&scores, &labels).unwrap();
+        let squashed: Vec<f32> = scores.iter().map(|&s| 1.0 / (1.0 + (-5.0 * s).exp())).collect();
+        let scaled: Vec<f32> = scores.iter().map(|&s| 100.0 * s + 7.0).collect();
+        assert!((roc_auc(&squashed, &labels).unwrap() - base).abs() < 1e-12);
+        assert!((roc_auc(&scaled, &labels).unwrap() - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}
+        // pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6)=0, (0.4>0.2) -> 3/4
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels).unwrap() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,83 @@
+//! Classification metrics: accuracy and confusion counts.
+
+/// Fraction of positions where `pred == truth`, restricted to `idx`.
+///
+/// # Panics
+/// Panics when `idx` is empty or an index is out of bounds.
+pub fn accuracy(pred: &[usize], truth: &[usize], idx: &[usize]) -> f64 {
+    assert!(!idx.is_empty(), "accuracy: empty index set");
+    let correct = idx
+        .iter()
+        .filter(|&&i| {
+            assert!(i < pred.len() && i < truth.len(), "accuracy: index out of bounds");
+            pred[i] == truth[i]
+        })
+        .count();
+    correct as f64 / idx.len() as f64
+}
+
+/// `k × k` confusion matrix restricted to `idx`; rows are truth, columns are
+/// predictions.
+pub fn confusion_matrix(pred: &[usize], truth: &[usize], idx: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut m = vec![vec![0usize; k]; k];
+    for &i in idx {
+        m[truth[i]][pred[i]] += 1;
+    }
+    m
+}
+
+/// Macro-averaged F1 score over `k` classes, restricted to `idx`.
+pub fn macro_f1(pred: &[usize], truth: &[usize], idx: &[usize], k: usize) -> f64 {
+    let m = confusion_matrix(pred, truth, idx, k);
+    let mut f1_sum = 0.0;
+    for c in 0..k {
+        let tp = m[c][c] as f64;
+        let fp: f64 = (0..k).filter(|&r| r != c).map(|r| m[r][c] as f64).sum();
+        let fneg: f64 = (0..k).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+        let prec = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let rec = if tp + fneg > 0.0 { tp / (tp + fneg) } else { 0.0 };
+        f1_sum += if prec + rec > 0.0 { 2.0 * prec * rec / (prec + rec) } else { 0.0 };
+    }
+    f1_sum / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_full_and_subset() {
+        let pred = vec![0, 1, 1, 0];
+        let truth = vec![0, 1, 0, 0];
+        let all: Vec<usize> = (0..4).collect();
+        assert!((accuracy(&pred, &truth, &all) - 0.75).abs() < 1e-12);
+        assert!((accuracy(&pred, &truth, &[2]) - 0.0).abs() < 1e-12);
+        assert!((accuracy(&pred, &truth, &[0, 1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let pred = vec![0, 1, 1];
+        let truth = vec![0, 0, 1];
+        let m = confusion_matrix(&pred, &truth, &[0, 1, 2], 2);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][0], 0);
+    }
+
+    #[test]
+    fn macro_f1_perfect_and_worst() {
+        let truth = vec![0, 0, 1, 1];
+        let all: Vec<usize> = (0..4).collect();
+        assert!((macro_f1(&truth, &truth, &all, 2) - 1.0).abs() < 1e-12);
+        let inverted = vec![1, 1, 0, 0];
+        assert!(macro_f1(&inverted, &truth, &all, 2) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty index set")]
+    fn accuracy_empty_panics() {
+        accuracy(&[0], &[0], &[]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Clustering quality metrics used by the paper's visualisation analysis
+//! (Table 9): Silhouette score and Calinski–Harabasz index.
+
+use ses_tensor::Matrix;
+
+fn euclidean(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Mean Silhouette coefficient of `embeddings` (`n × d`) under `labels`.
+///
+/// For each sample: `s = (b − a) / max(a, b)` where `a` is the mean
+/// intra-cluster distance and `b` the smallest mean distance to another
+/// cluster. Samples in singleton clusters get `s = 0` (scikit-learn
+/// convention). O(n²) — use on ≤ a few thousand points.
+pub fn silhouette_score(embeddings: &Matrix, labels: &[usize]) -> f64 {
+    let n = embeddings.rows();
+    assert_eq!(labels.len(), n, "silhouette: label count mismatch");
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    assert!(k >= 2, "silhouette: needs at least 2 clusters");
+    let counts = {
+        let mut c = vec![0usize; k];
+        for &l in labels {
+            c[l] += 1;
+        }
+        c
+    };
+    let mut total = 0.0;
+    let mut dist_sums = vec![0.0f64; k];
+    for i in 0..n {
+        dist_sums.iter_mut().for_each(|d| *d = 0.0);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            dist_sums[labels[j]] += euclidean(embeddings.row(i), embeddings.row(j));
+        }
+        let own = labels[i];
+        if counts[own] <= 1 {
+            continue; // s = 0
+        }
+        let a = dist_sums[own] / (counts[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| dist_sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        total += s;
+    }
+    total / n as f64
+}
+
+/// Calinski–Harabasz index: ratio of between-cluster to within-cluster
+/// dispersion, scaled by `(n − k) / (k − 1)`. Higher is better.
+pub fn calinski_harabasz_score(embeddings: &Matrix, labels: &[usize]) -> f64 {
+    let (n, d) = embeddings.shape();
+    assert_eq!(labels.len(), n, "calinski_harabasz: label count mismatch");
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    assert!(k >= 2 && n > k, "calinski_harabasz: needs 2 ≤ k < n");
+
+    let mut global = vec![0.0f64; d];
+    for i in 0..n {
+        for (j, &x) in embeddings.row(i).iter().enumerate() {
+            global[j] += x as f64;
+        }
+    }
+    for g in &mut global {
+        *g /= n as f64;
+    }
+
+    let mut centroid = vec![vec![0.0f64; d]; k];
+    let mut counts = vec![0usize; k];
+    for i in 0..n {
+        counts[labels[i]] += 1;
+        for (j, &x) in embeddings.row(i).iter().enumerate() {
+            centroid[labels[i]][j] += x as f64;
+        }
+    }
+    for c in 0..k {
+        if counts[c] > 0 {
+            for j in 0..d {
+                centroid[c][j] /= counts[c] as f64;
+            }
+        }
+    }
+
+    let mut between = 0.0;
+    for c in 0..k {
+        let diff: f64 = (0..d).map(|j| (centroid[c][j] - global[j]).powi(2)).sum();
+        between += counts[c] as f64 * diff;
+    }
+    let mut within = 0.0;
+    for i in 0..n {
+        let c = labels[i];
+        within += embeddings
+            .row(i)
+            .iter()
+            .enumerate()
+            .map(|(j, &x)| (x as f64 - centroid[c][j]).powi(2))
+            .sum::<f64>();
+    }
+    if within == 0.0 {
+        return f64::INFINITY;
+    }
+    (between / within) * ((n - k) as f64 / (k - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(sep: f32) -> (Matrix, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            data.extend_from_slice(&[i as f32 * 0.01, 0.0]);
+            labels.push(0);
+        }
+        for i in 0..10 {
+            data.extend_from_slice(&[sep + i as f32 * 0.01, 0.0]);
+            labels.push(1);
+        }
+        (Matrix::from_vec(20, 2, data), labels)
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let (e, l) = two_blobs(10.0);
+        let s = silhouette_score(&e, &l);
+        assert!(s > 0.95, "s={s}");
+    }
+
+    #[test]
+    fn silhouette_low_for_overlapping_blobs() {
+        let (e, l) = two_blobs(0.05);
+        let s = silhouette_score(&e, &l);
+        assert!(s < 0.5, "s={s}");
+    }
+
+    #[test]
+    fn calinski_increases_with_separation() {
+        let (e1, l) = two_blobs(1.0);
+        let (e2, _) = two_blobs(10.0);
+        let c1 = calinski_harabasz_score(&e1, &l);
+        let c2 = calinski_harabasz_score(&e2, &l);
+        assert!(c2 > c1 * 10.0, "c1={c1} c2={c2}");
+    }
+
+    #[test]
+    fn silhouette_mislabeled_is_negative() {
+        let (e, mut l) = two_blobs(10.0);
+        l.swap(0, 10); // put one point of each blob in the wrong cluster
+        let s = silhouette_score(&e, &l);
+        assert!(s < 0.9);
+    }
+}

@@ -1,0 +1,308 @@
+//! 2-D projections for embedding visualisation (Fig. 5): PCA and a compact
+//! exact-gradient t-SNE ("t-SNE-lite").
+//!
+//! The paper uses t-SNE to project 128-dimensional node representations. We
+//! implement the standard algorithm (perplexity-calibrated Gaussian
+//! affinities, Student-t low-dimensional kernel, gradient descent with early
+//! exaggeration) without Barnes–Hut acceleration — O(n²) per iteration,
+//! adequate for the ≤ 4k-node graphs visualised here.
+
+use rand::Rng;
+use ses_tensor::Matrix;
+
+/// Projects `data` (`n × d`) to its top-2 principal components (`n × 2`)
+/// using power iteration with deflation.
+pub fn pca_2d(data: &Matrix) -> Matrix {
+    let (n, d) = data.shape();
+    assert!(n >= 2 && d >= 1, "pca_2d: need at least 2 samples");
+    // center
+    let mut mean = vec![0.0f32; d];
+    for i in 0..n {
+        for (j, &x) in data.row(i).iter().enumerate() {
+            mean[j] += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f32;
+    }
+    let mut centered = data.clone();
+    for i in 0..n {
+        let row = centered.row_mut(i);
+        for j in 0..d {
+            row[j] -= mean[j];
+        }
+    }
+    // power iteration on covariance via X^T (X v)
+    let mut components: Vec<Vec<f32>> = Vec::new();
+    for _ in 0..2.min(d) {
+        let mut v = vec![1.0f32; d];
+        normalize(&mut v);
+        for _ in 0..100 {
+            // w = X v
+            let mut w = vec![0.0f32; n];
+            for i in 0..n {
+                let row = centered.row(i);
+                w[i] = row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
+            }
+            // v' = X^T w
+            let mut v2 = vec![0.0f32; d];
+            for i in 0..n {
+                let row = centered.row(i);
+                for j in 0..d {
+                    v2[j] += row[j] * w[i];
+                }
+            }
+            // deflate previously found components
+            for c in &components {
+                let dot: f32 = v2.iter().zip(c.iter()).map(|(&a, &b)| a * b).sum();
+                for j in 0..d {
+                    v2[j] -= dot * c[j];
+                }
+            }
+            normalize(&mut v2);
+            let diff: f32 = v2.iter().zip(v.iter()).map(|(&a, &b)| (a - b).abs()).sum();
+            v = v2;
+            if diff < 1e-6 {
+                break;
+            }
+        }
+        components.push(v);
+    }
+    let mut out = Matrix::zeros(n, 2);
+    for i in 0..n {
+        let row = centered.row(i);
+        for (c, comp) in components.iter().enumerate() {
+            out[(i, c)] = row.iter().zip(comp.iter()).map(|(&a, &b)| a * b).sum();
+        }
+    }
+    out
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// t-SNE configuration.
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    /// Target perplexity of the Gaussian neighbourhoods (default 30).
+    pub perplexity: f64,
+    /// Gradient-descent iterations (default 300).
+    pub iterations: usize,
+    /// Learning rate (default 100).
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 30.0, iterations: 300, learning_rate: 100.0, exaggeration: 4.0 }
+    }
+}
+
+/// Exact t-SNE to 2-D. Initialised from PCA plus a small random jitter so
+/// the layout is seed-reproducible.
+pub fn tsne_2d(data: &Matrix, config: &TsneConfig, rng: &mut impl Rng) -> Matrix {
+    let n = data.rows();
+    assert!(n >= 4, "tsne_2d: need at least 4 samples");
+    let p = joint_probabilities(data, config.perplexity);
+    // init: scaled PCA + jitter
+    let mut y = pca_2d(data);
+    let norm = y.frobenius_norm().max(1e-6);
+    for v in y.as_mut_slice() {
+        *v = *v / norm * 0.01 + (rng.gen::<f32>() - 0.5) * 1e-4;
+    }
+    let mut velocity = Matrix::zeros(n, 2);
+    let exag_until = config.iterations / 4;
+    for iter in 0..config.iterations {
+        let exag = if iter < exag_until { config.exaggeration } else { 1.0 };
+        // q_ij ∝ (1 + ||y_i - y_j||²)^-1
+        let mut num = vec![0.0f64; n * n];
+        let mut q_sum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = (y[(i, 0)] - y[(j, 0)]) as f64;
+                let dy = (y[(i, 1)] - y[(j, 1)]) as f64;
+                let t = 1.0 / (1.0 + dx * dx + dy * dy);
+                num[i * n + j] = t;
+                num[j * n + i] = t;
+                q_sum += 2.0 * t;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+        // gradient: 4 Σ_j (exag·p_ij − q_ij) (y_i − y_j) (1 + ||..||²)^-1
+        let momentum = if iter < exag_until { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut gx = 0.0f64;
+            let mut gy = 0.0f64;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let t = num[i * n + j];
+                let q = (t / q_sum).max(1e-12);
+                let coeff = 4.0 * (exag * p[i * n + j] - q) * t;
+                gx += coeff * (y[(i, 0)] - y[(j, 0)]) as f64;
+                gy += coeff * (y[(i, 1)] - y[(j, 1)]) as f64;
+            }
+            velocity[(i, 0)] =
+                momentum as f32 * velocity[(i, 0)] - (config.learning_rate * gx) as f32;
+            velocity[(i, 1)] =
+                momentum as f32 * velocity[(i, 1)] - (config.learning_rate * gy) as f32;
+        }
+        for i in 0..n {
+            y[(i, 0)] += velocity[(i, 0)];
+            y[(i, 1)] += velocity[(i, 1)];
+        }
+    }
+    y
+}
+
+/// Symmetric joint probabilities `p_ij` with per-point bandwidths calibrated
+/// to the target perplexity by bisection.
+fn joint_probabilities(data: &Matrix, perplexity: f64) -> Vec<f64> {
+    let n = data.rows();
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f64 = data
+                .row(i)
+                .iter()
+                .zip(data.row(j).iter())
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+    let target_entropy = perplexity.min((n - 1) as f64 * 0.9).ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let (mut lo, mut hi) = (1e-10f64, 1e10f64);
+        let mut beta = 1.0f64;
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                if j != i {
+                    sum += (-beta * d2[i * n + j]).exp();
+                }
+            }
+            let sum = sum.max(1e-12);
+            let mut entropy = 0.0;
+            for j in 0..n {
+                if j != i {
+                    let pj = (-beta * d2[i * n + j]).exp() / sum;
+                    if pj > 1e-12 {
+                        entropy -= pj * pj.ln();
+                    }
+                }
+            }
+            if (entropy - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi >= 1e10 { beta * 2.0 } else { (beta + hi) / 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                p[i * n + j] = (-beta * d2[i * n + j]).exp();
+                sum += p[i * n + j];
+            }
+        }
+        let sum = sum.max(1e-12);
+        for j in 0..n {
+            p[i * n + j] /= sum;
+        }
+    }
+    // symmetrise and normalise
+    let mut joint = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn blob_data() -> (Matrix, Vec<usize>) {
+        // two 8-point blobs in 5-D
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..8 {
+            data.extend((0..5).map(|j| (i + j) as f32 * 0.01));
+            labels.push(0);
+        }
+        for i in 0..8 {
+            data.extend((0..5).map(|j| 5.0 + (i + j) as f32 * 0.01));
+            labels.push(1);
+        }
+        (Matrix::from_vec(16, 5, data), labels)
+    }
+
+    #[test]
+    fn pca_separates_blobs() {
+        let (d, labels) = blob_data();
+        let p = pca_2d(&d);
+        assert_eq!(p.shape(), (16, 2));
+        // first PC should separate the blobs
+        let m0: f32 = (0..8).map(|i| p[(i, 0)]).sum::<f32>() / 8.0;
+        let m1: f32 = (8..16).map(|i| p[(i, 0)]).sum::<f32>() / 8.0;
+        assert!((m0 - m1).abs() > 1.0, "m0={m0} m1={m1}");
+        let _ = labels;
+    }
+
+    #[test]
+    fn tsne_separates_blobs() {
+        let (d, _) = blob_data();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let cfg = TsneConfig { perplexity: 5.0, iterations: 150, ..Default::default() };
+        let y = tsne_2d(&d, &cfg, &mut rng);
+        assert_eq!(y.shape(), (16, 2));
+        assert!(y.all_finite());
+        // mean intra-blob distance < mean inter-blob distance
+        let dist = |a: usize, b: usize| {
+            (((y[(a, 0)] - y[(b, 0)]).powi(2) + (y[(a, 1)] - y[(b, 1)]).powi(2)) as f64).sqrt()
+        };
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        let mut ni = 0;
+        let mut nx = 0;
+        for a in 0..16 {
+            for b in (a + 1)..16 {
+                if (a < 8) == (b < 8) {
+                    intra += dist(a, b);
+                    ni += 1;
+                } else {
+                    inter += dist(a, b);
+                    nx += 1;
+                }
+            }
+        }
+        assert!(inter / nx as f64 > intra / ni as f64, "blobs should separate");
+    }
+
+    #[test]
+    fn joint_probabilities_rows_normalised() {
+        let (d, _) = blob_data();
+        let p = joint_probabilities(&d, 5.0);
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total={total}");
+    }
+}

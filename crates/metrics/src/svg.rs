@@ -1,0 +1,142 @@
+//! Minimal SVG emitters for the paper's figures: class-coloured scatter
+//! plots (Fig. 5) and weighted-edge graph drawings (Fig. 6) — no plotting
+//! dependency required.
+
+use std::fmt::Write as _;
+
+use ses_tensor::Matrix;
+
+/// Categorical 10-colour palette (colour-blind-friendly ordering).
+const PALETTE: [&str; 10] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac",
+];
+
+/// Renders a 2-D scatter plot (`points` is `n × 2`) coloured by `labels`.
+/// Returns the SVG document as a string.
+pub fn scatter_svg(points: &Matrix, labels: &[usize], title: &str) -> String {
+    assert_eq!(points.cols(), 2, "scatter_svg: points must be n x 2");
+    assert_eq!(points.rows(), labels.len(), "scatter_svg: label count mismatch");
+    let (w, h, margin) = (640.0f32, 480.0f32, 40.0f32);
+    let (min_x, max_x) = bounds(points, 0);
+    let (min_y, max_y) = bounds(points, 1);
+    let sx = (w - 2.0 * margin) / (max_x - min_x).max(1e-9);
+    let sy = (h - 2.0 * margin) / (max_y - min_y).max(1e-9);
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{title}</text>"#,
+        w / 2.0
+    );
+    for i in 0..points.rows() {
+        let x = margin + (points[(i, 0)] - min_x) * sx;
+        let y = h - margin - (points[(i, 1)] - min_y) * sy;
+        let color = PALETTE[labels[i] % PALETTE.len()];
+        let _ = writeln!(svg, r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}" fill-opacity="0.75"/>"#);
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders a small graph with weighted edges: nodes on a circle (or at the
+/// provided positions), edge opacity ∝ weight, nodes coloured by label.
+pub fn graph_svg(
+    n: usize,
+    edges: &[(usize, usize, f32)],
+    labels: &[usize],
+    highlight: &[bool],
+    title: &str,
+) -> String {
+    assert_eq!(labels.len(), n);
+    assert_eq!(highlight.len(), edges.len());
+    let (w, h) = (480.0f32, 480.0f32);
+    let (cx, cy, r) = (w / 2.0, h / 2.0 + 10.0, w / 2.0 - 60.0);
+    let pos: Vec<(f32, f32)> = (0..n)
+        .map(|i| {
+            let a = std::f32::consts::TAU * i as f32 / n.max(1) as f32;
+            (cx + r * a.cos(), cy + r * a.sin())
+        })
+        .collect();
+    let max_w = edges.iter().map(|e| e.2).fold(1e-9f32, f32::max);
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    let _ = writeln!(
+        svg,
+        r#"<text x="{cx}" y="24" font-family="sans-serif" font-size="14" text-anchor="middle">{title}</text>"#
+    );
+    for (k, &(u, v, weight)) in edges.iter().enumerate() {
+        let (x1, y1) = pos[u];
+        let (x2, y2) = pos[v];
+        let opacity = 0.15 + 0.85 * (weight / max_w);
+        let stroke = if highlight[k] { "#e15759" } else { "#333333" };
+        let width = if highlight[k] { 2.5 } else { 1.2 };
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width}" stroke-opacity="{opacity:.2}"/>"#
+        );
+    }
+    for i in 0..n {
+        let (x, y) = pos[i];
+        let color = PALETTE[labels[i] % PALETTE.len()];
+        let _ = writeln!(svg, r#"<circle cx="{x:.1}" cy="{y:.1}" r="6" fill="{color}" stroke="black" stroke-width="0.5"/>"#);
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn bounds(points: &Matrix, col: usize) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for i in 0..points.rows() {
+        lo = lo.min(points[(i, col)]);
+        hi = hi.max(points[(i, col)]);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_svg_well_formed() {
+        let pts = Matrix::from_vec(3, 2, vec![0.0, 0.0, 1.0, 1.0, -1.0, 0.5]);
+        let svg = scatter_svg(&pts, &[0, 1, 2], "test");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("test"));
+    }
+
+    #[test]
+    fn graph_svg_draws_edges_and_nodes() {
+        let svg = graph_svg(
+            4,
+            &[(0, 1, 1.0), (1, 2, 0.2), (2, 3, 0.6)],
+            &[0, 0, 1, 1],
+            &[true, false, false],
+            "g",
+        );
+        assert_eq!(svg.matches("<line").count(), 3);
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains("#e15759"), "highlighted edge colour present");
+    }
+
+    #[test]
+    #[should_panic(expected = "points must be n x 2")]
+    fn scatter_rejects_wrong_shape() {
+        let pts = Matrix::zeros(3, 3);
+        scatter_svg(&pts, &[0, 0, 0], "bad");
+    }
+}

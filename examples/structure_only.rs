@@ -1,0 +1,69 @@
+//! Structure-only classification: the PolBlogs scenario, where nodes carry
+//! no informative features (identity matrix input) and all signal lives in
+//! the topology. Exercises the SES structure-mask path in isolation and
+//! compares GCN, GAT and SES.
+//!
+//! ```sh
+//! cargo run --release --example structure_only
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ses::core::{fit, MaskGenerator, SesConfig, SesVariant};
+use ses::data::{realworld, Profile, Splits};
+use ses::gnn::{train_node_classifier, AdjView, Encoder, Gat, Gcn, TrainConfig};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = realworld::polblogs_like(Profile::Fast, &mut rng);
+    let graph = &data.graph;
+    let splits = Splits::classification(graph.n_nodes(), &mut rng);
+    let adj = AdjView::of_graph(graph);
+    println!(
+        "{}: {} nodes, {} edges, identity features, homophily {:.2}",
+        data.name,
+        graph.n_nodes(),
+        graph.n_edges(),
+        graph.edge_homophily()
+    );
+
+    let cfg = TrainConfig::default();
+    let mut gcn = Gcn::new(graph.n_features(), 32, graph.n_classes(), &mut rng);
+    let r1 = train_node_classifier(&mut gcn, graph, &adj, &splits, &cfg);
+    println!("GCN  test accuracy: {:.2}%", 100.0 * r1.test_acc);
+
+    let mut gat = Gat::new(graph.n_features(), 32, graph.n_classes(), 4, &mut rng);
+    let r2 = train_node_classifier(&mut gat, graph, &adj, &splits, &cfg);
+    println!("GAT  test accuracy: {:.2}%", 100.0 * r2.test_acc);
+
+    let encoder = Gcn::new(graph.n_features(), 32, graph.n_classes(), &mut rng);
+    let mask_gen = MaskGenerator::new(encoder.hidden_dim(), graph.n_features(), &mut rng);
+    let ses_cfg = SesConfig::default();
+    let trained = fit(encoder, mask_gen, graph, &splits, &ses_cfg);
+    println!("SES  test accuracy: {:.2}%", 100.0 * trained.report.test_acc);
+
+    // ablation on the spot: how much does each mask matter here?
+    for (label, variant) in [
+        ("-{M_f}", SesVariant { use_feature_mask: false, ..Default::default() }),
+        ("-{M̂_s}", SesVariant { use_structure_mask: false, ..Default::default() }),
+    ] {
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let enc = Gcn::new(graph.n_features(), 32, graph.n_classes(), &mut rng2);
+        let mg = MaskGenerator::new(enc.hidden_dim(), graph.n_features(), &mut rng2);
+        let mut cfg2 = SesConfig::default();
+        cfg2.variant = variant;
+        let t = fit(enc, mg, graph, &splits, &cfg2);
+        println!("SES {label:8} test accuracy: {:.2}%", 100.0 * t.report.test_acc);
+    }
+
+    // structural explanation: do high-weight neighbours share the blog's
+    // political leaning?
+    let center = splits.test[0];
+    let ranked = trained.explanations.ranked_neighbors(center);
+    let direct: Vec<_> =
+        ranked.iter().filter(|&&(u, _)| graph.has_edge(center, u)).take(6).collect();
+    println!("\ntop direct neighbours of node {center} (class {}):", graph.labels()[center]);
+    for &&(u, w) in &direct {
+        println!("  {u:4}  weight {w:.3}  class {}", graph.labels()[u]);
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper (fast profile by default;
+# SES_PROFILE=paper for published dataset sizes). Outputs land in
+# target/experiments/ and experiments.log.
+set -uo pipefail
+BINS=(table3 table4 table5 table6 table7 table8 table9 table10 fig4 fig5 fig6 fig7 fig8 ablation_design)
+: > experiments.log
+for b in "${BINS[@]}"; do
+  echo "=== $b ===" | tee -a experiments.log
+  cargo run -p ses-bench --release --bin "$b" 2>&1 | tee -a experiments.log
+done

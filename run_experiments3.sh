@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Follow-up queue: the remaining experiments not covered in the first pass.
+set -uo pipefail
+for b in table4 table6 table9 fig7 ablation_design table7 fig8 fig6 fig5 table5 fig4 table10; do
+  echo "=== $b ===" | tee -a experiments.log
+  cargo run -p ses-bench --release --bin "$b" 2>&1 | tee -a experiments.log
+done
+echo EXPERIMENTS_ALL_DONE >> final_run_marker

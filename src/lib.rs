@@ -1,0 +1,21 @@
+//! `ses` — facade crate re-exporting the whole SES workspace.
+//!
+//! A reproduction of *SES: Bridging the Gap Between Explainability and
+//! Prediction of Graph Neural Networks* (ICDE 2024). See the individual
+//! crates for details:
+//!
+//! * [`tensor`] — autodiff tensor engine
+//! * [`graph`] — graph structures, k-hop expansion, generators
+//! * [`data`] — synthetic benchmarks and real-world stand-ins
+//! * [`gnn`] — GNN backbones and trainers
+//! * [`core`] — the SES model itself
+//! * [`explain`] — baseline explainers
+//! * [`metrics`] — evaluation metrics
+
+pub use ses_core as core;
+pub use ses_data as data;
+pub use ses_explain as explain;
+pub use ses_gnn as gnn;
+pub use ses_graph as graph;
+pub use ses_metrics as metrics;
+pub use ses_tensor as tensor;

@@ -1,0 +1,110 @@
+//! Cross-crate integration tests: the full SES pipeline from dataset
+//! generation through training to explanation evaluation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ses::core::{fit, MaskGenerator, SesConfig};
+use ses::data::{realworld, synthetic, Profile, Splits};
+use ses::explain::{explanation_auc, SesExplainer};
+use ses::gnn::{train_node_classifier, AdjView, Encoder, Gcn, TrainConfig};
+
+/// SES(GCN) must solve the strong 2-block SBM and not regress below the
+/// plain GCN backbone by more than noise.
+#[test]
+fn ses_matches_or_beats_backbone_on_polblogs_like() {
+    let mut rng = StdRng::seed_from_u64(100);
+    let data = realworld::polblogs_like(Profile::Fast, &mut rng);
+    let g = &data.graph;
+    let splits = Splits::classification(g.n_nodes(), &mut rng);
+
+    let mut gcn = Gcn::new(g.n_features(), 16, g.n_classes(), &mut rng);
+    let adj = AdjView::of_graph(g);
+    let cfg = TrainConfig { epochs: 60, patience: 0, ..Default::default() };
+    let base = train_node_classifier(&mut gcn, g, &adj, &splits, &cfg);
+
+    let enc = Gcn::new(g.n_features(), 16, g.n_classes(), &mut rng);
+    let mg = MaskGenerator::new(enc.hidden_dim(), g.n_features(), &mut rng);
+    let ses_cfg = SesConfig { epochs_explain: 60, epochs_epl: 8, ..Default::default() };
+    let trained = fit(enc, mg, g, &splits, &ses_cfg);
+
+    assert!(base.test_acc > 0.8, "backbone should learn: {}", base.test_acc);
+    assert!(
+        trained.report.test_acc >= base.test_acc - 0.05,
+        "SES ({}) must not regress materially below GCN ({})",
+        trained.report.test_acc,
+        base.test_acc
+    );
+}
+
+/// On Tree-Cycle the SES structure mask must recover motif edges well above
+/// chance (the Table 4 claim, checked as a floor).
+#[test]
+fn ses_explanation_auc_floor_on_tree_cycle() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let data = synthetic::tree_cycle(&mut rng);
+    let g = &data.dataset.graph;
+    let splits = Splits::explanation(g.n_nodes(), &mut rng);
+    let enc = ses::gnn::Gin::new(g.n_features(), 16, g.n_classes(), &mut rng);
+    let mg = MaskGenerator::new(enc.hidden_dim(), g.n_features(), &mut rng);
+    let cfg = SesConfig {
+        epochs_explain: 150,
+        epochs_epl: 0,
+        k: 2,
+        lr: 0.01,
+        sub_loss_weight: 0.3,
+        mask_size_weight: 0.5,
+        label_filtered_negatives: false,
+        ..Default::default()
+    };
+    let trained = fit(enc, mg, g, &splits, &cfg);
+    let nodes: Vec<usize> =
+        data.ground_truth.motif_nodes().into_iter().step_by(19).take(15).collect();
+    let mut sx = SesExplainer::new(trained.explanations.clone(), g.clone());
+    let auc = explanation_auc(&mut sx, &data, &nodes, 2);
+    assert!(auc > 0.7, "tree-cycle explanation AUC too low: {auc}");
+}
+
+/// Explanations must cover every node and stay within (0, 1).
+#[test]
+fn explanations_are_global_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let data = realworld::polblogs_like(Profile::Fast, &mut rng);
+    let g = &data.graph;
+    let splits = Splits::classification(g.n_nodes(), &mut rng);
+    let enc = Gcn::new(g.n_features(), 8, g.n_classes(), &mut rng);
+    let mg = MaskGenerator::new(8, g.n_features(), &mut rng);
+    let cfg = SesConfig { epochs_explain: 10, epochs_epl: 2, ..Default::default() };
+    let trained = fit(enc, mg, g, &splits, &cfg);
+
+    let ex = &trained.explanations;
+    assert_eq!(ex.feature_mask.shape(), (g.n_nodes(), g.n_features()));
+    assert!(ex.feature_mask.min() > 0.0 && ex.feature_mask.max() < 1.0);
+    assert!(ex.structure_weights.iter().all(|&w| w > 0.0 && w < 1.0));
+    // every node has a (possibly empty) neighbour ranking without panicking
+    for v in 0..g.n_nodes() {
+        let ranked = ex.ranked_neighbors(v);
+        for win in ranked.windows(2) {
+            assert!(win[0].1 >= win[1].1, "ranking must be sorted");
+        }
+    }
+}
+
+/// Same seed, same data, same config → bit-identical accuracy and masks.
+#[test]
+fn training_is_seed_deterministic() {
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(103);
+        let data = realworld::polblogs_like(Profile::Fast, &mut rng);
+        let g = &data.graph;
+        let splits = Splits::classification(g.n_nodes(), &mut rng);
+        let enc = Gcn::new(g.n_features(), 8, g.n_classes(), &mut rng);
+        let mg = MaskGenerator::new(8, g.n_features(), &mut rng);
+        let cfg = SesConfig { epochs_explain: 8, epochs_epl: 2, seed: 9, ..Default::default() };
+        let t = fit(enc, mg, g, &splits, &cfg);
+        (t.report.test_acc, t.explanations.structure_weights.clone())
+    };
+    let (a1, w1) = run();
+    let (a2, w2) = run();
+    assert_eq!(a1, a2);
+    assert_eq!(w1, w2);
+}

@@ -1,0 +1,102 @@
+//! Integration tests for the baseline explainers against a shared backbone:
+//! interface contracts, sanity orderings, and fidelity behaviour.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ses::data::{realworld, Profile, Splits};
+use ses::explain::*;
+use ses::gnn::{fidelity_plus, TrainConfig};
+use ses::tensor::Matrix;
+
+fn trained_backbone() -> (Backbone, Splits) {
+    let mut rng = StdRng::seed_from_u64(200);
+    let data = realworld::cora_like(Profile::Fast, &mut rng);
+    let splits = Splits::classification(data.graph.n_nodes(), &mut rng);
+    let cfg = TrainConfig { epochs: 40, patience: 0, ..Default::default() };
+    (Backbone::train_gcn(&data.graph, &splits, &cfg), splits)
+}
+
+#[test]
+fn all_edge_explainers_return_scored_subgraph_edges() {
+    let (bb, splits) = trained_backbone();
+    let node = splits.test[0];
+    let mut explainers: Vec<Box<dyn EdgeExplainer + '_>> = vec![
+        Box::new(GradExplainer::new(&bb)),
+        Box::new(GnnExplainer::new(&bb, GnnExplainerConfig { iterations: 10, ..Default::default() })),
+        Box::new(PgExplainer::train(&bb, &PgExplainerConfig { epochs: 3, ..Default::default() })),
+        Box::new(PgmExplainer::new(&bb, PgmExplainerConfig { trials: 8, ..Default::default() })),
+        Box::new(Segnn::new(&bb, &splits, SegnnConfig::default())),
+    ];
+    for e in explainers.iter_mut() {
+        let edges = e.explain_node(node);
+        assert!(!edges.is_empty(), "{} returned no edges", e.name());
+        for &(u, v, w) in &edges {
+            assert!(u < bb.graph.n_nodes() && v < bb.graph.n_nodes());
+            assert!(w.is_finite(), "{}: non-finite weight", e.name());
+        }
+    }
+}
+
+#[test]
+fn gnnexplainer_fidelity_beats_random_masks() {
+    let (bb, splits) = trained_backbone();
+    let g = &bb.graph;
+    let eval: Vec<usize> = splits.test.iter().copied().take(60).collect();
+
+    // per-node GNNExplainer feature masks for the evaluated nodes
+    let e = GnnExplainer::new(&bb, GnnExplainerConfig { iterations: 25, ..Default::default() });
+    let mut imp = Matrix::zeros(g.n_nodes(), g.n_features());
+    for &v in &eval {
+        let ex = e.explain(v);
+        imp.row_mut(v).copy_from_slice(ex.feature_mask.row(0));
+    }
+    let fid = fidelity_plus(bb.encoder.as_ref(), g, &bb.adj, &imp, 5, &eval);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let rand_imp = ses::tensor::init::uniform(g.n_nodes(), g.n_features(), 0.0, 1.0, &mut rng);
+    let fid_rand = fidelity_plus(bb.encoder.as_ref(), g, &bb.adj, &rand_imp, 5, &eval);
+    assert!(
+        fid >= fid_rand,
+        "learned masks ({fid}) should remove at least as much signal as random ({fid_rand})"
+    );
+}
+
+#[test]
+fn segnn_explanations_and_classification_agree_with_labels() {
+    let (bb, splits) = trained_backbone();
+    let segnn = Segnn::new(&bb, &splits, SegnnConfig::default());
+    let acc = segnn.accuracy(&splits.test[..50.min(splits.test.len())].to_vec());
+    assert!(acc > 0.4, "SEGNN far below usable accuracy: {acc}");
+    // nearest labelled nodes must come from the training pool
+    let v = splits.test[0];
+    for (u, _) in segnn.nearest_labeled(v) {
+        assert!(splits.train.contains(&u));
+    }
+}
+
+#[test]
+fn protgnn_trains_and_explains_by_prototype() {
+    let mut rng = StdRng::seed_from_u64(201);
+    let data = realworld::polblogs_like(Profile::Fast, &mut rng);
+    let splits = Splits::classification(data.graph.n_nodes(), &mut rng);
+    let cfg = ProtGnnConfig { epochs: 40, hidden: 16, ..Default::default() };
+    let model = ProtGnn::train(&data.graph, &splits, &cfg);
+    assert!(model.test_acc > 0.6, "ProtGNN acc {}", model.test_acc);
+    let (class, idx, dist) = model.nearest_prototype(0);
+    assert!(class < model.n_classes());
+    assert!(idx < 3);
+    assert!(dist.is_finite() && dist >= 0.0);
+}
+
+#[test]
+fn graphlime_importance_is_sparse() {
+    let (bb, splits) = trained_backbone();
+    let lime = GraphLime::new(&bb, GraphLimeConfig { lambda: 0.05, ..Default::default() });
+    let imp = lime.explain(splits.test[0]);
+    let nonzero = imp.iter().filter(|&&x| x > 0.0).count();
+    assert!(
+        nonzero < imp.len() / 2,
+        "lasso should produce sparse importance: {nonzero}/{} nonzero",
+        imp.len()
+    );
+}

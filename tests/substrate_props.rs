@@ -1,0 +1,86 @@
+//! Property-based integration tests across the substrate crates: dataset
+//! invariants, k-hop/pair-construction contracts, and encoder-agnostic
+//! training behaviour.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ses::core::construct_pairs;
+use ses::data::{realworld, Profile, Splits};
+use ses::graph::generators::planted_partition;
+use ses::graph::{khop_structure, Graph, NegativeSets};
+use ses::tensor::Matrix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Planted partitions honour their homophily ordering: higher p_in /
+    /// p_out ratios give higher edge homophily.
+    #[test]
+    fn homophily_monotone_in_pin(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (n, e1, b1) = planted_partition(3, 60, 0.15, 0.01, &mut rng);
+        let g1 = Graph::new(n, &e1, Matrix::zeros(n, 1), b1);
+        let (n2, e2, b2) = planted_partition(3, 60, 0.05, 0.05, &mut rng);
+        let g2 = Graph::new(n2, &e2, Matrix::zeros(n2, 1), b2);
+        prop_assert!(g1.edge_homophily() > g2.edge_homophily());
+    }
+
+    /// k-hop structures are monotone in k and symmetric.
+    #[test]
+    fn khop_monotone_and_symmetric(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (n, edges, labels) = planted_partition(2, 30, 0.2, 0.05, &mut rng);
+        let g = Graph::new(n, &edges, Matrix::zeros(n, 1), labels);
+        let k1 = khop_structure(&g, 1);
+        let k2 = khop_structure(&g, 2);
+        prop_assert!(k2.nnz() >= k1.nnz());
+        for (r, c, _) in k2.iter_entries() {
+            prop_assert!(k2.find(c, r).is_some(), "k-hop must be symmetric");
+        }
+    }
+
+    /// Algorithm 1 invariants hold under arbitrary weights: positives are
+    /// k-hop neighbours, negatives are not, triples line up.
+    #[test]
+    fn pair_construction_invariants(seed in 0u64..1000, ratio in 0.1f32..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (n, edges, labels) = planted_partition(2, 25, 0.25, 0.05, &mut rng);
+        let g = Graph::new(n, &edges, Matrix::zeros(n, 1), labels);
+        let khop = khop_structure(&g, 2);
+        let negs = NegativeSets::sample(&khop, Some(g.labels()), &mut rng);
+        let weights: Vec<f32> = (0..khop.nnz()).map(|i| ((seed as f32 + i as f32) * 0.37).sin()).collect();
+        // NaN-free weights required; sin is fine
+        let pairs = construct_pairs(&khop, &weights, &negs, ratio, &mut rng);
+        prop_assert_eq!(pairs.anchor_idx.len(), pairs.pos_idx.len());
+        prop_assert_eq!(pairs.anchor_idx.len(), pairs.neg_idx.len());
+        for t in 0..pairs.len() {
+            let (a, p, ng) = (pairs.anchor_idx[t], pairs.pos_idx[t], pairs.neg_idx[t]);
+            prop_assert!(khop.find(a, p).is_some());
+            prop_assert!(khop.find(a, ng).is_none());
+        }
+    }
+
+    /// Splits always partition the node set.
+    #[test]
+    fn splits_partition(seed in 0u64..1000, n in 10usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = Splits::classification(n, &mut rng);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}
+
+/// The real-world stand-ins keep their defining statistics across seeds.
+#[test]
+fn realworld_statistics_stable_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cora = realworld::cora_like(Profile::Fast, &mut rng);
+        assert_eq!(cora.graph.n_classes(), 7);
+        assert!((0.70..0.92).contains(&cora.graph.edge_homophily()));
+        let pol = realworld::polblogs_like(Profile::Fast, &mut rng);
+        assert_eq!(pol.graph.n_features(), pol.graph.n_nodes(), "identity features");
+    }
+}
