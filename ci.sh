@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local CI gate: formatting, lints (compiler + workspace lint pass),
+# and the tier-1 test suite. See docs/CORRECTNESS.md.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "== cargo run -p ses-lint"
+cargo run -q -p ses-lint
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "ci: all gates green"

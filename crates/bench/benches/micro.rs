@@ -85,7 +85,9 @@ fn bench_pair_construction(c: &mut Criterion) {
         let graph = random_graph(n, 4, &mut rng);
         let khop = khop_structure(&graph, 1);
         let negs = NegativeSets::sample(&khop, None, &mut rng);
-        let w: Vec<f32> = (0..khop.nnz()).map(|i| (i as f32 * 0.7).sin().abs()).collect();
+        let w: Vec<f32> = (0..khop.nnz())
+            .map(|i| (i as f32 * 0.7).sin().abs())
+            .collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| {
                 let mut r = StdRng::seed_from_u64(6);

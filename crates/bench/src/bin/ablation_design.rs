@@ -11,7 +11,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ses_bench::*;
-use ses_core::{fit, MaskedGraph, MaskGenerator, SesConfig};
+use ses_core::{fit, MaskGenerator, MaskedGraph, SesConfig};
 use ses_data::{synthetic, Profile, Splits};
 use ses_explain::{explanation_auc, SesExplainer};
 use ses_gnn::{Encoder, Gcn};
@@ -24,7 +24,10 @@ fn main() {
 
     // --- 1. masked-consistency graph, accuracy on sparse vs dense ---
     for (dname, idx) in [("cora-like (sparse)", 0usize), ("polblogs-like (dense)", 2)] {
-        for (mode, label) in [(MaskedGraph::OneHop, "OneHop (ours)"), (MaskedGraph::KHop, "KHop (Eq. 8)")] {
+        for (mode, label) in [
+            (MaskedGraph::OneHop, "OneHop (ours)"),
+            (MaskedGraph::KHop, "KHop (Eq. 8)"),
+        ] {
             let d = realworld_datasets(profile, seed)[idx].clone();
             let g = &d.graph;
             let splits = classification_splits(&d, seed);
@@ -37,7 +40,10 @@ fn main() {
                 dname.to_string(),
                 pct(t.report.test_acc),
             ]);
-            csv.push(format!("masked_graph,{label},{dname},{:.4}", t.report.test_acc));
+            csv.push(format!(
+                "masked_graph,{label},{dname},{:.4}",
+                t.report.test_acc
+            ));
             eprintln!("masked-graph {label} on {dname}: {:.4}", t.report.test_acc);
         }
     }
@@ -58,19 +64,33 @@ fn main() {
             MaskGenerator::new(enc.hidden_dim(), g.n_features(), &mut rng)
         };
         let t = fit(enc, mg, &g, &splits, &cfg);
-        let nodes: Vec<usize> =
-            data.ground_truth.motif_nodes().into_iter().step_by(13).take(25).collect();
+        let nodes: Vec<usize> = data
+            .ground_truth
+            .motif_nodes()
+            .into_iter()
+            .step_by(13)
+            .take(25)
+            .collect();
         let mut sx = SesExplainer::new(t.explanations.clone(), g.clone());
         explanation_auc(&mut sx, &data, &nodes, 2)
     };
     for (label, additive, size_w, filt) in [
-        ("interaction scorer + size penalty (ours)", false, 0.5f32, false),
+        (
+            "interaction scorer + size penalty (ours)",
+            false,
+            0.5f32,
+            false,
+        ),
         ("additive scorer (paper Eq. 4)", true, 0.5, false),
         ("no size penalty (paper Eq. 9)", false, 0.0, false),
         ("label-filtered negatives (paper §4.1.2)", false, 0.5, true),
     ] {
         let auc = auc_with(additive, size_w, filt);
-        rows.push(vec![label.to_string(), "tree-cycle AUC".to_string(), format!("{:.3}", auc)]);
+        rows.push(vec![
+            label.to_string(),
+            "tree-cycle AUC".to_string(),
+            format!("{:.3}", auc),
+        ]);
         csv.push(format!("scorer,{label},tree-cycle,{auc:.4}"));
         eprintln!("{label}: AUC {auc:.3}");
     }
@@ -79,6 +99,11 @@ fn main() {
     // binary is trimmed; remove if the bench grows another GCN case
     let _ = Gcn::new(2, 2, 2, &mut StdRng::seed_from_u64(0));
 
-    print_table("Design-choice ablations", &["choice", "workload", "metric"], &rows);
-    write_csv("ablation_design.csv", "group,choice,workload,value", &csv);
+    print_table(
+        "Design-choice ablations",
+        &["choice", "workload", "metric"],
+        &rows,
+    );
+    write_csv("ablation_design.csv", "group,choice,workload,value", &csv)
+        .expect("write experiment csv");
 }

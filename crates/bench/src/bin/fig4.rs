@@ -33,8 +33,10 @@ fn main() {
     let profile = Profile::from_env();
     let hidden = hidden_dim(profile);
     let seed = 4;
-    let datasets: Vec<Dataset> =
-        realworld_datasets(profile, seed).into_iter().take(3).collect();
+    let datasets: Vec<Dataset> = realworld_datasets(profile, seed)
+        .into_iter()
+        .take(3)
+        .collect();
 
     let mut csv = Vec::new();
     // panels (a) GCN / (c) GAT: lr × k
@@ -65,12 +67,16 @@ fn main() {
                     cfg.alpha = alpha;
                     cfg.beta = beta;
                     let acc = run(backbone, d, &cfg, hidden);
-                    csv.push(format!("alpha_beta,{backbone},{},{alpha},{beta},{acc:.4}", d.name));
+                    csv.push(format!(
+                        "alpha_beta,{backbone},{},{alpha},{beta},{acc:.4}",
+                        d.name
+                    ));
                     eprintln!("{backbone} {} α={alpha} β={beta}: {acc:.4}", d.name);
                 }
             }
         }
     }
-    write_csv("fig4.csv", "panel,backbone,dataset,p1,p2,accuracy", &csv);
+    write_csv("fig4.csv", "panel,backbone,dataset,p1,p2,accuracy", &csv)
+        .expect("write experiment csv");
     println!("Fig. 4 sweep complete; series in target/experiments/fig4.csv");
 }

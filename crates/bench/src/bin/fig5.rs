@@ -26,19 +26,28 @@ fn main() {
         let stride = (g.n_nodes() / 400).max(1);
         let idx: Vec<usize> = (0..g.n_nodes()).step_by(stride).collect();
         let sub = emb.gather_rows(&idx);
-        let cfg = TsneConfig { iterations: 250, ..Default::default() };
+        let cfg = TsneConfig {
+            iterations: 250,
+            ..Default::default()
+        };
         let y = tsne_2d(&sub, &cfg, &mut rng);
         let rows: Vec<String> = idx
             .iter()
             .enumerate()
             .map(|(i, &v)| format!("{},{},{}", y[(i, 0)], y[(i, 1)], g.labels()[v]))
             .collect();
-        write_csv(&format!("fig5_{name}.csv"), "x,y,label", &rows);
+        write_csv(&format!("fig5_{name}.csv"), "x,y,label", &rows).expect("write experiment csv");
         let labels: Vec<usize> = idx.iter().map(|&v| g.labels()[v]).collect();
         let svg = ses_metrics::scatter_svg(&y, &labels, name);
-        let path = experiments_dir().join(format!("fig5_{name}.svg"));
+        let path = experiments_dir()
+            .expect("create experiments dir")
+            .join(format!("fig5_{name}.svg"));
         std::fs::write(&path, svg).expect("write svg");
-        eprintln!("fig5: {name} projected ({} points) -> {}", idx.len(), path.display());
+        eprintln!(
+            "fig5: {name} projected ({} points) -> {}",
+            idx.len(),
+            path.display()
+        );
     };
 
     {
@@ -60,7 +69,12 @@ fn main() {
         emit("segnn", &bb.embeddings);
     }
     {
-        let cfg = ProtGnnConfig { epochs: 150, hidden, seed, ..Default::default() };
+        let cfg = ProtGnnConfig {
+            epochs: 150,
+            hidden,
+            seed,
+            ..Default::default()
+        };
         let model = ProtGnn::train(g, &splits, &cfg);
         emit("protgnn", &model.embeddings);
     }

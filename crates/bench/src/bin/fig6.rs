@@ -33,7 +33,12 @@ fn dot_for(
         csv.push(format!("{u},{v},{w},{}", gt as u8));
     }
     lines.push("}".to_string());
-    write_csv(&format!("fig6_{dataset}_{name}.csv"), "u,v,weight,is_motif", &csv);
+    write_csv(
+        &format!("fig6_{dataset}_{name}.csv"),
+        "u,v,weight,is_motif",
+        &csv,
+    )
+    .expect("write experiment csv");
     lines
 }
 
@@ -51,7 +56,13 @@ fn main() {
         let g = &data.dataset.graph;
         let mut rng = StdRng::seed_from_u64(seed);
         let splits = Splits::explanation(g.n_nodes(), &mut rng);
-        let cfg = TrainConfig { epochs: 400, patience: 0, lr: 0.01, seed, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 400,
+            patience: 0,
+            lr: 0.01,
+            seed,
+            ..Default::default()
+        };
         let enc: Box<dyn Encoder> = match *backbone_kind {
             "gin" => Box::new(Gin::new(g.n_features(), 32, g.n_classes(), &mut rng)),
             _ => Box::new(
@@ -63,17 +74,40 @@ fn main() {
 
         let mut dots: Vec<String> = Vec::new();
         {
-            let mut e =
-                GnnExplainer::new(&bb, GnnExplainerConfig { iterations: 80, ..Default::default() });
-            dots.extend(dot_for("gnnexplainer", dname, data, node, &e.explain_node(node)));
+            let mut e = GnnExplainer::new(
+                &bb,
+                GnnExplainerConfig {
+                    iterations: 80,
+                    ..Default::default()
+                },
+            );
+            dots.extend(dot_for(
+                "gnnexplainer",
+                dname,
+                data,
+                node,
+                &e.explain_node(node),
+            ));
         }
         {
             let mut e = PgExplainer::train(&bb, &PgExplainerConfig::default());
-            dots.extend(dot_for("pgexplainer", dname, data, node, &e.explain_node(node)));
+            dots.extend(dot_for(
+                "pgexplainer",
+                dname,
+                data,
+                node,
+                &e.explain_node(node),
+            ));
         }
         {
             let mut e = PgmExplainer::new(&bb, PgmExplainerConfig::default());
-            dots.extend(dot_for("pgmexplainer", dname, data, node, &e.explain_node(node)));
+            dots.extend(dot_for(
+                "pgmexplainer",
+                dname,
+                data,
+                node,
+                &e.explain_node(node),
+            ));
         }
         {
             let mut rng2 = StdRng::seed_from_u64(seed);
@@ -95,7 +129,9 @@ fn main() {
             let mut e = SesExplainer::new(explanations, g.clone());
             dots.extend(dot_for("ses", dname, data, node, &e.explain_node(node)));
         }
-        let path = experiments_dir().join(format!("fig6_{dname}.dot"));
+        let path = experiments_dir()
+            .expect("create experiments dir")
+            .join(format!("fig6_{dname}.dot"));
         std::fs::write(&path, dots.join("\n")).expect("write dot");
         println!("fig6: wrote {}", path.display());
     }

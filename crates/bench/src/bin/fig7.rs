@@ -27,7 +27,12 @@ fn main() {
         .enumerate()
         .map(|(e, (l, v))| format!("{e},{l},{v}"))
         .collect();
-    write_csv("fig7_curves.csv", "epoch,train_loss,val_accuracy", &curve_rows);
+    write_csv(
+        "fig7_curves.csv",
+        "epoch,train_loss,val_accuracy",
+        &curve_rows,
+    )
+    .expect("write experiment csv");
 
     // mask snapshots: summary statistics + a fixed slice of raw values so
     // the divergence of weights over training is visible
@@ -38,18 +43,28 @@ fn main() {
         let fm_mean = fm.mean();
         let fm_std = {
             let m = fm_mean;
-            (fm.as_slice().iter().map(|&x| (x - m) * (x - m)).sum::<f32>()
+            (fm.as_slice()
+                .iter()
+                .map(|&x| (x - m) * (x - m))
+                .sum::<f32>()
                 / fm.len() as f32)
                 .sqrt()
         };
         let sw_mean = sw.iter().sum::<f32>() / sw.len() as f32;
-        let sw_std = (sw.iter().map(|&x| (x - sw_mean) * (x - sw_mean)).sum::<f32>()
+        let sw_std = (sw
+            .iter()
+            .map(|&x| (x - sw_mean) * (x - sw_mean))
+            .sum::<f32>()
             / sw.len() as f32)
             .sqrt();
         snap_rows.push(format!("{},{fm_mean},{fm_std},{sw_mean},{sw_std}", s.epoch));
         // raw slices (first 100 feature-mask values / structure weights)
-        let fm_slice: Vec<String> =
-            fm.as_slice().iter().take(100).map(|x| x.to_string()).collect();
+        let fm_slice: Vec<String> = fm
+            .as_slice()
+            .iter()
+            .take(100)
+            .map(|x| x.to_string())
+            .collect();
         let sw_slice: Vec<String> = sw.iter().take(100).map(|x| x.to_string()).collect();
         write_csv(
             &format!("fig7_mask_epoch{}.csv", s.epoch),
@@ -59,9 +74,15 @@ fn main() {
                 .zip(sw_slice.iter().chain(std::iter::repeat(&String::new())))
                 .map(|(a, b)| format!("{a},{b}"))
                 .collect::<Vec<_>>(),
-        );
+        )
+        .expect("write experiment csv");
     }
-    write_csv("fig7_mask_stats.csv", "epoch,fm_mean,fm_std,sw_mean,sw_std", &snap_rows);
+    write_csv(
+        "fig7_mask_stats.csv",
+        "epoch,fm_mean,fm_std,sw_mean,sw_std",
+        &snap_rows,
+    )
+    .expect("write experiment csv");
 
     // The paper's qualitative claim: weights start uniform and diverge.
     if trained.report.mask_snapshots.len() >= 2 {

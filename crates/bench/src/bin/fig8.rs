@@ -62,7 +62,11 @@ fn main() {
             .expect("some test node has degree >= 4");
         let bb = Backbone::train_gcn(g, &splits, &backbone_config(seed));
 
-        println!("\n--- {} : centre node {center} (class {}) ---", d.name, g.labels()[center]);
+        println!(
+            "\n--- {} : centre node {center} (class {}) ---",
+            d.name,
+            g.labels()[center]
+        );
         let mut report = |name: &str, ranked: Vec<(usize, f32)>| {
             let s = rank_string(center, &ranked, g.labels());
             println!("{name:>14}: {s}");
@@ -76,8 +80,13 @@ fn main() {
         };
 
         {
-            let mut e =
-                GnnExplainer::new(&bb, GnnExplainerConfig { iterations: 80, ..Default::default() });
+            let mut e = GnnExplainer::new(
+                &bb,
+                GnnExplainerConfig {
+                    iterations: 80,
+                    ..Default::default()
+                },
+            );
             report("GNNExplainer", neighbor_rank(&mut e, center, g));
         }
         {
@@ -103,5 +112,10 @@ fn main() {
             report("SES", ranked);
         }
     }
-    write_csv("fig8.csv", "dataset,method,center,rank,neighbor,weight,same_class", &csv);
+    write_csv(
+        "fig8.csv",
+        "dataset,method,center,rank,neighbor,weight,same_class",
+        &csv,
+    )
+    .expect("write experiment csv");
 }

@@ -14,7 +14,13 @@ use ses_graph::khop_structure;
 use ses_metrics::accuracy;
 use ses_tensor::Matrix;
 
-fn run_variant(backbone: &str, d: &Dataset, profile: Profile, variant: SesVariant, seed: u64) -> f64 {
+fn run_variant(
+    backbone: &str,
+    d: &Dataset,
+    profile: Profile,
+    variant: SesVariant,
+    seed: u64,
+) -> f64 {
     let g = &d.graph;
     let splits = classification_splits(d, seed);
     let mut cfg: SesConfig = ses_prediction_config(profile, seed);
@@ -37,7 +43,13 @@ fn run_variant(backbone: &str, d: &Dataset, profile: Profile, variant: SesVarian
 
 /// `+{epl}`: a trained plain backbone, masks from a post-hoc explainer, then
 /// the SES enhanced-predictive-learning phase on top.
-fn run_posthoc_epl(backbone: &str, explainer: &str, d: &Dataset, profile: Profile, seed: u64) -> f64 {
+fn run_posthoc_epl(
+    backbone: &str,
+    explainer: &str,
+    d: &Dataset,
+    profile: Profile,
+    seed: u64,
+) -> f64 {
     let g = &d.graph;
     let splits = classification_splits(d, seed);
     let cfg = backbone_config(seed);
@@ -50,7 +62,13 @@ fn run_posthoc_epl(backbone: &str, explainer: &str, d: &Dataset, profile: Profil
     let mut weights = vec![0.5f32; khop.nnz()];
     let feature_mask = match explainer {
         "GEX" => {
-            let e = GnnExplainer::new(&bb, GnnExplainerConfig { iterations: 20, ..Default::default() });
+            let e = GnnExplainer::new(
+                &bb,
+                GnnExplainerConfig {
+                    iterations: 20,
+                    ..Default::default()
+                },
+            );
             // global feature mask from a sample of nodes; edge weights from
             // per-node masks where available.
             let mut fm = Matrix::ones(g.n_nodes(), g.n_features());
@@ -78,7 +96,11 @@ fn run_posthoc_epl(backbone: &str, explainer: &str, d: &Dataset, profile: Profil
             Matrix::ones(g.n_nodes(), g.n_features())
         }
     };
-    let explanations = Explanations { feature_mask, khop, structure_weights: weights };
+    let explanations = Explanations {
+        feature_mask,
+        khop,
+        structure_weights: weights,
+    };
 
     let mut enc = bb.encoder;
     let mut cfg2: SesConfig = ses_prediction_config(profile, seed);
@@ -93,10 +115,34 @@ fn main() {
     let profile = Profile::from_env();
     let seed = 10;
     let variants: Vec<(&str, SesVariant)> = vec![
-        ("SES -{M_f}", SesVariant { use_feature_mask: false, ..Default::default() }),
-        ("SES -{M̂_s}", SesVariant { use_structure_mask: false, ..Default::default() }),
-        ("SES -{L_xent}", SesVariant { use_xent_epl: false, ..Default::default() }),
-        ("SES -{Triplet}", SesVariant { use_triplet: false, ..Default::default() }),
+        (
+            "SES -{M_f}",
+            SesVariant {
+                use_feature_mask: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "SES -{M̂_s}",
+            SesVariant {
+                use_structure_mask: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "SES -{L_xent}",
+            SesVariant {
+                use_xent_epl: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "SES -{Triplet}",
+            SesVariant {
+                use_triplet: false,
+                ..Default::default()
+            },
+        ),
         ("SES", SesVariant::default()),
     ];
 
@@ -127,8 +173,15 @@ fn main() {
 
     print_table(
         "Table 10: ablation studies (test accuracy %)",
-        &["variant", "cora-like", "citeseer-like", "polblogs-like", "cs-like"],
+        &[
+            "variant",
+            "cora-like",
+            "citeseer-like",
+            "polblogs-like",
+            "cs-like",
+        ],
         &rows,
     );
-    write_csv("table10.csv", "variant,backbone,dataset,accuracy", &csv);
+    write_csv("table10.csv", "variant,backbone,dataset,accuracy", &csv)
+        .expect("write experiment csv");
 }

@@ -8,9 +8,7 @@ use ses_bench::*;
 use ses_core::{fit, MaskGenerator};
 use ses_data::{Dataset, Profile};
 use ses_explain::{Backbone, ProtGnn, ProtGnnConfig, Segnn, SegnnConfig};
-use ses_gnn::{
-    train_node_classifier, AdjView, Arma, Asdgn, Encoder, Gat, Gcn, UniMp,
-};
+use ses_gnn::{train_node_classifier, AdjView, Arma, Asdgn, Encoder, Gat, Gcn, UniMp};
 use ses_metrics::MeanStd;
 
 const SEEDS: [u64; 3] = [11, 23, 47];
@@ -76,17 +74,14 @@ fn main() {
                             seed,
                         ),
                         "GAT" => run_backbone(
-                            |rng| {
-                                Box::new(Gat::new(g.n_features(), hidden, g.n_classes(), 4, rng))
-                            },
+                            |rng| Box::new(Gat::new(g.n_features(), hidden, g.n_classes(), 4, rng)),
                             &d,
                             seed,
                         ),
                         "FusedGAT" => run_backbone(
                             |rng| {
                                 Box::new(
-                                    Gat::new(g.n_features(), hidden, g.n_classes(), 4, rng)
-                                        .fused(),
+                                    Gat::new(g.n_features(), hidden, g.n_classes(), 4, rng).fused(),
                                 )
                             },
                             &d,
@@ -120,8 +115,7 @@ fn main() {
                             let splits = classification_splits(&d, seed);
                             let cfg = backbone_config(seed);
                             let bb = Backbone::train_gcn(g, &splits, &cfg);
-                            Segnn::new(&bb, &splits, SegnnConfig::default())
-                                .accuracy(&splits.test)
+                            Segnn::new(&bb, &splits, SegnnConfig::default()).accuracy(&splits.test)
                         }
                         "ProtGNN" => {
                             let splits = classification_splits(&d, seed);
@@ -150,5 +144,5 @@ fn main() {
     let mut header = vec!["dataset"];
     header.extend(methods);
     print_table("Table 3: node classification accuracy (%)", &header, &rows);
-    write_csv("table3.csv", "dataset,method,mean,std", &csv);
+    write_csv("table3.csv", "dataset,method,mean,std", &csv).expect("write experiment csv");
 }

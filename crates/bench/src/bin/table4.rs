@@ -34,7 +34,13 @@ fn make_backbone(kind: &str, data: &SyntheticDataset, seed: u64) -> Backbone {
     let g = &data.dataset.graph;
     let mut rng = StdRng::seed_from_u64(seed);
     let splits = Splits::explanation(g.n_nodes(), &mut rng);
-    let cfg = TrainConfig { epochs: 400, patience: 0, lr: 0.01, seed, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 400,
+        patience: 0,
+        lr: 0.01,
+        seed,
+        ..Default::default()
+    };
     let enc: Box<dyn Encoder> = match kind {
         "gin" => Box::new(Gin::new(g.n_features(), 32, g.n_classes(), &mut rng)),
         _ => Box::new(
@@ -45,7 +51,12 @@ fn make_backbone(kind: &str, data: &SyntheticDataset, seed: u64) -> Backbone {
 }
 
 fn eval_nodes(data: &SyntheticDataset) -> Vec<usize> {
-    data.ground_truth.motif_nodes().into_iter().step_by(7).take(EVAL_NODES).collect()
+    data.ground_truth
+        .motif_nodes()
+        .into_iter()
+        .step_by(7)
+        .take(EVAL_NODES)
+        .collect()
 }
 
 fn run_ses(kind: &str, data: &SyntheticDataset, seed: u64) -> f64 {
@@ -72,8 +83,15 @@ fn run_ses(kind: &str, data: &SyntheticDataset, seed: u64) -> f64 {
 
 fn main() {
     let seed = 3;
-    let methods =
-        ["GRAD", "ATT", "GNNExplainer", "PGExplainer", "PGMExplainer", "SEGNN", "SES"];
+    let methods = [
+        "GRAD",
+        "ATT",
+        "GNNExplainer",
+        "PGExplainer",
+        "PGMExplainer",
+        "SEGNN",
+        "SES",
+    ];
     let mut rows = Vec::new();
     let mut csv = Vec::new();
 
@@ -92,15 +110,23 @@ fn main() {
                 "ATT" => {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let splits = Splits::explanation(g.n_nodes(), &mut rng);
-                    let cfg =
-                        TrainConfig { epochs: 300, patience: 0, lr: 0.01, seed, ..Default::default() };
+                    let cfg = TrainConfig {
+                        epochs: 300,
+                        patience: 0,
+                        lr: 0.01,
+                        seed,
+                        ..Default::default()
+                    };
                     let mut e = AttExplainer::train(g, &splits, &cfg);
                     explanation_auc(&mut e, &data, &nodes, 2)
                 }
                 "GNNExplainer" => {
                     let mut e = GnnExplainer::new(
                         &bb,
-                        GnnExplainerConfig { iterations: 50, ..Default::default() },
+                        GnnExplainerConfig {
+                            iterations: 50,
+                            ..Default::default()
+                        },
                     );
                     explanation_auc(&mut e, &data, &nodes, 2)
                 }
@@ -130,6 +156,10 @@ fn main() {
 
     let mut header = vec!["dataset"];
     header.extend(methods);
-    print_table("Table 4: explanation AUC (%) on synthetic datasets", &header, &rows);
-    write_csv("table4.csv", "dataset,method,auc", &csv);
+    print_table(
+        "Table 4: explanation AUC (%) on synthetic datasets",
+        &header,
+        &rows,
+    );
+    write_csv("table4.csv", "dataset,method,auc", &csv).expect("write experiment csv");
 }

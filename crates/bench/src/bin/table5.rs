@@ -17,11 +17,20 @@ use ses_gnn::{fidelity_plus, AdjView, Encoder, Gat, Gcn};
 
 const TOP_K: usize = 5;
 
-fn ses_fidelity(backbone: &str, d: &Dataset, profile: Profile, masked_xent: bool, seed: u64) -> f64 {
+fn ses_fidelity(
+    backbone: &str,
+    d: &Dataset,
+    profile: Profile,
+    masked_xent: bool,
+    seed: u64,
+) -> f64 {
     let g = &d.graph;
     let splits = classification_splits(d, seed);
     let mut cfg: SesConfig = ses_prediction_config(profile, seed);
-    cfg.variant = SesVariant { use_masked_xent: masked_xent, ..Default::default() };
+    cfg.variant = SesVariant {
+        use_masked_xent: masked_xent,
+        ..Default::default()
+    };
     // a mild size penalty makes the feature mask selective, which is what
     // the top-k removal of Fidelity+ measures
     cfg.mask_size_weight = 0.1;
@@ -80,11 +89,13 @@ fn main() {
                     "GNNExplainer" => {
                         let e = GnnExplainer::new(
                             &bb,
-                            GnnExplainerConfig { iterations: 30, ..Default::default() },
+                            GnnExplainerConfig {
+                                iterations: 30,
+                                ..Default::default()
+                            },
                         );
                         // per-node masks only for the evaluated (test) nodes
-                        let mut imp =
-                            ses_tensor::Matrix::zeros(g.n_nodes(), g.n_features());
+                        let mut imp = ses_tensor::Matrix::zeros(g.n_nodes(), g.n_features());
                         for &v in &splits.test {
                             let ex = e.explain(v);
                             imp.row_mut(v).copy_from_slice(ex.feature_mask.row(0));
@@ -93,8 +104,7 @@ fn main() {
                     }
                     "GraphLIME" => {
                         let e = GraphLime::new(&bb, GraphLimeConfig::default());
-                        let mut imp =
-                            ses_tensor::Matrix::zeros(g.n_nodes(), g.n_features());
+                        let mut imp = ses_tensor::Matrix::zeros(g.n_nodes(), g.n_features());
                         for &v in &splits.test {
                             let w = e.explain(v);
                             imp.row_mut(v).copy_from_slice(&w);
@@ -117,6 +127,11 @@ fn main() {
 
     let mut header = vec!["dataset (backbone)"];
     header.extend(methods);
-    print_table("Table 5: Fidelity+ (%) on real-world stand-ins", &header, &rows);
-    write_csv("table5.csv", "dataset,backbone,method,fidelity", &csv);
+    print_table(
+        "Table 5: Fidelity+ (%) on real-world stand-ins",
+        &header,
+        &rows,
+    );
+    write_csv("table5.csv", "dataset,backbone,method,fidelity", &csv)
+        .expect("write experiment csv");
 }

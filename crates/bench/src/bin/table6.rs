@@ -30,7 +30,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     let mut record = |name: &str, secs: f64| {
-        rows.push(vec![name.to_string(), format_duration(std::time::Duration::from_secs_f64(secs))]);
+        rows.push(vec![
+            name.to_string(),
+            format_duration(std::time::Duration::from_secs_f64(secs)),
+        ]);
         csv.push(format!("{name},{secs:.3}"));
         eprintln!("{name}: {secs:.2}s");
     };
@@ -38,7 +41,13 @@ fn main() {
     // GNNExplainer: re-optimise a mask per node.
     let mut sw = Stopwatch::new();
     {
-        let e = GnnExplainer::new(&bb, GnnExplainerConfig { iterations: 100, ..Default::default() });
+        let e = GnnExplainer::new(
+            &bb,
+            GnnExplainerConfig {
+                iterations: 100,
+                ..Default::default()
+            },
+        );
         for v in 0..g.n_nodes() {
             let _ = e.explain(v);
         }
@@ -88,5 +97,5 @@ fn main() {
         &["method", "time"],
         &rows,
     );
-    write_csv("table6.csv", "method,seconds", &csv);
+    write_csv("table6.csv", "method,seconds", &csv).expect("write experiment csv");
 }

@@ -21,16 +21,18 @@ fn main() {
         let cfg = ses_prediction_config(profile, seed);
         let trained = fit(enc, mg, g, &splits, &cfg);
         let infer = trained.report.explain_time.as_secs_f64();
-        let total = infer
-            + trained.report.epl_time.as_secs_f64()
-            + trained.report.pair_time.as_secs_f64();
+        let total =
+            infer + trained.report.epl_time.as_secs_f64() + trained.report.pair_time.as_secs_f64();
         rows.push(vec![
             d.name.clone(),
             format_duration(std::time::Duration::from_secs_f64(infer)),
             format_duration(std::time::Duration::from_secs_f64(total)),
             pct(trained.report.test_acc),
         ]);
-        csv.push(format!("{},{infer:.3},{total:.3},{:.4}", d.name, trained.report.test_acc));
+        csv.push(format!(
+            "{},{infer:.3},{total:.3},{:.4}",
+            d.name, trained.report.test_acc
+        ));
         eprintln!("{}: inference {infer:.2}s training {total:.2}s", d.name);
     }
     print_table(
@@ -38,5 +40,10 @@ fn main() {
         &["dataset", "inference", "training", "test acc %"],
         &rows,
     );
-    write_csv("table7.csv", "dataset,inference_s,training_s,test_acc", &csv);
+    write_csv(
+        "table7.csv",
+        "dataset,inference_s,training_s,test_acc",
+        &csv,
+    )
+    .expect("write experiment csv");
 }

@@ -34,11 +34,17 @@ fn main() {
         // expansion (which the paper accounts to the mask generator).
         let khop = khop_structure(&g, 1);
         let negs = NegativeSets::sample(&khop, None, &mut rng);
-        let weights: Vec<f32> = (0..khop.nnz()).map(|i| (i as f32 * 0.7).sin().abs()).collect();
+        let weights: Vec<f32> = (0..khop.nnz())
+            .map(|i| (i as f32 * 0.7).sin().abs())
+            .collect();
         let sw = Stopwatch::new();
         let pairs = construct_pairs(&khop, &weights, &negs, 0.8, &mut rng);
         let secs = sw.elapsed().as_secs_f64();
-        rows.push(vec![format!("{n}"), format!("{secs:.4}s"), format!("{}", pairs.len())]);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{secs:.4}s"),
+            format!("{}", pairs.len()),
+        ]);
         csv.push(format!("{n},{secs:.6},{}", pairs.len()));
         eprintln!("n={n}: {secs:.4}s ({} triples)", pairs.len());
     }
@@ -47,5 +53,5 @@ fn main() {
         &["nodes", "time", "triples"],
         &rows,
     );
-    write_csv("table8.csv", "nodes,seconds,triples", &csv);
+    write_csv("table8.csv", "nodes,seconds,triples", &csv).expect("write experiment csv");
 }

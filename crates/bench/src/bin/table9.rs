@@ -25,7 +25,11 @@ fn main() {
     let mut record = |name: &str, emb: &Matrix| {
         let sil = silhouette_score(emb, g.labels());
         let ch = calinski_harabasz_score(emb, g.labels());
-        rows.push(vec![name.to_string(), format!("{sil:.3}"), format!("{ch:.2}")]);
+        rows.push(vec![
+            name.to_string(),
+            format!("{sil:.3}"),
+            format!("{ch:.2}"),
+        ]);
         csv.push(format!("{name},{sil:.4},{ch:.2}"));
         eprintln!("{name}: silhouette {sil:.3}, calinski-harabasz {ch:.1}");
     };
@@ -51,7 +55,12 @@ fn main() {
         record("SEGNN", &bb.embeddings);
     }
     {
-        let cfg = ProtGnnConfig { epochs: 150, hidden, seed, ..Default::default() };
+        let cfg = ProtGnnConfig {
+            epochs: 150,
+            hidden,
+            seed,
+            ..Default::default()
+        };
         let model = ProtGnn::train(g, &splits, &cfg);
         record("ProtGNN", &model.embeddings);
     }
@@ -61,5 +70,6 @@ fn main() {
         &["method", "silhouette", "calinski-harabasz"],
         &rows,
     );
-    write_csv("table9.csv", "method,silhouette,calinski_harabasz", &csv);
+    write_csv("table9.csv", "method,silhouette,calinski_harabasz", &csv)
+        .expect("write experiment csv");
 }

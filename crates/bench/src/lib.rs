@@ -18,22 +18,23 @@ use ses_core::{MaskGenerator, SesConfig};
 use ses_data::{realworld, Dataset, Profile, Splits};
 use ses_gnn::{Encoder, Gcn, TrainConfig};
 
-/// Where experiment CSVs land.
-pub fn experiments_dir() -> PathBuf {
+/// Where experiment CSVs land (created on first use).
+pub fn experiments_dir() -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("target/experiments");
-    fs::create_dir_all(&dir).expect("create target/experiments");
-    dir
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
 /// Writes a CSV file under `target/experiments/` (header + rows).
-pub fn write_csv(name: &str, header: &str, rows: &[String]) {
-    let path = experiments_dir().join(name);
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "{header}").expect("write header");
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
+    let path = experiments_dir()?.join(name);
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
     for r in rows {
-        writeln!(f, "{r}").expect("write row");
+        writeln!(f, "{r}")?;
     }
     eprintln!("wrote {}", path.display());
+    Ok(())
 }
 
 /// Pretty-prints a table: `header` then aligned rows.
@@ -55,7 +56,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -69,13 +73,21 @@ pub fn realworld_datasets(profile: Profile, seed: u64) -> Vec<Dataset> {
 
 /// Default backbone training config for the prediction benchmarks.
 pub fn backbone_config(seed: u64) -> TrainConfig {
-    TrainConfig { epochs: 200, patience: 40, seed, ..Default::default() }
+    TrainConfig {
+        epochs: 200,
+        patience: 40,
+        seed,
+        ..Default::default()
+    }
 }
 
 /// Default SES config for the prediction benchmarks (fast schedule; the
 /// paper schedule is 300 + 15 — set `SES_PROFILE=paper`).
 pub fn ses_prediction_config(profile: Profile, seed: u64) -> SesConfig {
-    let mut cfg = SesConfig { seed, ..Default::default() };
+    let mut cfg = SesConfig {
+        seed,
+        ..Default::default()
+    };
     if profile == Profile::Paper {
         cfg = cfg.paper_schedule();
     }
@@ -132,9 +144,9 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        write_csv("unit_test.csv", "a,b", &["1,2".to_string()]);
+        write_csv("unit_test.csv", "a,b", &["1,2".to_string()]).unwrap();
         let content =
-            std::fs::read_to_string(experiments_dir().join("unit_test.csv")).unwrap();
+            std::fs::read_to_string(experiments_dir().unwrap().join("unit_test.csv")).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
     }
 
@@ -142,7 +154,10 @@ mod tests {
     fn dataset_factory_order() {
         let ds = realworld_datasets(Profile::Fast, 1);
         let names: Vec<&str> = ds.iter().map(|d| d.name.as_str()).collect();
-        assert_eq!(names, vec!["cora-like", "citeseer-like", "polblogs-like", "cs-like"]);
+        assert_eq!(
+            names,
+            vec!["cora-like", "citeseer-like", "polblogs-like", "cs-like"]
+        );
     }
 
     #[test]

@@ -195,9 +195,16 @@ mod tests {
     #[test]
     fn variant_labels() {
         assert_eq!(SesVariant::default().label(), "SES");
-        let v = SesVariant { use_triplet: false, ..Default::default() };
+        let v = SesVariant {
+            use_triplet: false,
+            ..Default::default()
+        };
         assert_eq!(v.label(), "SES -{Triplet}");
-        let v2 = SesVariant { use_feature_mask: false, use_triplet: false, ..Default::default() };
+        let v2 = SesVariant {
+            use_feature_mask: false,
+            use_triplet: false,
+            ..Default::default()
+        };
         assert!(v2.label().contains("M_f") && v2.label().contains("Triplet"));
     }
 }

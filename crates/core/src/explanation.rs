@@ -41,7 +41,7 @@ impl Explanations {
             .row_range(center)
             .map(|p| (self.khop.indices()[p], self.structure_weights[p]))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights must not be NaN"));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 
@@ -52,7 +52,7 @@ impl Explanations {
             .filter(|&j| features[(node, j)] != 0.0)
             .map(|j| (j, self.feature_mask[(node, j)]))
             .collect();
-        dims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights must not be NaN"));
+        dims.sort_by(|a, b| b.1.total_cmp(&a.1));
         dims.truncate(k);
         dims
     }

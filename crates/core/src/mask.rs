@@ -84,6 +84,7 @@ impl MaskGenerator {
     /// `khop` is the k-hop structure whose entries are scored;
     /// `neg_endpoints` are the `(anchor, negative)` index arrays (same
     /// length as `khop.nnz()`) for the negative mask.
+    #[allow(clippy::too_many_arguments)] // the five index arrays are one precomputed pair-set
     pub fn forward(
         &self,
         tape: &mut Tape,
@@ -110,8 +111,7 @@ impl MaskGenerator {
         let feature = tape.sigmoid(m2);
 
         // Eq. (4): M_s = sigmoid(W · cat(h_i, h_k) + b) per k-hop edge
-        let structure =
-            Self::score_pairs(tape, h, khop_rows, khop_cols, ws, bs, self.interaction);
+        let structure = Self::score_pairs(tape, h, khop_rows, khop_cols, ws, bs, self.interaction);
         // negative pairs
         let structure_neg =
             Self::score_pairs(tape, h, neg_anchor, neg_other, ws, bs, self.interaction);
@@ -159,10 +159,17 @@ impl MaskGenerator {
 
     /// Snapshot of parameter values.
     pub fn param_values(&self) -> Vec<Matrix> {
-        [&self.mlp_w1, &self.mlp_b1, &self.mlp_w2, &self.mlp_b2, &self.w_s, &self.b_s]
-            .iter()
-            .map(|p| p.value.clone())
-            .collect()
+        [
+            &self.mlp_w1,
+            &self.mlp_b1,
+            &self.mlp_w2,
+            &self.mlp_b2,
+            &self.w_s,
+            &self.b_s,
+        ]
+        .iter()
+        .map(|p| p.value.clone())
+        .collect()
     }
 
     /// First-layer width this generator expects.
@@ -182,7 +189,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn khop_fixture() -> (Arc<CsrStructure>, Arc<Vec<usize>>, Arc<Vec<usize>>) {
-        let s = Arc::new(CsrStructure::from_edges(4, 4, &[(0, 1), (1, 0), (1, 2), (2, 1)]));
+        let s = Arc::new(CsrStructure::from_edges(
+            4,
+            4,
+            &[(0, 1), (1, 0), (1, 2), (2, 1)],
+        ));
         let (r, c) = s.entry_endpoints();
         (s, Arc::new(r), Arc::new(c))
     }
@@ -229,7 +240,10 @@ mod tests {
         for (i, &pv) in out.param_vars.iter().enumerate() {
             assert!(tape.grad(pv).is_some(), "mask param {i} missing grad");
         }
-        assert!(tape.grad(h).is_some(), "grad must flow back into H (co-training)");
+        assert!(
+            tape.grad(h).is_some(),
+            "grad must flow back into H (co-training)"
+        );
     }
 
     #[test]

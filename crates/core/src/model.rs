@@ -157,8 +157,16 @@ pub fn fit<E: Encoder>(
     splits: &Splits,
     config: &SesConfig,
 ) -> TrainedSes<E> {
-    assert_eq!(mask_gen.hidden_dim(), encoder.hidden_dim(), "mask generator width mismatch");
-    assert_eq!(mask_gen.feat_dim(), graph.n_features(), "mask generator feature dim mismatch");
+    assert_eq!(
+        mask_gen.hidden_dim(),
+        encoder.hidden_dim(),
+        "mask generator width mismatch"
+    );
+    assert_eq!(
+        mask_gen.feat_dim(),
+        graph.n_features(),
+        "mask generator feature dim mismatch"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let ctx = SesContext::build(graph, splits, config, &mut rng);
 
@@ -185,7 +193,8 @@ pub fn fit<E: Encoder>(
             };
             encoder.forward(&mut fctx)
         };
-        let l_xent = tape.cross_entropy_masked(out.logits, ctx.labels.clone(), ctx.train_idx.clone());
+        let l_xent =
+            tape.cross_entropy_masked(out.logits, ctx.labels.clone(), ctx.train_idx.clone());
 
         // negative pair endpoints, re-sampled each epoch
         let (neg_a, neg_b) = sample_negative_endpoints(&ctx, &mut rng);
@@ -250,7 +259,14 @@ pub fn fit<E: Encoder>(
         let loss_val = tape.value(loss).scalar_value();
         tape.backward(loss);
 
-        apply_step(&mut opt, &tape, &mut encoder, Some(&mut mask_gen), &out.param_vars, &masks.param_vars);
+        apply_step(
+            &mut opt,
+            &tape,
+            &mut encoder,
+            Some(&mut mask_gen),
+            &out.param_vars,
+            &masks.param_vars,
+        );
 
         et_loss_curve.push(loss_val);
         let (pred, _) = eval_forward(&encoder, graph, &ctx.adj, None, None, config.seed);
@@ -259,12 +275,17 @@ pub fn fit<E: Encoder>(
 
         if config.record_masks_at.contains(&epoch) {
             let (fm, sw) = extract_masks(&encoder, &mask_gen, graph, &ctx, config.seed);
-            snapshots.push(MaskSnapshot { epoch, feature_mask: fm, structure_weights: sw });
+            snapshots.push(MaskSnapshot {
+                epoch,
+                feature_mask: fm,
+                structure_weights: sw,
+            });
         }
     }
 
     // Final masks: the trained mask generator's output (constants from here on).
-    let (feature_mask, structure_weights) = extract_masks(&encoder, &mask_gen, graph, &ctx, config.seed);
+    let (feature_mask, structure_weights) =
+        extract_masks(&encoder, &mask_gen, graph, &ctx, config.seed);
     let explain_time = et_start.elapsed();
 
     let explanations = Explanations {
@@ -273,7 +294,14 @@ pub fn fit<E: Encoder>(
         structure_weights: structure_weights.clone(),
     };
 
-    let (pred_et, _) = masked_eval(&encoder, graph, &ctx, &explanations, &config.variant, config.seed);
+    let (pred_et, _) = masked_eval(
+        &encoder,
+        graph,
+        &ctx,
+        &explanations,
+        &config.variant,
+        config.seed,
+    );
     let test_acc_after_et = accuracy(&pred_et, graph.labels(), test_split(splits));
     let (pred_plain, _) = eval_forward(&encoder, graph, &ctx.adj, None, None, config.seed);
     let test_acc_plain = accuracy(&pred_plain, graph.labels(), test_split(splits));
@@ -302,8 +330,14 @@ pub fn fit<E: Encoder>(
     );
     let epl_time = epl_start.elapsed();
 
-    let (predictions, embeddings) =
-        masked_eval(&encoder, graph, &ctx, &explanations, &config.variant, config.seed);
+    let (predictions, embeddings) = masked_eval(
+        &encoder,
+        graph,
+        &ctx,
+        &explanations,
+        &config.variant,
+        config.seed,
+    );
     let test_acc = accuracy(&predictions, graph.labels(), test_split(splits));
     let val_acc = accuracy(&predictions, graph.labels(), eval_split(splits));
 
@@ -374,7 +408,12 @@ fn run_epl_phase<E: Encoder + ?Sized>(
         graph.features().clone()
     };
     let onehop_mask_values = if config.variant.use_structure_mask {
-        Some(lift_weights_const(&ctx.khop, &explanations.structure_weights, &ctx.adj, &ctx.onehop_lift))
+        Some(lift_weights_const(
+            &ctx.khop,
+            &explanations.structure_weights,
+            &ctx.adj,
+            &ctx.onehop_lift,
+        ))
     } else {
         None
     };
@@ -420,7 +459,10 @@ fn run_epl_phase<E: Encoder + ?Sized>(
                 None => weighted,
             });
         }
-        let loss = loss.expect("at least one epl objective enabled");
+        // No contributing objective (both EPL terms disabled, or triplet-only
+        // with an empty pair set): nothing to optimise, so stop early rather
+        // than spin through no-op epochs.
+        let Some(loss) = loss else { break };
         curve.push(tape.value(loss).scalar_value());
         tape.backward(loss);
         apply_step(&mut opt, &tape, encoder, None, &out.param_vars, &[]);
@@ -556,10 +598,20 @@ fn eval_forward<E: Encoder>(
     let x = tape.constant(features_override.unwrap_or(graph.features()).clone());
     let edge_mask = edge_values.map(|v| tape.constant(Matrix::col_vec(v)));
     let out = {
-        let mut fctx = ForwardCtx { tape: &mut tape, adj, x, edge_mask, train: false, rng: &mut rng };
+        let mut fctx = ForwardCtx {
+            tape: &mut tape,
+            adj,
+            x,
+            edge_mask,
+            train: false,
+            rng: &mut rng,
+        };
         encoder.forward(&mut fctx)
     };
-    (tape.value(out.logits).argmax_rows(), tape.value(out.hidden).clone())
+    (
+        tape.value(out.logits).argmax_rows(),
+        tape.value(out.hidden).clone(),
+    )
 }
 
 /// Eval forward with the SES masks applied per the variant flags (Eq. 10).
@@ -671,11 +723,26 @@ mod tests {
         let mut cfg = quick_config();
         cfg.epochs_epl = 3;
         for variant in [
-            SesVariant { use_feature_mask: false, ..Default::default() },
-            SesVariant { use_structure_mask: false, ..Default::default() },
-            SesVariant { use_xent_epl: false, ..Default::default() },
-            SesVariant { use_triplet: false, ..Default::default() },
-            SesVariant { use_masked_xent: false, ..Default::default() },
+            SesVariant {
+                use_feature_mask: false,
+                ..Default::default()
+            },
+            SesVariant {
+                use_structure_mask: false,
+                ..Default::default()
+            },
+            SesVariant {
+                use_xent_epl: false,
+                ..Default::default()
+            },
+            SesVariant {
+                use_triplet: false,
+                ..Default::default()
+            },
+            SesVariant {
+                use_masked_xent: false,
+                ..Default::default()
+            },
         ] {
             let mut c = cfg.clone();
             c.variant = variant.clone();
@@ -738,6 +805,9 @@ mod tests {
         // masks evolve over training
         let first = &trained.report.mask_snapshots[0].feature_mask;
         let last = &trained.report.mask_snapshots[2].feature_mask;
-        assert!(first.max_abs_diff(last) > 1e-5, "mask should change during training");
+        assert!(
+            first.max_abs_diff(last) > 1e-5,
+            "mask should change during training"
+        );
     }
 }

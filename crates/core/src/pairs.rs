@@ -47,8 +47,15 @@ pub fn construct_pairs(
     ratio: f32,
     rng: &mut impl Rng,
 ) -> PairSets {
-    assert_eq!(mask_weights.len(), khop.nnz(), "construct_pairs: weight length mismatch");
-    assert!((0.0..=1.0).contains(&ratio), "construct_pairs: ratio must be in [0,1]");
+    assert_eq!(
+        mask_weights.len(),
+        khop.nnz(),
+        "construct_pairs: weight length mismatch"
+    );
+    assert!(
+        (0.0..=1.0).contains(&ratio),
+        "construct_pairs: ratio must be in [0,1]"
+    );
     let n = khop.n_rows();
     let mut positives = Vec::with_capacity(n);
     let mut neg_sets = Vec::with_capacity(n);
@@ -63,7 +70,7 @@ pub fn construct_pairs(
             scored.push((mask_weights[p], khop.indices()[p]));
         }
         // sort neighbours by weight, descending
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("mask weights must not be NaN"));
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         let num_sample = ((ratio * scored.len() as f32).floor() as usize).min(scored.len());
         let sp: Vec<usize> = scored.iter().take(num_sample).map(|&(_, u)| u).collect();
         let sn = negatives.draw(v, num_sample, rng);
@@ -77,7 +84,13 @@ pub fn construct_pairs(
         positives.push(sp);
         neg_sets.push(sn);
     }
-    PairSets { positives, negatives: neg_sets, anchor_idx, pos_idx, neg_idx }
+    PairSets {
+        positives,
+        negatives: neg_sets,
+        anchor_idx,
+        pos_idx,
+        neg_idx,
+    }
 }
 
 #[cfg(test)]
@@ -87,7 +100,12 @@ mod tests {
     use ses_graph::{khop_structure, Graph, NegativeSets};
     use ses_tensor::Matrix;
 
-    fn fixture() -> (Graph, std::sync::Arc<CsrStructure>, NegativeSets, rand::rngs::StdRng) {
+    fn fixture() -> (
+        Graph,
+        std::sync::Arc<CsrStructure>,
+        NegativeSets,
+        rand::rngs::StdRng,
+    ) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         // two separate 4-cliques
         let mut edges = Vec::new();
@@ -119,15 +137,23 @@ mod tests {
     #[test]
     fn triples_are_consistent() {
         let (g, khop, negs, mut rng) = fixture();
-        let w: Vec<f32> = (0..khop.nnz()).map(|i| (i as f32 * 0.37).sin().abs()).collect();
+        let w: Vec<f32> = (0..khop.nnz())
+            .map(|i| (i as f32 * 0.37).sin().abs())
+            .collect();
         let pairs = construct_pairs(&khop, &w, &negs, 0.8, &mut rng);
         assert_eq!(pairs.anchor_idx.len(), pairs.pos_idx.len());
         assert_eq!(pairs.anchor_idx.len(), pairs.neg_idx.len());
         assert!(!pairs.is_empty());
         for t in 0..pairs.len() {
             let (a, p, n) = (pairs.anchor_idx[t], pairs.pos_idx[t], pairs.neg_idx[t]);
-            assert!(khop.find(a, p).is_some(), "positive must be a k-hop neighbour");
-            assert!(khop.find(a, n).is_none(), "negative must not be a k-hop neighbour");
+            assert!(
+                khop.find(a, p).is_some(),
+                "positive must be a k-hop neighbour"
+            );
+            assert!(
+                khop.find(a, n).is_none(),
+                "negative must not be a k-hop neighbour"
+            );
             assert_ne!(g.labels()[a], g.labels()[n], "negatives filtered by label");
         }
     }

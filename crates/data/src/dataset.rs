@@ -16,7 +16,10 @@ pub struct Dataset {
 impl Dataset {
     /// Wraps a graph with a name.
     pub fn new(name: impl Into<String>, graph: Graph) -> Self {
-        Self { name: name.into(), graph }
+        Self {
+            name: name.into(),
+            graph,
+        }
     }
 }
 
@@ -108,7 +111,13 @@ mod tests {
         assert_eq!(s.train.len(), 60);
         assert_eq!(s.val.len(), 20);
         assert_eq!(s.test.len(), 20);
-        let mut all: Vec<usize> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
     }

@@ -55,7 +55,11 @@ impl CitationParams {
             let c = labels[v];
             let topic = (c * block).min(self.feat_dim.saturating_sub(block));
             for j in 0..self.feat_dim {
-                let p = if (topic..topic + block).contains(&j) { self.p_topic } else { self.p_noise };
+                let p = if (topic..topic + block).contains(&j) {
+                    self.p_topic
+                } else {
+                    self.p_noise
+                };
                 if rng.gen_bool(p) {
                     features[(v, j)] = 1.0;
                 }
@@ -224,7 +228,11 @@ mod tests {
     fn cs_like_is_largest() {
         let all = all_realworld(Profile::Fast, &mut rng());
         let ns: Vec<usize> = all.iter().map(|d| d.graph.n_nodes()).collect();
-        assert_eq!(ns.iter().max(), Some(&ns[3]), "CS stand-in should be largest: {ns:?}");
+        assert_eq!(
+            ns.iter().max(),
+            Some(&ns[3]),
+            "CS stand-in should be largest: {ns:?}"
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl GroundTruth {
                 edge_set.insert((v, u));
             }
         }
-        Self { motif_of_node, motif_edges, edge_set }
+        Self {
+            motif_of_node,
+            motif_edges,
+            edge_set,
+        }
     }
 
     /// The motif id a node belongs to, if any.
@@ -114,7 +118,11 @@ pub fn augment_structural_features(graph: &Graph) -> Matrix {
             }
         }
         let pairs = nbrs.len() * nbrs.len().saturating_sub(1) / 2;
-        row[base.cols() + 2] = if pairs > 0 { tri as f32 / pairs as f32 } else { 0.0 };
+        row[base.cols() + 2] = if pairs > 0 {
+            tri as f32 / pairs as f32
+        } else {
+            0.0
+        };
     }
     out
 }
@@ -137,12 +145,19 @@ pub fn ba_community(rng: &mut impl Rng) -> SyntheticDataset {
     let nb = b.dataset.graph.n_nodes();
     let n = na + nb;
 
-    let mut edges: Vec<(usize, usize)> = a.dataset.graph.adjacency().to_edges()
+    let mut edges: Vec<(usize, usize)> = a
+        .dataset
+        .graph
+        .adjacency()
+        .to_edges()
         .into_iter()
         .filter(|&(u, v)| u < v)
         .collect();
     edges.extend(
-        b.dataset.graph.adjacency().to_edges()
+        b.dataset
+            .graph
+            .adjacency()
+            .to_edges()
             .into_iter()
             .filter(|&(u, v)| u < v)
             .map(|(u, v)| (u + na, v + na)),
@@ -184,12 +199,11 @@ pub fn ba_community(rng: &mut impl Rng) -> SyntheticDataset {
             .map(|m| m.map(|id| id + shift)),
     );
     let mut motif_edges = a.ground_truth.motif_edges.clone();
-    motif_edges.extend(
-        b.ground_truth
-            .motif_edges
-            .iter()
-            .map(|es| es.iter().map(|&(u, v)| (u + na, v + na)).collect::<Vec<_>>()),
-    );
+    motif_edges.extend(b.ground_truth.motif_edges.iter().map(|es| {
+        es.iter()
+            .map(|&(u, v)| (u + na, v + na))
+            .collect::<Vec<_>>()
+    }));
 
     let graph = Graph::new(n, &edges, features, labels);
     SyntheticDataset {
@@ -234,7 +248,7 @@ fn build_ba_houses(
         // roles: ids[0], ids[1] top-of-square (class 1); ids[2], ids[3]
         // bottom (class 2); ids[4] roof (class 3)
         labels.extend_from_slice(&[1, 1, 2, 2, 3]);
-        motif_of_node.extend(std::iter::repeat(Some(m)).take(5));
+        motif_of_node.extend(std::iter::repeat_n(Some(m), 5));
         let edges: Vec<(usize, usize)> = vec![
             (ids[0], ids[1]),
             (ids[1], ids[2]),
@@ -290,12 +304,13 @@ fn build_tree_motifs(
             MotifKind::Cycle => (cycle_motif(&mut builder).to_vec(), 6),
             MotifKind::Grid => (grid_motif(&mut builder).to_vec(), 9),
         };
-        labels.extend(std::iter::repeat(1).take(motif_size));
-        motif_of_node.extend(std::iter::repeat(Some(m)).take(motif_size));
-        let start = builder.edges().len() - match kind {
-            MotifKind::Cycle => 6,
-            MotifKind::Grid => 12,
-        };
+        labels.extend(std::iter::repeat_n(1, motif_size));
+        motif_of_node.extend(std::iter::repeat_n(Some(m), motif_size));
+        let start = builder.edges().len()
+            - match kind {
+                MotifKind::Cycle => 6,
+                MotifKind::Grid => 12,
+            };
         motif_edges.push(builder.edges()[start..].to_vec());
         entries.push(ids[0]);
     }
@@ -359,8 +374,10 @@ mod tests {
         let f = g.features();
         let mean_a: f32 =
             (0..700).map(|i| f.row(i).iter().sum::<f32>()).sum::<f32>() / (700.0 * 10.0);
-        let mean_b: f32 =
-            (700..1400).map(|i| f.row(i).iter().sum::<f32>()).sum::<f32>() / (700.0 * 10.0);
+        let mean_b: f32 = (700..1400)
+            .map(|i| f.row(i).iter().sum::<f32>())
+            .sum::<f32>()
+            / (700.0 * 10.0);
         assert!(mean_a < -0.5 && mean_b > 0.5, "means {mean_a} {mean_b}");
     }
 

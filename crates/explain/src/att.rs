@@ -25,7 +25,11 @@ impl AttExplainer {
         let adj = AdjView::of_graph(graph);
         ses_gnn::train_node_classifier(&mut gat, graph, &adj, splits, config);
         let attention = gat.attention_weights(&adj, graph.features());
-        Self { graph: graph.clone(), adj, attention }
+        Self {
+            graph: graph.clone(),
+            adj,
+            attention,
+        }
     }
 
     /// Raw per-entry attention aligned with the adjacency view.
@@ -68,7 +72,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let d = realworld::polblogs_like(Profile::Fast, &mut rng);
         let splits = Splits::classification(d.graph.n_nodes(), &mut rng);
-        let cfg = TrainConfig { epochs: 8, patience: 0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 8,
+            patience: 0,
+            ..Default::default()
+        };
         let mut att = AttExplainer::train(&d.graph, &splits, &cfg);
         let e = att.explain_node(0);
         assert!(!e.is_empty());

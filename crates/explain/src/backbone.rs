@@ -52,7 +52,14 @@ impl Backbone {
         let adj = AdjView::of_graph(graph);
         let report = train_node_classifier(encoder.as_mut(), graph, &adj, splits, config);
         let (predictions, embeddings) = predict(encoder.as_ref(), graph, &adj, config.seed);
-        Self { encoder, graph: graph.clone(), adj, predictions, embeddings, test_acc: report.test_acc }
+        Self {
+            encoder,
+            graph: graph.clone(),
+            adj,
+            predictions,
+            embeddings,
+            test_acc: report.test_acc,
+        }
     }
 
     /// Runs the frozen encoder on custom features / edge values and returns
@@ -69,19 +76,21 @@ impl Backbone {
         let edge_mask = edge_values.map(|v| tape.constant(Matrix::col_vec(v)));
         let view = adj.unwrap_or(&self.adj);
         let out = {
-            let mut fctx =
-                ForwardCtx { tape: &mut tape, adj: view, x, edge_mask, train: false, rng: &mut rng };
+            let mut fctx = ForwardCtx {
+                tape: &mut tape,
+                adj: view,
+                x,
+                edge_mask,
+                train: false,
+                rng: &mut rng,
+            };
             self.encoder.forward(&mut fctx)
         };
         tape.value(out.logits).clone()
     }
 
     /// Row-softmax probabilities from [`Backbone::logits`].
-    pub fn probabilities(
-        &self,
-        features: Option<&Matrix>,
-        edge_values: Option<&[f32]>,
-    ) -> Matrix {
+    pub fn probabilities(&self, features: Option<&Matrix>, edge_values: Option<&[f32]>) -> Matrix {
         let logits = self.logits(features, edge_values, None);
         let (n, c) = logits.shape();
         let mut out = Matrix::zeros(n, c);
@@ -107,7 +116,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let d = realworld::polblogs_like(Profile::Fast, &mut rng);
         let splits = Splits::classification(d.graph.n_nodes(), &mut rng);
-        let cfg = TrainConfig { epochs: 40, patience: 0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 40,
+            patience: 0,
+            ..Default::default()
+        };
         let bb = Backbone::train_gcn(&d.graph, &splits, &cfg);
         assert!(bb.test_acc > 0.8, "backbone accuracy {}", bb.test_acc);
         assert_eq!(bb.predictions.len(), d.graph.n_nodes());

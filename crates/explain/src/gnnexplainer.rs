@@ -35,7 +35,13 @@ pub struct GnnExplainerConfig {
 
 impl Default for GnnExplainerConfig {
     fn default() -> Self {
-        Self { iterations: 100, lr: 0.05, size_weight: 0.05, entropy_weight: 0.1, k: 2 }
+        Self {
+            iterations: 100,
+            lr: 0.05,
+            size_weight: 0.05,
+            entropy_weight: 0.1,
+            k: 2,
+        }
     }
 }
 
@@ -78,7 +84,10 @@ impl<'a> GnnExplainer<'a> {
         }
         let m = und_edges.len();
         if m == 0 {
-            return NodeExplanation { edges: Vec::new(), feature_mask: Matrix::ones(1, f) };
+            return NodeExplanation {
+                edges: Vec::new(),
+                feature_mask: Matrix::ones(1, f),
+            };
         }
         // gather map: view entry -> undirected edge id (loops -> slot m + i)
         let mut edge_id = std::collections::HashMap::new();
@@ -167,7 +176,10 @@ impl<'a> GnnExplainer<'a> {
             })
             .collect();
         let feature_mask = feat_logits.value.map(|x| 1.0 / (1.0 + (-x).exp()));
-        NodeExplanation { edges, feature_mask }
+        NodeExplanation {
+            edges,
+            feature_mask,
+        }
     }
 }
 
@@ -212,9 +224,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let d = realworld::polblogs_like(Profile::Fast, &mut rng);
         let splits = Splits::classification(d.graph.n_nodes(), &mut rng);
-        let cfg = TrainConfig { epochs: 30, patience: 0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            patience: 0,
+            ..Default::default()
+        };
         let bb = Backbone::train_gcn(&d.graph, &splits, &cfg);
-        let gx = GnnExplainer::new(&bb, GnnExplainerConfig { iterations: 25, ..Default::default() });
+        let gx = GnnExplainer::new(
+            &bb,
+            GnnExplainerConfig {
+                iterations: 25,
+                ..Default::default()
+            },
+        );
         let e = gx.explain(0);
         assert!(!e.edges.is_empty());
         // weights in (0, 1) and not all identical (optimisation happened)

@@ -24,7 +24,11 @@ pub struct GradExplainer<'a> {
 impl<'a> GradExplainer<'a> {
     /// Creates a lazy explainer; saliencies are computed on first use.
     pub fn new(backbone: &'a Backbone) -> Self {
-        Self { backbone, edge_saliency: None, feature_saliency: None }
+        Self {
+            backbone,
+            edge_saliency: None,
+            feature_saliency: None,
+        }
     }
 
     fn compute(&mut self) {
@@ -68,6 +72,7 @@ impl<'a> GradExplainer<'a> {
     /// view.
     pub fn edge_scores(&mut self) -> &[f32] {
         self.compute();
+        // lint:allow(no-unwrap): compute() populates the cache on the line above
         self.edge_saliency.as_ref().expect("computed above")
     }
 }
@@ -75,6 +80,7 @@ impl<'a> GradExplainer<'a> {
 impl EdgeExplainer for GradExplainer<'_> {
     fn explain_node(&mut self, node: usize) -> Vec<(usize, usize, f32)> {
         self.compute();
+        // lint:allow(no-unwrap): compute() populates the cache on the line above
         let sal = self.edge_saliency.as_ref().expect("computed above");
         let s = self.backbone.adj.structure();
         // all edges incident to the node's 2-hop neighbourhood
@@ -102,6 +108,7 @@ impl EdgeExplainer for GradExplainer<'_> {
 impl FeatureExplainer for GradExplainer<'_> {
     fn feature_importance(&mut self) -> Matrix {
         self.compute();
+        // lint:allow(no-unwrap): compute() populates the cache on the line above
         self.feature_saliency.clone().expect("computed above")
     }
 
@@ -121,7 +128,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let d = realworld::cora_like(Profile::Fast, &mut rng);
         let splits = Splits::classification(d.graph.n_nodes(), &mut rng);
-        let cfg = TrainConfig { epochs: 15, patience: 0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 15,
+            patience: 0,
+            ..Default::default()
+        };
         let bb = Backbone::train_gcn(&d.graph, &splits, &cfg);
         let mut gexp = GradExplainer::new(&bb);
         let edges = gexp.explain_node(0);

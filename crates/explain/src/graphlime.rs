@@ -27,7 +27,11 @@ pub struct GraphLimeConfig {
 
 impl Default for GraphLimeConfig {
     fn default() -> Self {
-        Self { lambda: 0.01, iterations: 40, k: 2 }
+        Self {
+            lambda: 0.01,
+            iterations: 40,
+            k: 2,
+        }
     }
 }
 
@@ -57,8 +61,11 @@ impl<'a> GraphLime<'a> {
         let probs = bb.probabilities(None, None);
         let class = bb.predictions[node];
         let y: Vec<f32> = sub.global_of.iter().map(|&g| probs[(g, class)]).collect();
-        let x: Vec<&[f32]> =
-            sub.global_of.iter().map(|&g| bb.graph.features().row(g)).collect();
+        let x: Vec<&[f32]> = sub
+            .global_of
+            .iter()
+            .map(|&g| bb.graph.features().row(g))
+            .collect();
 
         lasso_coordinate_descent(&x, &y, f, self.config.lambda, self.config.iterations)
             .into_iter()
@@ -157,7 +164,13 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..30)
             .map(|i| {
                 let t = i as f32 * 0.31;
-                vec![t.sin(), t.cos(), (t * 1.7).sin(), (t * 0.9).cos(), (t * 2.3).sin()]
+                vec![
+                    t.sin(),
+                    t.cos(),
+                    (t * 1.7).sin(),
+                    (t * 0.9).cos(),
+                    (t * 2.3).sin(),
+                ]
             })
             .collect();
         let x: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();

@@ -31,7 +31,12 @@ pub struct PgExplainerConfig {
 
 impl Default for PgExplainerConfig {
     fn default() -> Self {
-        Self { epochs: 30, lr: 3e-3, size_weight: 0.05, hidden: 32 }
+        Self {
+            epochs: 30,
+            lr: 3e-3,
+            size_weight: 0.05,
+            hidden: 32,
+        }
     }
 }
 
@@ -106,7 +111,10 @@ impl<'a> PgExplainer<'a> {
                 (&mut b2, &g4),
             ]);
         }
-        Self { backbone, edge_weights: final_weights }
+        Self {
+            backbone,
+            edge_weights: final_weights,
+        }
     }
 
     /// Per-entry edge weights aligned with the backbone's adjacency view.
@@ -150,17 +158,31 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let d = realworld::polblogs_like(Profile::Fast, &mut rng);
         let splits = Splits::classification(d.graph.n_nodes(), &mut rng);
-        let cfg = TrainConfig { epochs: 25, patience: 0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 25,
+            patience: 0,
+            ..Default::default()
+        };
         let bb = Backbone::train_gcn(&d.graph, &splits, &cfg);
-        let mut pg = PgExplainer::train(&bb, &PgExplainerConfig { epochs: 8, ..Default::default() });
+        let mut pg = PgExplainer::train(
+            &bb,
+            &PgExplainerConfig {
+                epochs: 8,
+                ..Default::default()
+            },
+        );
         assert_eq!(pg.edge_weights().len(), bb.adj.nnz());
         let e = pg.explain_node(0);
         assert!(!e.is_empty());
         assert!(e.iter().all(|&(_, _, w)| (0.0..=1.0).contains(&w)));
         // trained weights should not be the constant sigmoid(0)=0.5
-        let spread = e.iter().map(|&(_, _, w)| w).fold((1.0f32, 0.0f32), |(lo, hi), w| {
-            (lo.min(w), hi.max(w))
-        });
-        assert!(spread.1 - spread.0 > 1e-4, "weights should differentiate: {spread:?}");
+        let spread = e
+            .iter()
+            .map(|&(_, _, w)| w)
+            .fold((1.0f32, 0.0f32), |(lo, hi), w| (lo.min(w), hi.max(w)));
+        assert!(
+            spread.1 - spread.0 > 1e-4,
+            "weights should differentiate: {spread:?}"
+        );
     }
 }

@@ -32,7 +32,12 @@ pub struct PgmExplainerConfig {
 
 impl Default for PgmExplainerConfig {
     fn default() -> Self {
-        Self { trials: 60, perturb_prob: 0.4, k: 2, seed: 0 }
+        Self {
+            trials: 60,
+            perturb_prob: 0.4,
+            k: 2,
+            seed: 0,
+        }
     }
 }
 
@@ -152,9 +157,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let d = realworld::polblogs_like(Profile::Fast, &mut rng);
         let splits = Splits::classification(d.graph.n_nodes(), &mut rng);
-        let cfg = TrainConfig { epochs: 20, patience: 0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 20,
+            patience: 0,
+            ..Default::default()
+        };
         let bb = Backbone::train_gcn(&d.graph, &splits, &cfg);
-        let pgm = PgmExplainer::new(&bb, PgmExplainerConfig { trials: 10, k: 1, ..Default::default() });
+        let pgm = PgmExplainer::new(
+            &bb,
+            PgmExplainerConfig {
+                trials: 10,
+                k: 1,
+                ..Default::default()
+            },
+        );
         let scores = pgm.node_scores(0);
         assert_eq!(scores.len(), d.graph.degree(0));
         assert!(scores.iter().all(|&(_, s)| s >= 0.0));

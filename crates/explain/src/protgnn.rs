@@ -108,7 +108,8 @@ impl ProtGnn {
             for j in 0..n_protos {
                 let proto_class = j / config.prototypes_per_class;
                 if proto_class == c {
-                    own_sel[(i, j)] = 1.0 / (splits.train.len() * config.prototypes_per_class) as f32;
+                    own_sel[(i, j)] =
+                        1.0 / (splits.train.len() * config.prototypes_per_class) as f32;
                 } else {
                     other_sel[(i, j)] = 1.0
                         / (splits.train.len() * (n_protos - config.prototypes_per_class)) as f32;
@@ -130,8 +131,7 @@ impl ProtGnn {
                 };
                 encoder.forward(&mut fctx)
             };
-            let (sims, dists, proto_vars) =
-                prototype_layer(&mut tape, out.hidden, &prototypes);
+            let (sims, dists, proto_vars) = prototype_layer(&mut tape, out.hidden, &prototypes);
             let wv = w_out.watch(&mut tape);
             let logits = tape.matmul(sims, wv);
             let ce = tape.cross_entropy_masked(logits, labels.clone(), train_idx.clone());
@@ -195,7 +195,10 @@ impl ProtGnn {
             let (sims, _, _) = prototype_layer(&mut tape, out.hidden, &prototypes);
             let wv = tape.constant(w_out.value.clone());
             let logits = tape.matmul(sims, wv);
-            (tape.value(logits).argmax_rows(), tape.value(out.hidden).clone())
+            (
+                tape.value(logits).argmax_rows(),
+                tape.value(out.hidden).clone(),
+            )
         };
         let test_acc = accuracy(&predictions, graph.labels(), &splits.test);
 
@@ -223,7 +226,11 @@ impl ProtGnn {
                 .map(|(&a, &b)| (a - b) * (a - b))
                 .sum();
             if d < best.2 {
-                best = (j / self.config.prototypes_per_class, j % self.config.prototypes_per_class, d);
+                best = (
+                    j / self.config.prototypes_per_class,
+                    j % self.config.prototypes_per_class,
+                    d,
+                );
             }
         }
         best
@@ -242,11 +249,7 @@ impl ProtGnn {
 
 /// Computes prototype similarities `1/(1+d²)` and squared distances for all
 /// nodes × prototypes. Returns `(sims n×P, dists n×P, proto vars)`.
-fn prototype_layer(
-    tape: &mut Tape,
-    hidden: Var,
-    prototypes: &[Param],
-) -> (Var, Var, Vec<Var>) {
+fn prototype_layer(tape: &mut Tape, hidden: Var, prototypes: &[Param]) -> (Var, Var, Vec<Var>) {
     let mut sim_cols: Vec<Var> = Vec::with_capacity(prototypes.len());
     let mut dist_cols: Vec<Var> = Vec::with_capacity(prototypes.len());
     let mut proto_vars = Vec::with_capacity(prototypes.len());
@@ -291,7 +294,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let d = realworld::polblogs_like(Profile::Fast, &mut rng);
         let splits = Splits::classification(d.graph.n_nodes(), &mut rng);
-        let cfg = ProtGnnConfig { epochs: 60, hidden: 16, ..Default::default() };
+        let cfg = ProtGnnConfig {
+            epochs: 60,
+            hidden: 16,
+            ..Default::default()
+        };
         let model = ProtGnn::train(&d.graph, &splits, &cfg);
         assert!(model.test_acc > 0.7, "ProtGNN accuracy {}", model.test_acc);
         assert_eq!(model.embeddings.rows(), d.graph.n_nodes());
@@ -302,7 +309,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let d = realworld::polblogs_like(Profile::Fast, &mut rng);
         let splits = Splits::classification(d.graph.n_nodes(), &mut rng);
-        let cfg = ProtGnnConfig { epochs: 60, hidden: 16, ..Default::default() };
+        let cfg = ProtGnnConfig {
+            epochs: 60,
+            hidden: 16,
+            ..Default::default()
+        };
         let model = ProtGnn::train(&d.graph, &splits, &cfg);
         // over train nodes, the majority should sit nearest an own-class
         // prototype (cluster cost at work)

@@ -27,7 +27,10 @@ pub struct SegnnConfig {
 
 impl Default for SegnnConfig {
     fn default() -> Self {
-        Self { k_nearest: 7, structure_weight: 0.5 }
+        Self {
+            k_nearest: 7,
+            structure_weight: 0.5,
+        }
     }
 }
 
@@ -42,13 +45,23 @@ impl<'a> Segnn<'a> {
     /// Builds SEGNN over a trained backbone; `splits.train` is the labelled
     /// pool.
     pub fn new(backbone: &'a Backbone, splits: &Splits, config: SegnnConfig) -> Self {
-        Self { backbone, labeled: splits.train.clone(), config }
+        Self {
+            backbone,
+            labeled: splits.train.clone(),
+            config,
+        }
     }
 
     /// Combined similarity between two nodes.
     pub fn similarity(&self, u: usize, v: usize) -> f64 {
-        let cos = cosine(self.backbone.embeddings.row(u), self.backbone.embeddings.row(v));
-        let jac = jaccard(self.backbone.graph.neighbors(u), self.backbone.graph.neighbors(v));
+        let cos = cosine(
+            self.backbone.embeddings.row(u),
+            self.backbone.embeddings.row(v),
+        );
+        let jac = jaccard(
+            self.backbone.graph.neighbors(u),
+            self.backbone.graph.neighbors(v),
+        );
         (1.0 - self.config.structure_weight) * cos + self.config.structure_weight * jac
     }
 
@@ -60,7 +73,7 @@ impl<'a> Segnn<'a> {
             .filter(|&&u| u != v)
             .map(|&u| (u, self.similarity(v, u)))
             .collect();
-        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("similarity must not be NaN"));
+        sims.sort_by(|a, b| b.1.total_cmp(&a.1));
         sims.truncate(self.config.k_nearest);
         sims
     }
@@ -76,7 +89,7 @@ impl<'a> Segnn<'a> {
         votes
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("votes are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(c, _)| c)
             .unwrap_or(0)
     }
@@ -84,7 +97,10 @@ impl<'a> Segnn<'a> {
     /// Accuracy over an index set.
     pub fn accuracy(&self, idx: &[usize]) -> f64 {
         let labels = self.backbone.graph.labels();
-        let correct = idx.iter().filter(|&&v| self.classify(v) == labels[v]).count();
+        let correct = idx
+            .iter()
+            .filter(|&&v| self.classify(v) == labels[v])
+            .count();
         correct as f64 / idx.len() as f64
     }
 
@@ -188,7 +204,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let d = realworld::polblogs_like(Profile::Fast, &mut rng);
         let splits = Splits::classification(d.graph.n_nodes(), &mut rng);
-        let cfg = TrainConfig { epochs: 30, patience: 0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            patience: 0,
+            ..Default::default()
+        };
         let bb = Backbone::train_gcn(&d.graph, &splits, &cfg);
         let segnn = Segnn::new(&bb, &splits, SegnnConfig::default());
         let acc = segnn.accuracy(&splits.test);
@@ -200,7 +220,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let d = realworld::polblogs_like(Profile::Fast, &mut rng);
         let splits = Splits::classification(d.graph.n_nodes(), &mut rng);
-        let cfg = TrainConfig { epochs: 30, patience: 0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            patience: 0,
+            ..Default::default()
+        };
         let bb = Backbone::train_gcn(&d.graph, &splits, &cfg);
         let mut segnn = Segnn::new(&bb, &splits, SegnnConfig::default());
         let edges = segnn.explain_node(0);

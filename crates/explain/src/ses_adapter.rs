@@ -17,7 +17,10 @@ pub struct SesExplainer {
 impl SesExplainer {
     /// Creates the adapter from a trained SES model's explanations.
     pub fn new(explanations: Explanations, graph: Graph) -> Self {
-        Self { explanations, graph }
+        Self {
+            explanations,
+            graph,
+        }
     }
 
     /// The wrapped explanations.
@@ -73,13 +76,17 @@ impl FeatureExplainer for SesExplainer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use ses_tensor::CsrStructure;
+    use std::sync::Arc;
 
     #[test]
     fn adapter_scores_subgraph_edges() {
         let g = Graph::new(3, &[(0, 1), (1, 2)], Matrix::zeros(3, 2), vec![0, 1, 0]);
-        let khop = Arc::new(CsrStructure::from_edges(3, 3, &[(0, 1), (1, 0), (1, 2), (2, 1)]));
+        let khop = Arc::new(CsrStructure::from_edges(
+            3,
+            3,
+            &[(0, 1), (1, 0), (1, 2), (2, 1)],
+        ));
         let ex = Explanations {
             feature_mask: Matrix::full(3, 2, 0.5),
             khop,

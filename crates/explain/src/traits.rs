@@ -104,11 +104,22 @@ mod tests {
     fn oracle_explainer_scores_one() {
         let mut rng = StdRng::seed_from_u64(1);
         let data = synthetic::tree_cycle(&mut rng);
-        let nodes: Vec<usize> = data.ground_truth.motif_nodes().into_iter().take(20).collect();
-        let mut oracle = Oracle { data: &data, invert: false };
+        let nodes: Vec<usize> = data
+            .ground_truth
+            .motif_nodes()
+            .into_iter()
+            .take(20)
+            .collect();
+        let mut oracle = Oracle {
+            data: &data,
+            invert: false,
+        };
         let auc = explanation_auc(&mut oracle, &data, &nodes, 2);
         assert!(auc > 0.999, "oracle auc={auc}");
-        let mut inverted = Oracle { data: &data, invert: true };
+        let mut inverted = Oracle {
+            data: &data,
+            invert: true,
+        };
         let auc_inv = explanation_auc(&mut inverted, &data, &nodes, 2);
         assert!(auc_inv < 0.001, "inverted oracle auc={auc_inv}");
     }

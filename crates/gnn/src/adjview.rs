@@ -36,7 +36,12 @@ impl AdjView {
         let row = row_norm_values(&structure);
         let n = structure.n_rows();
         let loop_positions = (0..n)
-            .map(|i| structure.find(i, i).expect("self-loop must exist after augmentation"))
+            .map(|i| {
+                structure
+                    .find(i, i)
+                    // lint:allow(no-unwrap): with_self_loops() inserted (i, i) for every row above
+                    .expect("self-loop must exist after augmentation")
+            })
             .collect();
         let (rows, cols) = structure.entry_endpoints();
         Self {
@@ -93,7 +98,11 @@ impl AdjView {
     /// view's entry layout: masked edges keep their weight, self-loops get
     /// `1.0`, and entries absent from `source` get `0.0`.
     pub fn lift_edge_weights(&self, source: &CsrStructure, weights: &[f32]) -> Vec<f32> {
-        assert_eq!(weights.len(), source.nnz(), "lift_edge_weights: weight length mismatch");
+        assert_eq!(
+            weights.len(),
+            source.nnz(),
+            "lift_edge_weights: weight length mismatch"
+        );
         let mut out = vec![0.0f32; self.structure.nnz()];
         for (r, c, p_src) in source.iter_entries() {
             if let Some(p_dst) = self.structure.find(r, c) {

@@ -68,11 +68,21 @@ impl Encoder for Arma {
         }
         let hidden = state;
         let logits = tape.linear(hidden, w_out, b_out);
-        EncoderOutput { hidden, logits, param_vars: vec![v_in, w_rec, b, w_out, b_out] }
+        EncoderOutput {
+            hidden,
+            logits,
+            param_vars: vec![v_in, w_rec, b, w_out, b_out],
+        }
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        vec![&mut self.v_in, &mut self.w_rec, &mut self.b, &mut self.w_out, &mut self.b_out]
+        vec![
+            &mut self.v_in,
+            &mut self.w_rec,
+            &mut self.b,
+            &mut self.w_out,
+            &mut self.b_out,
+        ]
     }
 
     fn param_values(&self) -> Vec<Matrix> {
@@ -100,20 +110,31 @@ impl Encoder for Arma {
 mod tests {
     use super::*;
     use crate::adjview::AdjView;
-    use ses_tensor::Tape;
     use rand::SeedableRng;
     use ses_graph::Graph;
+    use ses_tensor::Tape;
 
     #[test]
     fn forward_and_grads() {
         let mut rng = StdRng::seed_from_u64(5);
-        let g = Graph::new(4, &[(0, 1), (1, 2), (2, 3)], Matrix::identity(4), vec![0, 1, 0, 1]);
+        let g = Graph::new(
+            4,
+            &[(0, 1), (1, 2), (2, 3)],
+            Matrix::identity(4),
+            vec![0, 1, 0, 1],
+        );
         let adj = AdjView::of_graph(&g);
         let arma = Arma::new(4, 6, 2, 2, &mut rng);
         let mut tape = Tape::new();
         let x = tape.constant(g.features().clone());
-        let mut ctx =
-            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: false, rng: &mut rng };
+        let mut ctx = ForwardCtx {
+            tape: &mut tape,
+            adj: &adj,
+            x,
+            edge_mask: None,
+            train: false,
+            rng: &mut rng,
+        };
         let out = arma.forward(&mut ctx);
         assert_eq!(tape.shape(out.logits), (4, 2));
         let labels = std::sync::Arc::new(g.labels().to_vec());

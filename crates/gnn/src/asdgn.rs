@@ -107,7 +107,13 @@ impl Encoder for Asdgn {
 
     fn param_values(&self) -> Vec<Matrix> {
         snapshot_params(&[
-            &self.w_in, &self.b_in, &self.w, &self.w_agg, &self.b, &self.w_out, &self.b_out,
+            &self.w_in,
+            &self.b_in,
+            &self.w,
+            &self.w_agg,
+            &self.b,
+            &self.w_out,
+            &self.b_out,
         ])
     }
 
@@ -132,35 +138,63 @@ impl Encoder for Asdgn {
 mod tests {
     use super::*;
     use crate::adjview::AdjView;
-    use ses_tensor::Tape;
     use rand::SeedableRng;
     use ses_graph::Graph;
+    use ses_tensor::Tape;
 
     #[test]
     fn forward_stable_over_many_steps() {
         let mut rng = StdRng::seed_from_u64(9);
-        let g = Graph::new(4, &[(0, 1), (1, 2), (2, 3)], Matrix::identity(4), vec![0, 1, 0, 1]);
+        let g = Graph::new(
+            4,
+            &[(0, 1), (1, 2), (2, 3)],
+            Matrix::identity(4),
+            vec![0, 1, 0, 1],
+        );
         let adj = AdjView::of_graph(&g);
         let m = Asdgn::new(4, 6, 2, 16, &mut rng);
         let mut tape = Tape::new();
         let x = tape.constant(g.features().clone());
-        let mut ctx =
-            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: false, rng: &mut rng };
+        let mut ctx = ForwardCtx {
+            tape: &mut tape,
+            adj: &adj,
+            x,
+            edge_mask: None,
+            train: false,
+            rng: &mut rng,
+        };
         let out = m.forward(&mut ctx);
-        assert!(tape.value(out.logits).all_finite(), "deep iteration must stay finite");
-        assert!(tape.value(out.logits).frobenius_norm() < 1e3, "non-dissipative but bounded");
+        assert!(
+            tape.value(out.logits).all_finite(),
+            "deep iteration must stay finite"
+        );
+        assert!(
+            tape.value(out.logits).frobenius_norm() < 1e3,
+            "non-dissipative but bounded"
+        );
     }
 
     #[test]
     fn grads_flow() {
         let mut rng = StdRng::seed_from_u64(10);
-        let g = Graph::new(4, &[(0, 1), (1, 2), (2, 3)], Matrix::identity(4), vec![0, 1, 0, 1]);
+        let g = Graph::new(
+            4,
+            &[(0, 1), (1, 2), (2, 3)],
+            Matrix::identity(4),
+            vec![0, 1, 0, 1],
+        );
         let adj = AdjView::of_graph(&g);
         let m = Asdgn::new(4, 6, 2, 4, &mut rng);
         let mut tape = Tape::new();
         let x = tape.constant(g.features().clone());
-        let mut ctx =
-            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: false, rng: &mut rng };
+        let mut ctx = ForwardCtx {
+            tape: &mut tape,
+            adj: &adj,
+            x,
+            edge_mask: None,
+            train: false,
+            rng: &mut rng,
+        };
         let out = m.forward(&mut ctx);
         let labels = std::sync::Arc::new(g.labels().to_vec());
         let idx = std::sync::Arc::new((0..4).collect::<Vec<_>>());

@@ -67,7 +67,11 @@ pub(crate) fn snapshot_params(params: &[&Param]) -> Vec<Matrix> {
 }
 
 pub(crate) fn restore_params(params: &mut [&mut Param], snapshot: &[Matrix]) {
-    assert_eq!(params.len(), snapshot.len(), "restore: snapshot length mismatch");
+    assert_eq!(
+        params.len(),
+        snapshot.len(),
+        "restore: snapshot length mismatch"
+    );
     for (p, s) in params.iter_mut().zip(snapshot.iter()) {
         assert_eq!(p.value.shape(), s.shape(), "restore: shape mismatch");
         p.value = s.clone();

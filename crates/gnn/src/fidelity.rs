@@ -18,18 +18,18 @@ use crate::encoder::{Encoder, ForwardCtx};
 /// removes "the top-5 important features of each node"; zero features carry
 /// no signal to remove).
 pub fn mask_top_features(features: &Matrix, importance: &Matrix, top_k: usize) -> Matrix {
-    assert_eq!(features.shape(), importance.shape(), "mask_top_features: shape mismatch");
+    assert_eq!(
+        features.shape(),
+        importance.shape(),
+        "mask_top_features: shape mismatch"
+    );
     let (n, f) = features.shape();
     let mut out = features.clone();
     let mut order: Vec<usize> = Vec::with_capacity(f);
     for i in 0..n {
         order.clear();
         order.extend((0..f).filter(|&j| features[(i, j)] != 0.0));
-        order.sort_by(|&a, &b| {
-            importance[(i, b)]
-                .partial_cmp(&importance[(i, a)])
-                .expect("importance must not be NaN")
-        });
+        order.sort_by(|&a, &b| importance[(i, b)].total_cmp(&importance[(i, a)]));
         for &j in order.iter().take(top_k) {
             out[(i, j)] = 0.0;
         }
@@ -47,7 +47,14 @@ pub fn predict_with_features(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut tape = Tape::new();
     let x = tape.constant(features.clone());
-    let mut ctx = ForwardCtx { tape: &mut tape, adj, x, edge_mask: None, train: false, rng: &mut rng };
+    let mut ctx = ForwardCtx {
+        tape: &mut tape,
+        adj,
+        x,
+        edge_mask: None,
+        train: false,
+        rng: &mut rng,
+    };
     let out = encoder.forward(&mut ctx);
     tape.value(out.logits).argmax_rows()
 }

@@ -45,7 +45,10 @@ impl Gat {
     /// Creates a GAT with `heads` first-layer heads; `hidden` is the total
     /// first-layer width (must be divisible by `heads`).
     pub fn new(in_dim: usize, hidden: usize, out: usize, heads: usize, rng: &mut StdRng) -> Self {
-        assert!(heads >= 1 && hidden % heads == 0, "hidden must be divisible by heads");
+        assert!(
+            heads >= 1 && hidden.is_multiple_of(heads),
+            "hidden must be divisible by heads"
+        );
         let per = hidden / heads;
         Self {
             layer1: (0..heads).map(|_| Head::new(in_dim, per, rng)).collect(),
@@ -198,11 +201,24 @@ impl Encoder for Gat {
         let out = if self.fused {
             Self::attention_layer_fused(tape, ctx.adj, h, w, a_src, a_dst, ctx.edge_mask)
         } else {
-            Self::attention_layer(tape, ctx.adj, &self.layer2, h, w, a_src, a_dst, ctx.edge_mask)
+            Self::attention_layer(
+                tape,
+                ctx.adj,
+                &self.layer2,
+                h,
+                w,
+                a_src,
+                a_dst,
+                ctx.edge_mask,
+            )
         };
         let logits = tape.add_row_broadcast(out, b2);
 
-        EncoderOutput { hidden, logits, param_vars }
+        EncoderOutput {
+            hidden,
+            logits,
+            param_vars,
+        }
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -280,8 +296,14 @@ mod tests {
         let gat = Gat::new(3, 8, 2, 4, &mut rng);
         let mut tape = Tape::new();
         let x = tape.constant(g.features().clone());
-        let mut ctx =
-            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: false, rng: &mut rng };
+        let mut ctx = ForwardCtx {
+            tape: &mut tape,
+            adj: &adj,
+            x,
+            edge_mask: None,
+            train: false,
+            rng: &mut rng,
+        };
         let out = gat.forward(&mut ctx);
         assert_eq!(tape.shape(out.hidden), (5, 8));
         assert_eq!(tape.shape(out.logits), (5, 2));
@@ -296,13 +318,23 @@ mod tests {
         let run = |enc: &Gat, rng: &mut StdRng| -> Matrix {
             let mut tape = Tape::new();
             let x = tape.constant(g.features().clone());
-            let mut ctx = ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: false, rng };
+            let mut ctx = ForwardCtx {
+                tape: &mut tape,
+                adj: &adj,
+                x,
+                edge_mask: None,
+                train: false,
+                rng,
+            };
             let out = enc.forward(&mut ctx);
             tape.value(out.logits).clone()
         };
         let a = run(&gat, &mut rng);
         let b = run(&fused, &mut rng);
-        assert!(a.max_abs_diff(&b) < 1e-5, "fused path must be numerically identical");
+        assert!(
+            a.max_abs_diff(&b) < 1e-5,
+            "fused path must be numerically identical"
+        );
     }
 
     #[test]
@@ -311,8 +343,14 @@ mod tests {
         let gat = Gat::new(3, 4, 2, 2, &mut rng);
         let mut tape = Tape::new();
         let x = tape.constant(g.features().clone());
-        let mut ctx =
-            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: false, rng: &mut rng };
+        let mut ctx = ForwardCtx {
+            tape: &mut tape,
+            adj: &adj,
+            x,
+            edge_mask: None,
+            train: false,
+            rng: &mut rng,
+        };
         let out = gat.forward(&mut ctx);
         let labels = std::sync::Arc::new(g.labels().to_vec());
         let idx = std::sync::Arc::new((0..5).collect::<Vec<_>>());

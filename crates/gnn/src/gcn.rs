@@ -70,7 +70,10 @@ impl Encoder for Gcn {
         let b1 = self.b1.watch(tape);
         let w2 = self.w2.watch(tape);
         let b2 = self.b2.watch(tape);
-        let mid = self.w_mid.as_ref().map(|(w, b)| (w.watch(tape), b.watch(tape)));
+        let mid = self
+            .w_mid
+            .as_ref()
+            .map(|(w, b)| (w.watch(tape), b.watch(tape)));
         let vals = Self::edge_values(tape, ctx.adj, ctx.edge_mask);
 
         let xw = tape.matmul(ctx.x, w1);
@@ -86,11 +89,8 @@ impl Encoder for Gcn {
         }
 
         let h = if ctx.train && self.dropout > 0.0 {
-            let mask = ses_tensor::dropout_mask(
-                ctx.adj.n_nodes() * self.hidden,
-                self.dropout,
-                ctx.rng,
-            );
+            let mask =
+                ses_tensor::dropout_mask(ctx.adj.n_nodes() * self.hidden, self.dropout, ctx.rng);
             tape.dropout(hidden, mask)
         } else {
             hidden
@@ -105,7 +105,11 @@ impl Encoder for Gcn {
             param_vars.push(wm);
             param_vars.push(bm);
         }
-        EncoderOutput { hidden, logits, param_vars }
+        EncoderOutput {
+            hidden,
+            logits,
+            param_vars,
+        }
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -167,8 +171,14 @@ mod tests {
         let (g, adj, gcn, mut rng) = setup();
         let mut tape = Tape::new();
         let x = tape.constant(g.features().clone());
-        let mut ctx =
-            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: false, rng: &mut rng };
+        let mut ctx = ForwardCtx {
+            tape: &mut tape,
+            adj: &adj,
+            x,
+            edge_mask: None,
+            train: false,
+            rng: &mut rng,
+        };
         let out = gcn.forward(&mut ctx);
         assert_eq!(tape.shape(out.hidden), (4, 8));
         assert_eq!(tape.shape(out.logits), (4, 2));
@@ -180,8 +190,14 @@ mod tests {
         let (g, adj, gcn, mut rng) = setup();
         let mut tape = Tape::new();
         let x = tape.constant(g.features().clone());
-        let mut ctx =
-            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: false, rng: &mut rng };
+        let mut ctx = ForwardCtx {
+            tape: &mut tape,
+            adj: &adj,
+            x,
+            edge_mask: None,
+            train: false,
+            rng: &mut rng,
+        };
         let out = gcn.forward(&mut ctx);
         let labels = std::sync::Arc::new(g.labels().to_vec());
         let idx = std::sync::Arc::new(vec![0usize, 1, 2, 3]);
@@ -205,8 +221,14 @@ mod tests {
         let x = tape.constant(g.features().clone());
         let m = tape.constant(Matrix::col_vec(&lifted));
         assert_eq!(lifted.len(), nnz);
-        let mut ctx =
-            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: Some(m), train: false, rng: &mut rng };
+        let mut ctx = ForwardCtx {
+            tape: &mut tape,
+            adj: &adj,
+            x,
+            edge_mask: Some(m),
+            train: false,
+            rng: &mut rng,
+        };
         let out = gcn.forward(&mut ctx);
         let masked_logits = tape.value(out.logits).clone();
 

@@ -87,20 +87,48 @@ impl Encoder for Gin {
     fn forward(&self, ctx: &mut ForwardCtx<'_>) -> EncoderOutput {
         let tape = &mut *ctx.tape;
         let vars: Vec<Var> = [
-            &self.eps1, &self.mlp1_w1, &self.mlp1_b1, &self.mlp1_w2, &self.mlp1_b2, &self.eps2,
-            &self.mlp2_w1, &self.mlp2_b1, &self.mlp2_w2, &self.mlp2_b2,
+            &self.eps1,
+            &self.mlp1_w1,
+            &self.mlp1_b1,
+            &self.mlp1_w2,
+            &self.mlp1_b2,
+            &self.eps2,
+            &self.mlp2_w1,
+            &self.mlp2_b1,
+            &self.mlp2_w2,
+            &self.mlp2_b2,
         ]
         .iter()
         .map(|p| p.watch(tape))
         .collect();
         let pre = Self::layer(
-            tape, ctx.adj, ctx.x, vars[0], vars[1], vars[2], vars[3], vars[4], ctx.edge_mask,
+            tape,
+            ctx.adj,
+            ctx.x,
+            vars[0],
+            vars[1],
+            vars[2],
+            vars[3],
+            vars[4],
+            ctx.edge_mask,
         );
         let hidden = tape.relu(pre);
         let logits = Self::layer(
-            tape, ctx.adj, hidden, vars[5], vars[6], vars[7], vars[8], vars[9], ctx.edge_mask,
+            tape,
+            ctx.adj,
+            hidden,
+            vars[5],
+            vars[6],
+            vars[7],
+            vars[8],
+            vars[9],
+            ctx.edge_mask,
         );
-        EncoderOutput { hidden, logits, param_vars: vars }
+        EncoderOutput {
+            hidden,
+            logits,
+            param_vars: vars,
+        }
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -120,8 +148,16 @@ impl Encoder for Gin {
 
     fn param_values(&self) -> Vec<Matrix> {
         snapshot_params(&[
-            &self.eps1, &self.mlp1_w1, &self.mlp1_b1, &self.mlp1_w2, &self.mlp1_b2, &self.eps2,
-            &self.mlp2_w1, &self.mlp2_b1, &self.mlp2_w2, &self.mlp2_b2,
+            &self.eps1,
+            &self.mlp1_w1,
+            &self.mlp1_b1,
+            &self.mlp1_w2,
+            &self.mlp1_b2,
+            &self.eps2,
+            &self.mlp2_w1,
+            &self.mlp2_b1,
+            &self.mlp2_w2,
+            &self.mlp2_b2,
         ])
     }
 
@@ -161,8 +197,14 @@ mod tests {
         let gin = Gin::new(4, 6, 2, &mut rng);
         let mut tape = Tape::new();
         let x = tape.constant(g.features().clone());
-        let mut ctx =
-            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: true, rng: &mut rng };
+        let mut ctx = ForwardCtx {
+            tape: &mut tape,
+            adj: &adj,
+            x,
+            edge_mask: None,
+            train: true,
+            rng: &mut rng,
+        };
         let out = gin.forward(&mut ctx);
         assert_eq!(tape.shape(out.logits), (4, 2));
         let labels = std::sync::Arc::new(g.labels().to_vec());

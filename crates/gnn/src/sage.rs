@@ -78,7 +78,11 @@ impl Encoder for Sage {
             hidden
         };
         let logits = Self::layer(tape, ctx.adj, h, ws2, wn2, b2, ctx.edge_mask);
-        EncoderOutput { hidden, logits, param_vars: vec![ws1, wn1, b1, ws2, wn2, b2] }
+        EncoderOutput {
+            hidden,
+            logits,
+            param_vars: vec![ws1, wn1, b1, ws2, wn2, b2],
+        }
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -139,8 +143,14 @@ mod tests {
         let sage = Sage::new(2, 6, 2, &mut rng);
         let mut tape = Tape::new();
         let x = tape.constant(g.features().clone());
-        let mut ctx =
-            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: false, rng: &mut rng };
+        let mut ctx = ForwardCtx {
+            tape: &mut tape,
+            adj: &adj,
+            x,
+            edge_mask: None,
+            train: false,
+            rng: &mut rng,
+        };
         let out = sage.forward(&mut ctx);
         assert_eq!(tape.shape(out.hidden), (4, 6));
         assert_eq!(tape.shape(out.logits), (4, 2));

@@ -34,7 +34,14 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 200, lr: 3e-3, weight_decay: 5e-4, patience: 50, seed: 0, log_every: 0 }
+        Self {
+            epochs: 200,
+            lr: 3e-3,
+            weight_decay: 5e-4,
+            patience: 50,
+            seed: 0,
+            log_every: 0,
+        }
     }
 }
 
@@ -68,7 +75,14 @@ pub fn predict(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut tape = Tape::new();
     let x = tape.constant(graph.features().clone());
-    let mut ctx = ForwardCtx { tape: &mut tape, adj, x, edge_mask: None, train: false, rng: &mut rng };
+    let mut ctx = ForwardCtx {
+        tape: &mut tape,
+        adj,
+        x,
+        edge_mask: None,
+        train: false,
+        rng: &mut rng,
+    };
     let out = encoder.forward(&mut ctx);
     let logits = tape.value(out.logits);
     (logits.argmax_rows(), tape.value(out.hidden).clone())
@@ -100,18 +114,30 @@ pub fn train_node_classifier(
         epochs_run = epoch + 1;
         let mut tape = Tape::new();
         let x = tape.constant(graph.features().clone());
-        let mut ctx =
-            ForwardCtx { tape: &mut tape, adj, x, edge_mask: None, train: true, rng: &mut rng };
+        let mut ctx = ForwardCtx {
+            tape: &mut tape,
+            adj,
+            x,
+            edge_mask: None,
+            train: true,
+            rng: &mut rng,
+        };
         let out = encoder.forward(&mut ctx);
         let loss = tape.cross_entropy_masked(out.logits, labels.clone(), train_idx.clone());
         let loss_val = tape.value(loss).scalar_value();
         tape.backward(loss);
 
-        let grads: Vec<Matrix> =
-            out.param_vars.iter().map(|&v| tape.grad_unwrap(v).clone()).collect();
+        let grads: Vec<Matrix> = out
+            .param_vars
+            .iter()
+            .map(|&v| tape.grad_unwrap(v).clone())
+            .collect();
         let mut params = encoder.params_mut();
-        let mut updates: Vec<(&mut ses_tensor::Param, &Matrix)> =
-            params.iter_mut().map(|p| &mut **p).zip(grads.iter()).collect();
+        let mut updates: Vec<(&mut ses_tensor::Param, &Matrix)> = params
+            .iter_mut()
+            .map(|p| &mut **p)
+            .zip(grads.iter())
+            .collect();
         opt.step(&mut updates);
         drop(params);
 
@@ -126,7 +152,10 @@ pub fn train_node_classifier(
         val_curve.push(val_acc);
 
         if config.log_every > 0 && epoch % config.log_every == 0 {
-            eprintln!("[{}] epoch {epoch}: loss={loss_val:.4} val={val_acc:.4}", encoder.name());
+            eprintln!(
+                "[{}] epoch {epoch}: loss={loss_val:.4} val={val_acc:.4}",
+                encoder.name()
+            );
         }
 
         if val_acc > best_val {
@@ -177,7 +206,11 @@ mod tests {
         let adj = AdjView::of_graph(g);
         let splits = Splits::classification(g.n_nodes(), &mut rng);
         let mut gcn = Gcn::new(g.n_features(), 16, g.n_classes(), &mut rng);
-        let cfg = TrainConfig { epochs: 60, patience: 0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 60,
+            patience: 0,
+            ..Default::default()
+        };
         let report = train_node_classifier(&mut gcn, g, &adj, &splits, &cfg);
         assert!(
             report.test_acc > 0.85,
@@ -212,7 +245,11 @@ mod tests {
         let adj = AdjView::of_graph(g);
         let splits = Splits::classification(g.n_nodes(), &mut rng);
         let mut gcn = Gcn::new(g.n_features(), 8, g.n_classes(), &mut rng);
-        let cfg = TrainConfig { epochs: 500, patience: 5, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 500,
+            patience: 5,
+            ..Default::default()
+        };
         let report = train_node_classifier(&mut gcn, g, &adj, &splits, &cfg);
         assert!(report.epochs_run < 500, "patience should stop early");
     }

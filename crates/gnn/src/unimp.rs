@@ -102,11 +102,21 @@ impl Encoder for UniMp {
         let hw = tape.matmul(hidden, w2);
         let agg2 = tape.spmm(ctx.adj.structure().clone(), vals, hw);
         let logits = tape.add_row_broadcast(agg2, b2);
-        EncoderOutput { hidden, logits, param_vars: vec![w1, b1, w2, b2, le] }
+        EncoderOutput {
+            hidden,
+            logits,
+            param_vars: vec![w1, b1, w2, b2, le],
+        }
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        vec![&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2, &mut self.label_embed]
+        vec![
+            &mut self.w1,
+            &mut self.b1,
+            &mut self.w2,
+            &mut self.b2,
+            &mut self.label_embed,
+        ]
     }
 
     fn param_values(&self) -> Vec<Matrix> {
@@ -141,14 +151,25 @@ mod tests {
     #[test]
     fn forward_with_label_context() {
         let mut rng = StdRng::seed_from_u64(6);
-        let g = Graph::new(4, &[(0, 1), (1, 2), (2, 3)], Matrix::identity(4), vec![0, 1, 0, 1]);
+        let g = Graph::new(
+            4,
+            &[(0, 1), (1, 2), (2, 3)],
+            Matrix::identity(4),
+            vec![0, 1, 0, 1],
+        );
         let adj = AdjView::of_graph(&g);
         let mut m = UniMp::new(4, 6, 2, &mut rng);
         m.set_label_context(g.labels(), &[0, 1]);
         let mut tape = Tape::new();
         let x = tape.constant(g.features().clone());
-        let mut ctx =
-            ForwardCtx { tape: &mut tape, adj: &adj, x, edge_mask: None, train: false, rng: &mut rng };
+        let mut ctx = ForwardCtx {
+            tape: &mut tape,
+            adj: &adj,
+            x,
+            edge_mask: None,
+            train: false,
+            rng: &mut rng,
+        };
         let out = m.forward(&mut ctx);
         assert_eq!(tape.shape(out.logits), (4, 2));
     }
@@ -161,7 +182,11 @@ mod tests {
         let oh = m.label_onehot(4, false, &mut rng);
         assert_eq!(oh[(0, 0)], 1.0, "train label revealed");
         for i in 1..4 {
-            assert_eq!(oh.row(i).iter().sum::<f32>(), 0.0, "non-train label {i} leaked");
+            assert_eq!(
+                oh.row(i).iter().sum::<f32>(),
+                0.0,
+                "non-train label {i} leaked"
+            );
         }
     }
 
@@ -174,6 +199,9 @@ mod tests {
         m.set_label_context(&labels, &train);
         let oh = m.label_onehot(100, true, &mut rng);
         let revealed: f32 = oh.as_slice().iter().sum();
-        assert!(revealed > 20.0 && revealed < 80.0, "mask rate ~0.5, got {revealed}");
+        assert!(
+            revealed > 20.0 && revealed < 80.0,
+            "mask rate ~0.5, got {revealed}"
+        );
     }
 }

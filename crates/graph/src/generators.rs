@@ -171,14 +171,18 @@ pub fn stochastic_block_model(
     rng: &mut impl Rng,
 ) -> (usize, Vec<(usize, usize)>, Vec<usize>) {
     let k = sizes.len();
-    assert_eq!(p.len(), k, "sbm: probability matrix rows must match block count");
+    assert_eq!(
+        p.len(),
+        k,
+        "sbm: probability matrix rows must match block count"
+    );
     for row in p {
         assert_eq!(row.len(), k, "sbm: probability matrix must be square");
     }
     let n: usize = sizes.iter().sum();
     let mut block = Vec::with_capacity(n);
     for (b, &s) in sizes.iter().enumerate() {
-        block.extend(std::iter::repeat(b).take(s));
+        block.extend(std::iter::repeat_n(b, s));
     }
     let mut edges = Vec::new();
     for u in 0..n {
@@ -254,7 +258,10 @@ mod tests {
         }
         let max_deg = *deg.iter().max().unwrap();
         let avg = deg.iter().sum::<usize>() as f64 / 500.0;
-        assert!(max_deg as f64 > 4.0 * avg, "hub expected: max={max_deg}, avg={avg}");
+        assert!(
+            max_deg as f64 > 4.0 * avg,
+            "hub expected: max={max_deg}, avg={avg}"
+        );
     }
 
     #[test]

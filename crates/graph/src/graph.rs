@@ -25,11 +25,18 @@ impl Graph {
     /// Panics if `features.rows() != labels.len()` or an edge endpoint is out
     /// of range.
     pub fn new(n: usize, edges: &[(usize, usize)], features: Matrix, labels: Vec<usize>) -> Self {
-        assert_eq!(features.rows(), n, "Graph::new: features must have one row per node");
+        assert_eq!(
+            features.rows(),
+            n,
+            "Graph::new: features must have one row per node"
+        );
         assert_eq!(labels.len(), n, "Graph::new: one label per node required");
         let mut sym = Vec::with_capacity(edges.len() * 2);
         for &(u, v) in edges {
-            assert!(u < n && v < n, "Graph::new: edge ({u},{v}) out of range for {n} nodes");
+            assert!(
+                u < n && v < n,
+                "Graph::new: edge ({u},{v}) out of range for {n} nodes"
+            );
             sym.push((u, v));
             if u != v {
                 sym.push((v, u));
@@ -37,7 +44,12 @@ impl Graph {
         }
         let adjacency = Arc::new(CsrStructure::from_edges(n, n, &sym));
         let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
-        Self { adjacency, features, labels, n_classes }
+        Self {
+            adjacency,
+            features,
+            labels,
+            n_classes,
+        }
     }
 
     /// Number of nodes.
@@ -77,7 +89,11 @@ impl Graph {
 
     /// Replaces the feature matrix (used by dataset transforms).
     pub fn set_features(&mut self, features: Matrix) {
-        assert_eq!(features.rows(), self.n_nodes(), "set_features: row mismatch");
+        assert_eq!(
+            features.rows(),
+            self.n_nodes(),
+            "set_features: row mismatch"
+        );
         self.features = features;
     }
 
@@ -150,7 +166,12 @@ mod tests {
 
     #[test]
     fn neighbors_sorted() {
-        let g = Graph::new(4, &[(2, 0), (2, 3), (2, 1)], Matrix::zeros(4, 1), vec![0; 4]);
+        let g = Graph::new(
+            4,
+            &[(2, 0), (2, 3), (2, 1)],
+            Matrix::zeros(4, 1),
+            vec![0; 4],
+        );
         assert_eq!(g.neighbors(2), &[0, 1, 3]);
     }
 

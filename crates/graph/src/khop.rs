@@ -61,7 +61,10 @@ pub fn khop_structure(graph: &Graph, k: usize) -> Arc<CsrStructure> {
 /// bounds the structure-mask size at `O(|V| · cap)` while preserving the
 /// nearest (most explanation-relevant) pairs.
 pub fn khop_structure_capped(graph: &Graph, k: usize, cap: usize) -> Arc<CsrStructure> {
-    assert!(k >= 1 && cap >= 1, "khop_structure_capped: k and cap must be ≥ 1");
+    assert!(
+        k >= 1 && cap >= 1,
+        "khop_structure_capped: k and cap must be ≥ 1"
+    );
     let n = graph.n_nodes();
     let mut edges: Vec<(usize, usize)> = Vec::new();
     let mut dist = vec![usize::MAX; n];
@@ -193,7 +196,10 @@ mod tests {
         let k3 = khop_structure(&g, 3);
         assert!(k1.nnz() <= k2.nnz() && k2.nnz() <= k3.nnz());
         for (r, c, _) in k1.iter_entries() {
-            assert!(k2.find(r, c).is_some(), "k=2 must contain k=1 edge ({r},{c})");
+            assert!(
+                k2.find(r, c).is_some(),
+                "k=2 must contain k=1 edge ({r},{c})"
+            );
         }
     }
 

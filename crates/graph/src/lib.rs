@@ -13,7 +13,9 @@ pub mod sampling;
 pub mod subgraph;
 
 pub use graph::Graph;
-pub use khop::{bfs_distances, khop_neighbors, khop_structure, khop_structure_capped, n_connected_components};
+pub use khop::{
+    bfs_distances, khop_neighbors, khop_structure, khop_structure_capped, n_connected_components,
+};
 pub use norm::{gcn_norm, row_norm_values, sym_norm_values, with_self_loops};
 pub use sampling::NegativeSets;
 pub use subgraph::Subgraph;

@@ -9,7 +9,6 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use ses_tensor::CsrStructure;
 
-
 /// Negative neighbour sets `P_n(v)` for every node: for each node `v`, a set
 /// of nodes that are *not* within the k-hop neighbourhood of `v` and (when
 /// possible) carry a different label, matching `|P_r(v)|` in size.
@@ -61,7 +60,9 @@ impl NegativeSets {
         if pool.is_empty() {
             return Vec::new();
         }
-        (0..count).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+        (0..count)
+            .map(|_| pool[rng.gen_range(0..pool.len())])
+            .collect()
     }
 }
 
@@ -77,7 +78,7 @@ fn sample_for_node(
 ) -> Vec<usize> {
     let n = khop.n_rows();
     let is_pos = |u: usize| u == v || khop.find(v, u).is_some();
-    let label_ok = |u: usize| labels.map_or(true, |ls| ls[u] != ls[v]);
+    let label_ok = |u: usize| labels.is_none_or(|ls| ls[u] != ls[v]);
 
     // Rejection sampling is O(need) when the neighbourhood is a small
     // fraction of the graph; bail out to enumeration when it saturates.
@@ -93,8 +94,7 @@ fn sample_for_node(
     }
     if out.len() < need {
         // Enumerate the full candidate pool (rare: dense neighbourhoods).
-        let mut pool: Vec<usize> =
-            (0..n).filter(|&u| !is_pos(u) && label_ok(u)).collect();
+        let mut pool: Vec<usize> = (0..n).filter(|&u| !is_pos(u) && label_ok(u)).collect();
         if pool.len() < need {
             // Relax the label constraint rather than under-sample.
             pool = (0..n).filter(|&u| !is_pos(u)).collect();

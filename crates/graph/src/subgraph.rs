@@ -22,8 +22,7 @@ impl Subgraph {
     /// Extracts the k-hop ego network around `center`.
     pub fn ego(graph: &Graph, center: usize, k: usize) -> Self {
         let dist = bfs_distances(graph, center, k);
-        let global_of: Vec<usize> =
-            (0..graph.n_nodes()).filter(|&v| dist[v] <= k).collect();
+        let global_of: Vec<usize> = (0..graph.n_nodes()).filter(|&v| dist[v] <= k).collect();
         Self::induced(graph, &global_of, center)
     }
 
@@ -33,7 +32,10 @@ impl Subgraph {
         for (l, &g) in nodes.iter().enumerate() {
             local_of[g] = l;
         }
-        assert!(local_of[center] != usize::MAX, "induced: centre must be in node set");
+        assert!(
+            local_of[center] != usize::MAX,
+            "induced: centre must be in node set"
+        );
         let mut edges = Vec::new();
         for (l, &g) in nodes.iter().enumerate() {
             for &nb in graph.neighbors(g) {
@@ -50,7 +52,11 @@ impl Subgraph {
         let labels: Vec<usize> = nodes.iter().map(|&g| graph.labels()[g]).collect();
         // preserve the global class count by building labels directly
         let sub = Graph::new(nodes.len(), &edges, feats, labels);
-        Self { graph: sub, global_of: nodes.to_vec(), center_local: local_of[center] }
+        Self {
+            graph: sub,
+            global_of: nodes.to_vec(),
+            center_local: local_of[center],
+        }
     }
 
     /// Number of nodes in the subgraph.

@@ -1,0 +1,73 @@
+//! Property tests for graph-side CSR contracts: adjacency symmetry, self-loop
+//! augmentation, and the two normalisations used by the GNN encoders.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ses_graph::generators::planted_partition;
+use ses_graph::{row_norm_values, sym_norm_values, with_self_loops, Graph};
+use ses_tensor::Matrix;
+
+fn random_graph(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (n, edges, labels) = planted_partition(3, 20, 0.2, 0.05, &mut rng);
+    Graph::new(n, &edges, Matrix::zeros(n, 1), labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn adjacency_is_symmetric_and_loop_free(seed in 0u64..1000) {
+        let g = random_graph(seed);
+        let a = g.adjacency();
+        for (r, c, _) in a.iter_entries() {
+            prop_assert!(r != c, "adjacency must be loop-free");
+            prop_assert!(a.find(c, r).is_some(), "missing mirror of ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn self_loop_augmentation_is_a_superset_plus_diagonal(seed in 0u64..1000) {
+        let g = random_graph(seed);
+        let a = g.adjacency();
+        let aug = with_self_loops(a);
+        prop_assert_eq!(aug.nnz(), a.nnz() + a.n_rows());
+        for i in 0..a.n_rows() {
+            prop_assert!(aug.find(i, i).is_some(), "missing self-loop at {i}");
+        }
+        for (r, c, _) in a.iter_entries() {
+            prop_assert!(aug.find(r, c).is_some(), "augmentation dropped ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn sym_norm_preserves_symmetry(seed in 0u64..1000) {
+        let g = random_graph(seed);
+        let aug = with_self_loops(g.adjacency());
+        let m = sym_norm_values(&aug);
+        let s = m.structure();
+        for (r, c, p) in s.iter_entries() {
+            let q = s.find(c, r).expect("structure is symmetric");
+            let (w, wt) = (m.values()[p], m.values()[q]);
+            prop_assert!((w - wt).abs() < 1e-6, "D^-1/2 A D^-1/2 must stay symmetric");
+            prop_assert!(w > 0.0 && w.is_finite());
+        }
+    }
+
+    #[test]
+    fn row_norm_rows_sum_to_one(seed in 0u64..1000) {
+        let g = random_graph(seed);
+        let aug = with_self_loops(g.adjacency());
+        let m = row_norm_values(&aug);
+        let s = m.structure();
+        for r in 0..s.n_rows() {
+            let range = s.row_range(r);
+            if range.is_empty() {
+                continue;
+            }
+            let sum: f32 = m.values()[range].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5, "row {} sums to {}", r, sum);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! `ses-lint` — source-level workspace lint pass enforcing SES project
+//! invariants as named, individually testable rules.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-unwrap` | no `.unwrap()` / `.expect(` / `panic!(` in library runtime paths |
+//! | `gradcheck-coverage` | every differentiable tape op has a finite-difference test |
+//! | `no-thread-rng` | no unseeded randomness anywhere in the workspace |
+//! | `no-f64-in-kernels` | the tensor engine stays `f32` end to end |
+//! | `allow-syntax` | every escape hatch names a known rule and carries a reason |
+//!
+//! Escape hatch: `// lint:allow(<rule>): <reason>` on the offending line, or
+//! alone on the line directly above it. Reasons are mandatory.
+//!
+//! Run as `cargo run -p ses-lint` (exits non-zero listing `file:line` per
+//! violation) — and enforced forever by `crates/lint/tests/workspace_clean.rs`
+//! under plain `cargo test`. See `docs/CORRECTNESS.md` for the full policy.
+
+pub mod rules;
+pub mod scrub;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use scrub::LineInfo;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule name (one of [`rules::ALL_RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-oriented explanation with the suggested fix.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// A parsed `// lint:allow(rule, …): reason` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// Rules the directive suppresses.
+    pub rules: Vec<String>,
+    /// Whether a non-empty reason follows the rule list.
+    pub has_reason: bool,
+}
+
+/// One scrubbed source file plus its allow directives.
+#[derive(Debug)]
+pub struct LintFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel_path: String,
+    /// Scrubbed lines (see [`scrub::scrub`]).
+    pub lines: Vec<LineInfo>,
+    /// Per-line allow directive, if any.
+    pub directives: Vec<Option<Directive>>,
+}
+
+impl LintFile {
+    /// Builds the lint view of one source text.
+    pub fn from_source(rel_path: String, text: &str) -> Self {
+        let lines = scrub::scrub(text);
+        let directives = lines.iter().map(|l| parse_directive(&l.comments)).collect();
+        Self {
+            rel_path,
+            lines,
+            directives,
+        }
+    }
+
+    /// True when `rule` is suppressed at `line_idx`: a reasoned directive on
+    /// the line itself, or on directly preceding comment-only lines.
+    pub fn is_allowed(&self, line_idx: usize, rule: &str) -> bool {
+        if self.directive_allows(line_idx, rule) {
+            return true;
+        }
+        // walk upward across comment-only/empty lines
+        let mut i = line_idx;
+        while i > 0 {
+            i -= 1;
+            let code_empty = self.lines[i].code.trim().is_empty();
+            if self.directive_allows(i, rule) && code_empty {
+                return true;
+            }
+            if !code_empty {
+                break;
+            }
+        }
+        false
+    }
+
+    fn directive_allows(&self, idx: usize, rule: &str) -> bool {
+        self.directives[idx]
+            .as_ref()
+            .is_some_and(|d| d.has_reason && d.rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Parses a `lint:allow(rule, …): reason` directive out of comment text. Only
+/// a comment that *starts* with the directive (after doc-comment sigils)
+/// counts — prose that merely mentions `lint:allow` syntax is not a directive.
+fn parse_directive(comment: &str) -> Option<Directive> {
+    let head = comment
+        .trim_start()
+        .trim_start_matches(['/', '!'])
+        .trim_start();
+    let rest = head.strip_prefix("lint:allow(")?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let after = rest[close + 1..].trim_start();
+    let has_reason = after
+        .strip_prefix(':')
+        .map(|r| !r.trim().is_empty())
+        .unwrap_or(false);
+    Some(Directive { rules, has_reason })
+}
+
+/// The scrubbed workspace: every `.rs` file under the lintable roots.
+#[derive(Debug)]
+pub struct Workspace {
+    /// All collected files.
+    pub files: Vec<LintFile>,
+}
+
+/// Locates the workspace root relative to this crate's manifest.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Reads and scrubs every `.rs` file in the workspace (crates/, src/, tests/,
+/// examples/, vendor/), skipping build artifacts.
+pub fn collect_workspace(root: &Path) -> std::io::Result<Workspace> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let text = std::fs::read_to_string(&path)?;
+                files.push(LintFile::from_source(rel, &text));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(Workspace { files })
+}
+
+/// Runs every rule over the workspace; violations come back sorted by
+/// location.
+pub fn run(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        rules::no_unwrap(f, &mut out);
+        rules::no_thread_rng(f, &mut out);
+        rules::no_f64_in_kernels(f, &mut out);
+        rules::allow_syntax(f, &mut out);
+    }
+    rules::gradcheck_coverage(&ws.files, &mut out);
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directive_parsing() {
+        let d = parse_directive(" lint:allow(no-unwrap): checked above").unwrap();
+        assert_eq!(d.rules, vec!["no-unwrap"]);
+        assert!(d.has_reason);
+
+        let d = parse_directive("lint:allow(no-unwrap, no-thread-rng): both fine").unwrap();
+        assert_eq!(d.rules.len(), 2);
+
+        let d = parse_directive("lint:allow(no-unwrap)").unwrap();
+        assert!(!d.has_reason);
+
+        let d = parse_directive("lint:allow(no-unwrap):   ").unwrap();
+        assert!(!d.has_reason, "whitespace-only reason does not count");
+
+        assert!(parse_directive("nothing here").is_none());
+    }
+
+    #[test]
+    fn allow_applies_to_next_code_line_across_comments() {
+        let f = LintFile::from_source(
+            "crates/x/src/lib.rs".into(),
+            "fn f() {\n    // lint:allow(no-unwrap): reason\n    // more commentary\n    x.unwrap();\n}",
+        );
+        assert!(f.is_allowed(3, "no-unwrap"));
+        assert!(!f.is_allowed(0, "no-unwrap"));
+    }
+
+    #[test]
+    fn allow_does_not_leak_past_code() {
+        let f = LintFile::from_source(
+            "crates/x/src/lib.rs".into(),
+            "// lint:allow(no-unwrap): only for line 2\nx.unwrap();\ny.unwrap();",
+        );
+        assert!(f.is_allowed(1, "no-unwrap"));
+        assert!(!f.is_allowed(2, "no-unwrap"));
+    }
+
+    #[test]
+    fn end_to_end_on_synthetic_workspace() {
+        let ws = Workspace {
+            files: vec![
+                LintFile::from_source(
+                    "crates/foo/src/lib.rs".into(),
+                    "fn f() { q.unwrap(); }\nfn g() { let r = thread_rng(); }",
+                ),
+                LintFile::from_source(
+                    "crates/tensor/src/matrix.rs".into(),
+                    "fn k(x: f32) -> f64 { x as f64 }",
+                ),
+            ],
+        };
+        let v = run(&ws);
+        let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"no-unwrap"));
+        assert!(rules.contains(&"no-thread-rng"));
+        assert!(rules.contains(&"no-f64-in-kernels"));
+        // sorted by file then line
+        let mut sorted = v.clone();
+        sorted.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        assert_eq!(
+            v.iter()
+                .map(|x| (x.file.clone(), x.line))
+                .collect::<Vec<_>>(),
+            sorted
+                .iter()
+                .map(|x| (x.file.clone(), x.line))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! `cargo run -p ses-lint` — runs the workspace lint pass and exits non-zero
+//! when any invariant is violated, printing one `file:line: [rule] message`
+//! per violation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = ses_lint::workspace_root();
+    let ws = match ses_lint::collect_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "ses-lint: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = ses_lint::run(&ws);
+    if violations.is_empty() {
+        println!(
+            "ses-lint: {} files clean ({} rules)",
+            ws.files.len(),
+            ses_lint::rules::ALL_RULES.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    eprintln!("ses-lint: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,409 @@
+//! The individual lint rules. Each rule is a plain function from the scrubbed
+//! workspace view to a list of violations, so every rule is testable in
+//! isolation on synthetic sources.
+
+use crate::{LintFile, Violation};
+
+/// Rule names, in one place so the allow parser and docs stay in sync.
+pub const NO_UNWRAP: &str = "no-unwrap";
+/// See [`NO_UNWRAP`].
+pub const GRADCHECK_COVERAGE: &str = "gradcheck-coverage";
+/// See [`NO_UNWRAP`].
+pub const NO_THREAD_RNG: &str = "no-thread-rng";
+/// See [`NO_UNWRAP`].
+pub const NO_F64_IN_KERNELS: &str = "no-f64-in-kernels";
+/// See [`NO_UNWRAP`].
+pub const ALLOW_SYNTAX: &str = "allow-syntax";
+
+/// All rule names, for validating `lint:allow(..)` directives.
+pub const ALL_RULES: &[&str] = &[
+    NO_UNWRAP,
+    GRADCHECK_COVERAGE,
+    NO_THREAD_RNG,
+    NO_F64_IN_KERNELS,
+    ALLOW_SYNTAX,
+];
+
+/// True for paths whose panics are acceptable: test code, benchmarks,
+/// executables and examples (a binary's `main` may reasonably die loudly).
+pub fn is_exempt_from_panics(rel_path: &str) -> bool {
+    rel_path.contains("/tests/")
+        || rel_path.starts_with("tests/")
+        || rel_path.contains("/benches/")
+        || rel_path.contains("/examples/")
+        || rel_path.starts_with("examples/")
+        || rel_path.contains("/src/bin/")
+}
+
+/// `no-unwrap`: forbids `.unwrap()`, `.expect(` and `panic!(` in library
+/// runtime paths. `assert!`/`debug_assert!` stay allowed — stating invariants
+/// is encouraged; swallowing `Result`s is not.
+pub fn no_unwrap(file: &LintFile, out: &mut Vec<Violation>) {
+    if is_exempt_from_panics(&file.rel_path) {
+        return;
+    }
+    const PATTERNS: [&str; 3] = [".unwrap()", ".expect(", "panic!("];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_region {
+            continue;
+        }
+        for pat in PATTERNS {
+            if let Some(col) = find_token(&line.code, pat) {
+                // `panic!(` also matches inside `core::panic!(` or a macro
+                // re-export; all are equally banned, no need to distinguish.
+                if file.is_allowed(idx, NO_UNWRAP) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: NO_UNWRAP,
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    msg: format!(
+                        "`{pat}` in library runtime path (col {}): return a Result or add \
+                         `// lint:allow(no-unwrap): <reason>`",
+                        col + 1
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `no-thread-rng`: forbids unseeded randomness everywhere (including tests —
+/// flaky tests are still flaky). The vendored `rand` stub does not even
+/// provide these entry points; the lint keeps it that way at the source level.
+pub fn no_thread_rng(file: &LintFile, out: &mut Vec<Violation>) {
+    const PATTERNS: [&str; 3] = ["thread_rng", "from_entropy", "rand::random"];
+    for (idx, line) in file.lines.iter().enumerate() {
+        for pat in PATTERNS {
+            if contains_word(&line.code, pat) {
+                if file.is_allowed(idx, NO_THREAD_RNG) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: NO_THREAD_RNG,
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    msg: format!(
+                        "`{pat}`: all randomness must flow from an explicit \
+                         `StdRng::seed_from_u64` seed for reproducibility"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `no-f64-in-kernels`: the tensor engine is `f32` end to end; a stray `f64`
+/// literal or cast inside a kernel silently doubles bandwidth and diverges
+/// from the accumulation order the gradcheck tolerances were tuned for.
+pub fn no_f64_in_kernels(file: &LintFile, out: &mut Vec<Violation>) {
+    if !file.rel_path.starts_with("crates/tensor/src") {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_region {
+            continue;
+        }
+        if contains_word(&line.code, "f64") {
+            if file.is_allowed(idx, NO_F64_IN_KERNELS) {
+                continue;
+            }
+            out.push(Violation {
+                rule: NO_F64_IN_KERNELS,
+                file: file.rel_path.clone(),
+                line: idx + 1,
+                msg: "`f64` in an f32 tensor kernel: use f32, or justify with \
+                      `// lint:allow(no-f64-in-kernels): <reason>`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `allow-syntax`: every `lint:allow` directive must name a known rule and
+/// carry a reason (`// lint:allow(<rule>): <reason>`); a bare allow is a
+/// violation itself, so escapes stay auditable.
+pub fn allow_syntax(file: &LintFile, out: &mut Vec<Violation>) {
+    for (idx, directive) in file.directives.iter().enumerate() {
+        let Some(d) = directive else { continue };
+        if !d.has_reason {
+            out.push(Violation {
+                rule: ALLOW_SYNTAX,
+                file: file.rel_path.clone(),
+                line: idx + 1,
+                msg: "lint:allow without a reason; write \
+                      `// lint:allow(<rule>): <why this is safe>`"
+                    .to_string(),
+            });
+        }
+        for r in &d.rules {
+            if !ALL_RULES.contains(&r.as_str()) {
+                out.push(Violation {
+                    rule: ALLOW_SYNTAX,
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    msg: format!("lint:allow names unknown rule `{r}`"),
+                });
+            }
+        }
+    }
+}
+
+/// `gradcheck-coverage`: every differentiable op registered on the tape (a
+/// `pub fn … (&mut self, …)` in one of the tape op modules) must be exercised
+/// by name in the finite-difference test corpus
+/// (`crates/tensor/tests/*.rs` + `crates/tensor/src/gradcheck.rs`), so a new
+/// op cannot land with an unverified backward rule.
+pub fn gradcheck_coverage(files: &[LintFile], out: &mut Vec<Violation>) {
+    const OP_MODULES: [&str; 5] = [
+        "crates/tensor/src/tape/elementwise.rs",
+        "crates/tensor/src/tape/graph_ops.rs",
+        "crates/tensor/src/tape/linalg.rs",
+        "crates/tensor/src/tape/loss.rs",
+        "crates/tensor/src/tape/reduce.rs",
+    ];
+
+    let mut corpus = String::new();
+    for f in files {
+        if f.rel_path.starts_with("crates/tensor/tests/")
+            || f.rel_path == "crates/tensor/src/gradcheck.rs"
+        {
+            for line in &f.lines {
+                corpus.push_str(&line.code);
+                corpus.push('\n');
+            }
+        }
+    }
+
+    for f in files {
+        if !OP_MODULES.contains(&f.rel_path.as_str()) {
+            continue;
+        }
+        for (idx, name) in tape_op_decls(f) {
+            if corpus.contains(&format!(".{name}(")) {
+                continue;
+            }
+            if f.is_allowed(idx, GRADCHECK_COVERAGE) {
+                continue;
+            }
+            out.push(Violation {
+                rule: GRADCHECK_COVERAGE,
+                file: f.rel_path.clone(),
+                line: idx + 1,
+                msg: format!(
+                    "differentiable op `{name}` has no finite-difference coverage: add a \
+                     gradcheck property in crates/tensor/tests/ or justify with \
+                     `// lint:allow(gradcheck-coverage): <reason>`"
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts `(line_index, fn_name)` for every `pub fn name(&mut self, …)`
+/// declared outside test regions of a tape op module. Signatures may wrap
+/// across lines; the receiver is searched within the declaration window.
+fn tape_op_decls(file: &LintFile) -> Vec<(usize, String)> {
+    let mut decls = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_region {
+            continue;
+        }
+        let Some(pos) = line.code.find("pub fn ") else {
+            continue;
+        };
+        let rest = &line.code[pos + "pub fn ".len()..];
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        // join the declaration window (until the body opens) to find the receiver
+        let mut window = String::new();
+        for l in &file.lines[idx..file.lines.len().min(idx + 6)] {
+            window.push_str(&l.code);
+            if l.code.contains('{') {
+                break;
+            }
+        }
+        if window.contains("&mut self") {
+            decls.push((idx, name));
+        }
+    }
+    decls
+}
+
+/// Finds `pat` in `code` as a raw substring, returning the byte column.
+fn find_token(code: &str, pat: &str) -> Option<usize> {
+    code.find(pat)
+}
+
+/// True when `word` appears delimited by non-identifier characters (boundary
+/// checks apply at the pattern's ends, so `word` may itself contain `::`).
+fn contains_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + word.len();
+        let after_ok = after >= code.len()
+            || !code[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintFile;
+
+    fn file(path: &str, src: &str) -> LintFile {
+        LintFile::from_source(path.to_string(), src)
+    }
+
+    fn run_single(f: &LintFile, rule: fn(&LintFile, &mut Vec<Violation>)) -> Vec<Violation> {
+        let mut out = Vec::new();
+        rule(f, &mut out);
+        out
+    }
+
+    #[test]
+    fn no_unwrap_flags_runtime_paths_only() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"boom\"); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn g() { z.unwrap(); }\n}";
+        let v = run_single(&file("crates/foo/src/lib.rs", src), no_unwrap);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.line == 1));
+        // same source in a test file: clean
+        let v = run_single(&file("crates/foo/tests/it.rs", src), no_unwrap);
+        assert!(v.is_empty());
+        // …or a binary
+        let v = run_single(&file("crates/foo/src/bin/main.rs", src), no_unwrap);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn no_unwrap_respects_allow_with_reason() {
+        let src =
+            "fn f() {\n    // lint:allow(no-unwrap): length checked above\n    x.unwrap();\n}";
+        let v = run_single(&file("crates/foo/src/lib.rs", src), no_unwrap);
+        assert!(v.is_empty(), "{v:?}");
+        // same-line form
+        let src2 = "fn f() { x.unwrap(); } // lint:allow(no-unwrap): infallible by construction";
+        let v2 = run_single(&file("crates/foo/src/lib.rs", src2), no_unwrap);
+        assert!(v2.is_empty(), "{v2:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_trip() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }";
+        let v = run_single(&file("crates/foo/src/lib.rs", src), no_unwrap);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_no_unwrap() {
+        let src = "fn f() { let s = \"call .unwrap() here\"; } // .unwrap() is bad\n/// panic!(never)\nfn g() {}";
+        let v = run_single(&file("crates/foo/src/lib.rs", src), no_unwrap);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn thread_rng_flagged_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let mut r = rand::thread_rng(); }\n}";
+        let v = run_single(&file("crates/foo/src/lib.rs", src), no_thread_rng);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, NO_THREAD_RNG);
+    }
+
+    #[test]
+    fn f64_flagged_only_in_tensor_kernels() {
+        let src = "fn k(x: f32) -> f32 { (x as f64) as f32 }";
+        let v = run_single(&file("crates/tensor/src/matrix.rs", src), no_f64_in_kernels);
+        assert_eq!(v.len(), 1);
+        let v = run_single(&file("crates/graph/src/lib.rs", src), no_f64_in_kernels);
+        assert!(v.is_empty());
+        // identifier containing f64 as substring must not trip
+        let src2 = "fn k() { let bf64x = 1.0f32; }";
+        let v2 = run_single(
+            &file("crates/tensor/src/matrix.rs", src2),
+            no_f64_in_kernels,
+        );
+        assert!(v2.is_empty(), "{v2:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation() {
+        let src = "fn f() {\n    // lint:allow(no-unwrap)\n    x.unwrap();\n}";
+        let f = file("crates/foo/src/lib.rs", src);
+        let v = run_single(&f, allow_syntax);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, ALLOW_SYNTAX);
+        // and the reasonless allow still suppresses nothing
+        let v = run_single(&f, no_unwrap);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_a_violation() {
+        let src = "// lint:allow(no-such-rule): whatever\nfn f() {}";
+        let v = run_single(&file("crates/foo/src/lib.rs", src), allow_syntax);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn gradcheck_coverage_names_uncovered_ops() {
+        let op_file = file(
+            "crates/tensor/src/tape/elementwise.rs",
+            "impl Tape {\n    pub fn covered_op(&mut self, a: Var) -> Var { a }\n    \
+             pub fn uncovered_op(&mut self, a: Var) -> Var { a }\n    \
+             pub fn helper(a: Var) -> Var { a }\n}",
+        );
+        let test_file = file(
+            "crates/tensor/tests/gradcheck_props.rs",
+            "fn t() { let x = t.covered_op(v); }",
+        );
+        let mut out = Vec::new();
+        gradcheck_coverage(&[op_file, test_file], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("uncovered_op"));
+    }
+
+    #[test]
+    fn gradcheck_coverage_respects_allow() {
+        let op_file = file(
+            "crates/tensor/src/tape/reduce.rs",
+            "impl Tape {\n    // lint:allow(gradcheck-coverage): composed of checked ops\n    \
+             pub fn composed(&mut self, a: Var) -> Var { a }\n}",
+        );
+        let mut out = Vec::new();
+        gradcheck_coverage(&[op_file], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn gradcheck_coverage_handles_multiline_signatures() {
+        let op_file = file(
+            "crates/tensor/src/tape/loss.rs",
+            "impl Tape {\n    pub fn wrapped(\n        &mut self,\n        a: Var,\n    ) -> Var { a }\n}",
+        );
+        let mut out = Vec::new();
+        gradcheck_coverage(&[op_file], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("wrapped"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Source scrubbing: reduces Rust source text to a per-line view in which
+//! string/char literals and comments are blanked out of the *code* channel and
+//! comment text is preserved in a separate *comment* channel.
+//!
+//! Lint rules match against the code channel (so `".unwrap()"` inside a string
+//! literal or a doc comment never trips a rule) and read `lint:allow`
+//! directives from the comment channel.
+
+/// One source line after scrubbing.
+#[derive(Debug, Default, Clone)]
+pub struct LineInfo {
+    /// Code with comments and literal contents blanked (columns preserved).
+    pub code: String,
+    /// Concatenated comment text found on this line.
+    pub comments: String,
+    /// True when the line sits inside a `#[cfg(test)]`-gated block.
+    pub in_test_region: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    Str,
+    RawStr(usize),
+    BlockComment(usize),
+}
+
+/// Scrubs `text` into per-line code/comment channels and marks
+/// `#[cfg(test)]` regions.
+pub fn scrub(text: &str) -> Vec<LineInfo> {
+    let mut lines = scrub_literals_and_comments(text);
+    mark_test_regions(&mut lines);
+    lines
+}
+
+fn scrub_literals_and_comments(text: &str) -> Vec<LineInfo> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for raw_line in text.lines() {
+        let bytes: Vec<char> = raw_line.chars().collect();
+        let mut code = String::with_capacity(bytes.len());
+        let mut comments = String::new();
+        let mut i = 0usize;
+        let n = bytes.len();
+        let mut line_comment = false;
+        while i < n {
+            let c = bytes[i];
+            match state {
+                State::Code => {
+                    if line_comment {
+                        comments.push(c);
+                        code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                    match c {
+                        '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                            line_comment = true;
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                        }
+                        '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                            state = State::BlockComment(1);
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                        }
+                        '"' => {
+                            // keep the delimiter so `("…")` still looks call-like
+                            code.push('"');
+                            state = State::Str;
+                            i += 1;
+                        }
+                        'r' if i + 1 < n && (bytes[i + 1] == '"' || bytes[i + 1] == '#') => {
+                            // raw string r"…" / r#"…"#
+                            let mut hashes = 0usize;
+                            let mut j = i + 1;
+                            while j < n && bytes[j] == '#' {
+                                hashes += 1;
+                                j += 1;
+                            }
+                            if j < n && bytes[j] == '"' {
+                                for _ in i..=j {
+                                    code.push(' ');
+                                }
+                                state = State::RawStr(hashes);
+                                i = j + 1;
+                            } else {
+                                code.push(c);
+                                i += 1;
+                            }
+                        }
+                        '\'' => {
+                            // char literal vs lifetime: a literal closes within
+                            // a few chars ('x', '\n', '\u{..}'); a lifetime
+                            // never has a closing quote directly after its
+                            // identifier.
+                            if let Some(close) = char_literal_close(&bytes, i) {
+                                code.push('\'');
+                                for _ in i + 1..close {
+                                    code.push(' ');
+                                }
+                                code.push('\'');
+                                i = close + 1;
+                            } else {
+                                code.push('\'');
+                                i += 1;
+                            }
+                        }
+                        _ => {
+                            code.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                State::Str => match c {
+                    '\\' if i + 1 < n => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(' ');
+                        i += 1;
+                    }
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' && raw_str_closes(&bytes, i, hashes) {
+                        for _ in 0..=hashes {
+                            code.push(' ');
+                        }
+                        i += hashes + 1;
+                        state = State::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::BlockComment(depth) => {
+                    if c == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        state = State::BlockComment(depth + 1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        comments.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Unterminated ordinary string literals do not span lines in valid
+        // Rust unless continued with a trailing backslash; treat end-of-line
+        // as terminating to stay robust on that edge.
+        if state == State::Str && !raw_line.ends_with('\\') {
+            state = State::Code;
+        }
+        out.push(LineInfo {
+            code,
+            comments,
+            in_test_region: false,
+        });
+    }
+    out
+}
+
+fn char_literal_close(bytes: &[char], open: usize) -> Option<usize> {
+    let n = bytes.len();
+    let mut j = open + 1;
+    if j >= n {
+        return None;
+    }
+    if bytes[j] == '\\' {
+        // escape: scan to the next quote within a small window ('\u{1F600}')
+        let mut k = j + 1;
+        while k < n && k - open <= 12 {
+            if bytes[k] == '\'' {
+                return Some(k);
+            }
+            k += 1;
+        }
+        return None;
+    }
+    j += 1;
+    if j < n && bytes[j] == '\'' && bytes[open + 1] != '\'' {
+        return Some(j);
+    }
+    None
+}
+
+fn raw_str_closes(bytes: &[char], quote: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| quote + k < bytes.len() && bytes[quote + k] == '#')
+}
+
+fn mark_test_regions(lines: &mut [LineInfo]) {
+    let mut depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    // stack of depths at which a #[cfg(test)] block was entered
+    let mut regions: Vec<i64> = Vec::new();
+    for line in lines.iter_mut() {
+        if line.code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        let entering = pending_cfg_test && line.code.contains('{');
+        let entry_depth = depth;
+        line.in_test_region = !regions.is_empty() || entering;
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending_cfg_test {
+                        regions.push(entry_depth);
+                        pending_cfg_test = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(&entry) = regions.last() {
+                        if depth <= entry {
+                            regions.pop();
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = r#"let x = "a.unwrap()"; // call .unwrap() later
+let y = v.unwrap();"#;
+        let lines = scrub(src);
+        assert!(!lines[0].code.contains(".unwrap()"));
+        assert!(lines[0].comments.contains(".unwrap()"));
+        assert!(lines[1].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let src = "/* a\n.unwrap()\n*/ let z = 1;";
+        let lines = scrub(src);
+        assert!(!lines[1].code.contains(".unwrap()"));
+        assert!(lines[1].comments.contains(".unwrap()"));
+        assert!(lines[2].code.contains("let z"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { '\"' }";
+        let lines = scrub(src);
+        assert!(lines[0].code.contains("fn f<'a>"));
+        // the quote char literal must not open a string
+        assert!(lines[0].code.contains('}'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let p = r#\"panic!(boom)\"#; panic!(\"x\");";
+        let lines = scrub(src);
+        assert!(!lines[0].code.contains("panic!(boom)"));
+        assert!(lines[0].code.contains("panic!("));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn runtime() {}\n#[cfg(test)]\nmod tests {\n    fn inner() { x.unwrap(); }\n}\nfn also_runtime() {}";
+        let lines = scrub(src);
+        assert!(!lines[0].in_test_region);
+        assert!(lines[2].in_test_region);
+        assert!(lines[3].in_test_region);
+        assert!(lines[4].in_test_region);
+        assert!(!lines[5].in_test_region);
+    }
+}

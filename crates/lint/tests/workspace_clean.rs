@@ -1,0 +1,25 @@
+//! Tier-1 enforcement: the real workspace must be lint-clean, forever. This
+//! is the `#[test]` twin of `cargo run -p ses-lint`, so the invariants hold
+//! on every `cargo test` run without any extra CI wiring.
+
+#[test]
+fn workspace_has_no_lint_violations() {
+    let root = ses_lint::workspace_root();
+    let ws = ses_lint::collect_workspace(&root).expect("workspace sources readable");
+    assert!(
+        ws.files.len() > 50,
+        "workspace walk looks wrong: only {} files found",
+        ws.files.len()
+    );
+    let violations = ses_lint::run(&ws);
+    assert!(
+        violations.is_empty(),
+        "ses-lint found {} violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

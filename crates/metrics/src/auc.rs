@@ -12,7 +12,7 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> Option<f64> {
     }
     // ranks with midrank tie handling
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores must not be NaN"));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < order.len() {
@@ -43,7 +43,7 @@ pub fn average_precision(scores: &[f32], labels: &[bool]) -> Option<f64> {
         return None;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut tp = 0usize;
     let mut ap = 0.0f64;
     for (k, &i) in order.iter().enumerate() {
@@ -101,7 +101,10 @@ mod tests {
         let scores = [0.1f32, 0.4, 0.35, 0.8, 0.65, 0.2];
         let labels = [false, true, false, true, true, false];
         let base = roc_auc(&scores, &labels).unwrap();
-        let squashed: Vec<f32> = scores.iter().map(|&s| 1.0 / (1.0 + (-5.0 * s).exp())).collect();
+        let squashed: Vec<f32> = scores
+            .iter()
+            .map(|&s| 1.0 / (1.0 + (-5.0 * s).exp()))
+            .collect();
         let scaled: Vec<f32> = scores.iter().map(|&s| 100.0 * s + 7.0).collect();
         assert!((roc_auc(&squashed, &labels).unwrap() - base).abs() < 1e-12);
         assert!((roc_auc(&scaled, &labels).unwrap() - base).abs() < 1e-12);

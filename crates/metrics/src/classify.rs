@@ -9,7 +9,10 @@ pub fn accuracy(pred: &[usize], truth: &[usize], idx: &[usize]) -> f64 {
     let correct = idx
         .iter()
         .filter(|&&i| {
-            assert!(i < pred.len() && i < truth.len(), "accuracy: index out of bounds");
+            assert!(
+                i < pred.len() && i < truth.len(),
+                "accuracy: index out of bounds"
+            );
             pred[i] == truth[i]
         })
         .count();
@@ -18,7 +21,12 @@ pub fn accuracy(pred: &[usize], truth: &[usize], idx: &[usize]) -> f64 {
 
 /// `k × k` confusion matrix restricted to `idx`; rows are truth, columns are
 /// predictions.
-pub fn confusion_matrix(pred: &[usize], truth: &[usize], idx: &[usize], k: usize) -> Vec<Vec<usize>> {
+pub fn confusion_matrix(
+    pred: &[usize],
+    truth: &[usize],
+    idx: &[usize],
+    k: usize,
+) -> Vec<Vec<usize>> {
     let mut m = vec![vec![0usize; k]; k];
     for &i in idx {
         m[truth[i]][pred[i]] += 1;
@@ -30,13 +38,21 @@ pub fn confusion_matrix(pred: &[usize], truth: &[usize], idx: &[usize], k: usize
 pub fn macro_f1(pred: &[usize], truth: &[usize], idx: &[usize], k: usize) -> f64 {
     let m = confusion_matrix(pred, truth, idx, k);
     let mut f1_sum = 0.0;
-    for c in 0..k {
-        let tp = m[c][c] as f64;
+    for (c, row) in m.iter().enumerate() {
+        let tp = row[c] as f64;
         let fp: f64 = (0..k).filter(|&r| r != c).map(|r| m[r][c] as f64).sum();
-        let fneg: f64 = (0..k).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+        let fneg: f64 = (0..k).filter(|&p| p != c).map(|p| row[p] as f64).sum();
         let prec = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
-        let rec = if tp + fneg > 0.0 { tp / (tp + fneg) } else { 0.0 };
-        f1_sum += if prec + rec > 0.0 { 2.0 * prec * rec / (prec + rec) } else { 0.0 };
+        let rec = if tp + fneg > 0.0 {
+            tp / (tp + fneg)
+        } else {
+            0.0
+        };
+        f1_sum += if prec + rec > 0.0 {
+            2.0 * prec * rec / (prec + rec)
+        } else {
+            0.0
+        };
     }
     f1_sum / k as f64
 }

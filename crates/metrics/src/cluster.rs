@@ -51,7 +51,11 @@ pub fn silhouette_score(embeddings: &Matrix, labels: &[usize]) -> f64 {
             .filter(|&c| c != own && counts[c] > 0)
             .map(|c| dist_sums[c] / counts[c] as f64)
             .fold(f64::INFINITY, f64::min);
-        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        let s = if a.max(b) > 0.0 {
+            (b - a) / a.max(b)
+        } else {
+            0.0
+        };
         total += s;
     }
     total / n as f64
@@ -83,10 +87,10 @@ pub fn calinski_harabasz_score(embeddings: &Matrix, labels: &[usize]) -> f64 {
             centroid[labels[i]][j] += x as f64;
         }
     }
-    for c in 0..k {
-        if counts[c] > 0 {
-            for j in 0..d {
-                centroid[c][j] /= counts[c] as f64;
+    for (cent, &count) in centroid.iter_mut().zip(&counts) {
+        if count > 0 {
+            for x in cent.iter_mut() {
+                *x /= count as f64;
             }
         }
     }
@@ -97,8 +101,7 @@ pub fn calinski_harabasz_score(embeddings: &Matrix, labels: &[usize]) -> f64 {
         between += counts[c] as f64 * diff;
     }
     let mut within = 0.0;
-    for i in 0..n {
-        let c = labels[i];
+    for (i, &c) in labels.iter().enumerate().take(n) {
         within += embeddings
             .row(i)
             .iter()

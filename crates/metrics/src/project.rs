@@ -40,16 +40,16 @@ pub fn pca_2d(data: &Matrix) -> Matrix {
         for _ in 0..100 {
             // w = X v
             let mut w = vec![0.0f32; n];
-            for i in 0..n {
+            for (i, wi) in w.iter_mut().enumerate() {
                 let row = centered.row(i);
-                w[i] = row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
+                *wi = row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
             }
             // v' = X^T w
             let mut v2 = vec![0.0f32; d];
-            for i in 0..n {
+            for (i, &wi) in w.iter().enumerate() {
                 let row = centered.row(i);
-                for j in 0..d {
-                    v2[j] += row[j] * w[i];
+                for (vj, &rj) in v2.iter_mut().zip(row.iter()) {
+                    *vj += rj * wi;
                 }
             }
             // deflate previously found components
@@ -102,7 +102,12 @@ pub struct TsneConfig {
 
 impl Default for TsneConfig {
     fn default() -> Self {
-        Self { perplexity: 30.0, iterations: 300, learning_rate: 100.0, exaggeration: 4.0 }
+        Self {
+            perplexity: 30.0,
+            iterations: 300,
+            learning_rate: 100.0,
+            exaggeration: 4.0,
+        }
     }
 }
 
@@ -121,7 +126,11 @@ pub fn tsne_2d(data: &Matrix, config: &TsneConfig, rng: &mut impl Rng) -> Matrix
     let mut velocity = Matrix::zeros(n, 2);
     let exag_until = config.iterations / 4;
     for iter in 0..config.iterations {
-        let exag = if iter < exag_until { config.exaggeration } else { 1.0 };
+        let exag = if iter < exag_until {
+            config.exaggeration
+        } else {
+            1.0
+        };
         // q_ij ∝ (1 + ||y_i - y_j||²)^-1
         let mut num = vec![0.0f64; n * n];
         let mut q_sum = 0.0f64;
@@ -208,7 +217,11 @@ fn joint_probabilities(data: &Matrix, perplexity: f64) -> Vec<f64> {
             }
             if entropy > target_entropy {
                 lo = beta;
-                beta = if hi >= 1e10 { beta * 2.0 } else { (beta + hi) / 2.0 };
+                beta = if hi >= 1e10 {
+                    beta * 2.0
+                } else {
+                    (beta + hi) / 2.0
+                };
             } else {
                 hi = beta;
                 beta = (beta + lo) / 2.0;
@@ -272,7 +285,11 @@ mod tests {
     fn tsne_separates_blobs() {
         let (d, _) = blob_data();
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let cfg = TsneConfig { perplexity: 5.0, iterations: 150, ..Default::default() };
+        let cfg = TsneConfig {
+            perplexity: 5.0,
+            iterations: 150,
+            ..Default::default()
+        };
         let y = tsne_2d(&d, &cfg, &mut rng);
         assert_eq!(y.shape(), (16, 2));
         assert!(y.all_finite());
@@ -295,7 +312,10 @@ mod tests {
                 }
             }
         }
-        assert!(inter / nx as f64 > intra / ni as f64, "blobs should separate");
+        assert!(
+            inter / nx as f64 > intra / ni as f64,
+            "blobs should separate"
+        );
     }
 
     #[test]

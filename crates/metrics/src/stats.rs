@@ -16,12 +16,17 @@ impl MeanStd {
     /// Computes mean ± std of `values` (0 ± 0 for an empty slice).
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Self { mean: 0.0, std: 0.0 };
+            return Self {
+                mean: 0.0,
+                std: 0.0,
+            };
         }
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let var =
-            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
-        Self { mean, std: var.sqrt() }
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        Self {
+            mean,
+            std: var.sqrt(),
+        }
     }
 }
 
@@ -47,7 +52,10 @@ impl Default for Stopwatch {
 impl Stopwatch {
     /// Starts a new stopwatch.
     pub fn new() -> Self {
-        Self { start: Instant::now(), laps: Vec::new() }
+        Self {
+            start: Instant::now(),
+            laps: Vec::new(),
+        }
     }
 
     /// Elapsed time since construction or the last [`Stopwatch::lap`].
@@ -96,7 +104,13 @@ mod tests {
 
     #[test]
     fn mean_std_empty_and_singleton() {
-        assert_eq!(MeanStd::of(&[]), MeanStd { mean: 0.0, std: 0.0 });
+        assert_eq!(
+            MeanStd::of(&[]),
+            MeanStd {
+                mean: 0.0,
+                std: 0.0
+            }
+        );
         let m = MeanStd::of(&[7.0]);
         assert_eq!(m.mean, 7.0);
         assert_eq!(m.std, 0.0);

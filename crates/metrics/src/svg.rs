@@ -16,7 +16,11 @@ const PALETTE: [&str; 10] = [
 /// Returns the SVG document as a string.
 pub fn scatter_svg(points: &Matrix, labels: &[usize], title: &str) -> String {
     assert_eq!(points.cols(), 2, "scatter_svg: points must be n x 2");
-    assert_eq!(points.rows(), labels.len(), "scatter_svg: label count mismatch");
+    assert_eq!(
+        points.rows(),
+        labels.len(),
+        "scatter_svg: label count mismatch"
+    );
     let (w, h, margin) = (640.0f32, 480.0f32, 40.0f32);
     let (min_x, max_x) = bounds(points, 0);
     let (min_y, max_y) = bounds(points, 1);
@@ -38,7 +42,10 @@ pub fn scatter_svg(points: &Matrix, labels: &[usize], title: &str) -> String {
         let x = margin + (points[(i, 0)] - min_x) * sx;
         let y = h - margin - (points[(i, 1)] - min_y) * sy;
         let color = PALETTE[labels[i] % PALETTE.len()];
-        let _ = writeln!(svg, r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}" fill-opacity="0.75"/>"#);
+        let _ = writeln!(
+            svg,
+            r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}" fill-opacity="0.75"/>"#
+        );
     }
     svg.push_str("</svg>\n");
     svg
@@ -89,7 +96,10 @@ pub fn graph_svg(
     for i in 0..n {
         let (x, y) = pos[i];
         let color = PALETTE[labels[i] % PALETTE.len()];
-        let _ = writeln!(svg, r#"<circle cx="{x:.1}" cy="{y:.1}" r="6" fill="{color}" stroke="black" stroke-width="0.5"/>"#);
+        let _ = writeln!(
+            svg,
+            r#"<circle cx="{x:.1}" cy="{y:.1}" r="6" fill="{color}" stroke="black" stroke-width="0.5"/>"#
+        );
     }
     svg.push_str("</svg>\n");
     svg

@@ -64,7 +64,10 @@ pub fn gradcheck(
             max_abs = max_abs.max(abs);
             max_rel = max_rel.max(rel);
         }
-        reports.push(GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel });
+        reports.push(GradCheckReport {
+            max_abs_err: max_abs,
+            max_rel_err: max_rel,
+        });
     }
     reports
 }

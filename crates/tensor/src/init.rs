@@ -11,26 +11,51 @@ use crate::matrix::Matrix;
 pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
     let a = (6.0 / (rows + cols) as f32).sqrt();
     let dist = Uniform::new_inclusive(-a, a);
-    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng)).collect())
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| dist.sample(rng)).collect(),
+    )
 }
 
 /// Xavier/Glorot normal initialisation: `N(0, 2/(fan_in + fan_out))`.
 pub fn xavier_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
     let std = (2.0 / (rows + cols) as f32).sqrt();
+    // lint:allow(no-unwrap): std = sqrt(2/(rows+cols)) is finite and positive
     let dist = Normal::new(0.0, std).expect("std is finite and positive");
-    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng)).collect())
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| dist.sample(rng)).collect(),
+    )
 }
 
 /// Standard normal entries scaled by `std`.
+///
+/// # Panics
+/// Panics when `std` is not finite and positive.
 pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix {
+    assert!(
+        std.is_finite() && std > 0.0,
+        "normal: std must be finite and positive"
+    );
+    // lint:allow(no-unwrap): std validated by the assert above
     let dist = Normal::new(0.0, std).expect("std must be finite and positive");
-    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng)).collect())
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| dist.sample(rng)).collect(),
+    )
 }
 
 /// Uniform entries in `[lo, hi)`.
 pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Matrix {
     let dist = Uniform::new(lo, hi);
-    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng)).collect())
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| dist.sample(rng)).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -52,10 +77,12 @@ mod tests {
     fn xavier_normal_scale() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let m = xavier_normal(128, 128, &mut rng);
-        let var: f32 =
-            m.as_slice().iter().map(|&x| x * x).sum::<f32>() / m.len() as f32;
+        let var: f32 = m.as_slice().iter().map(|&x| x * x).sum::<f32>() / m.len() as f32;
         let expected = 2.0 / 256.0;
-        assert!((var - expected).abs() < expected * 0.5, "var={var}, expected≈{expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.5,
+            "var={var}, expected≈{expected}"
+        );
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Param, Sgd};
 pub use sparse::{CsrMatrix, CsrStructure};
 pub use tape::dropout_mask;
-pub use tape::{Tape, Var};
+pub use tape::{sanitize_enabled, Leak, LeakKind, Tape, Var};

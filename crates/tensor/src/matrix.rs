@@ -18,12 +18,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix of ones.
@@ -294,7 +302,11 @@ impl Matrix {
 
     /// `self += c * rhs` in place (AXPY).
     pub fn add_scaled_assign(&mut self, rhs: &Matrix, c: f32) {
-        assert_eq!(self.shape(), rhs.shape(), "add_scaled_assign: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "add_scaled_assign: shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += c * b;
         }
@@ -358,7 +370,11 @@ impl Matrix {
     pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);
         for (r, &i) in idx.iter().enumerate() {
-            assert!(i < self.rows, "gather_rows: index {i} out of bounds (rows={})", self.rows);
+            assert!(
+                i < self.rows,
+                "gather_rows: index {i} out of bounds (rows={})",
+                self.rows
+            );
             out.row_mut(r).copy_from_slice(self.row(i));
         }
         out

@@ -22,7 +22,11 @@ impl Param {
     /// Wraps an initial value as a parameter.
     pub fn new(value: Matrix) -> Self {
         let (r, c) = value.shape();
-        Self { value, m: Matrix::zeros(r, c), v: Matrix::zeros(r, c) }
+        Self {
+            value,
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
     }
 
     /// Records this parameter on a tape as a gradient-requiring leaf.
@@ -56,7 +60,10 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD with learning rate `lr` and no weight decay.
     pub fn new(lr: f32) -> Self {
-        Self { lr, weight_decay: 0.0 }
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 
     /// Sets L2 weight decay.
@@ -103,7 +110,14 @@ impl Adam {
     /// Creates Adam with the given learning rate and default
     /// `(β₁, β₂, ε) = (0.9, 0.999, 1e-8)`.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+        }
     }
 
     /// Sets L2 weight decay (added to the raw gradient).
@@ -124,7 +138,11 @@ impl Optimizer for Adam {
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
         for (p, g) in updates.iter_mut() {
-            assert_eq!(p.value.shape(), g.shape(), "Adam::step: grad shape mismatch");
+            assert_eq!(
+                p.value.shape(),
+                g.shape(),
+                "Adam::step: grad shape mismatch"
+            );
             let n = p.value.len();
             let pv = p.value.as_mut_slice();
             let pm = p.m.as_mut_slice();

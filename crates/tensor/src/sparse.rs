@@ -25,7 +25,10 @@ impl CsrStructure {
     pub fn from_edges(n_rows: usize, n_cols: usize, edges: &[(usize, usize)]) -> Self {
         let mut per_row: Vec<Vec<usize>> = vec![Vec::new(); n_rows];
         for &(r, c) in edges {
-            assert!(r < n_rows && c < n_cols, "edge ({r},{c}) out of bounds {n_rows}x{n_cols}");
+            assert!(
+                r < n_rows && c < n_cols,
+                "edge ({r},{c}) out of bounds {n_rows}x{n_cols}"
+            );
             per_row[r].push(c);
         }
         let mut indptr = Vec::with_capacity(n_rows + 1);
@@ -37,7 +40,12 @@ impl CsrStructure {
             indices.extend_from_slice(row);
             indptr.push(indices.len());
         }
-        Self { n_rows, n_cols, indptr, indices }
+        Self {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+        }
     }
 
     /// Number of rows.
@@ -99,10 +107,7 @@ impl CsrStructure {
 
     /// Iterates `(row, col, flat_position)` over all stored entries.
     pub fn iter_entries(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
-        (0..self.n_rows).flat_map(move |r| {
-            self.row_range(r)
-                .map(move |p| (r, self.indices[p], p))
-        })
+        (0..self.n_rows).flat_map(move |r| self.row_range(r).map(move |p| (r, self.indices[p], p)))
     }
 
     /// COO edge list `(row, col)` of all stored entries.
@@ -137,7 +142,11 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if `values.len() != structure.nnz()`.
     pub fn new(structure: Arc<CsrStructure>, values: Vec<f32>) -> Self {
-        assert_eq!(values.len(), structure.nnz(), "CsrMatrix: value length != nnz");
+        assert_eq!(
+            values.len(),
+            structure.nnz(),
+            "CsrMatrix: value length != nnz"
+        );
         Self { structure, values }
     }
 
@@ -153,7 +162,10 @@ impl CsrMatrix {
         let structure = Arc::new(CsrStructure::from_edges(n_rows, n_cols, &edges));
         let mut values = vec![0.0; structure.nnz()];
         for &(r, c, v) in triplets {
-            let p = structure.find(r, c).expect("triplet entry must exist in structure");
+            let p = structure
+                .find(r, c)
+                // lint:allow(no-unwrap): the structure was built from these very triplets
+                .expect("triplet entry must exist in structure");
             values[p] += v;
         }
         Self { structure, values }
@@ -281,7 +293,11 @@ mod tests {
 
     fn sample_structure() -> Arc<CsrStructure> {
         // 3x3: entries (0,1), (0,2), (1,0), (2,2)
-        Arc::new(CsrStructure::from_edges(3, 3, &[(0, 1), (0, 2), (1, 0), (2, 2)]))
+        Arc::new(CsrStructure::from_edges(
+            3,
+            3,
+            &[(0, 1), (0, 2), (1, 0), (2, 2)],
+        ))
     }
 
     #[test]

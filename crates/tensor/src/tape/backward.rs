@@ -14,7 +14,11 @@ impl Tape {
     /// # Panics
     /// Panics when `loss` is not `1 × 1`.
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(self.shape(loss), (1, 1), "backward: loss must be a 1x1 scalar");
+        assert_eq!(
+            self.shape(loss),
+            (1, 1),
+            "backward: loss must be a 1x1 scalar"
+        );
         self.nodes[loss.0].grad = Some(Matrix::scalar(1.0));
         for i in (0..=loss.0).rev() {
             if !self.nodes[i].needs_grad || self.nodes[i].grad.is_none() {
@@ -23,17 +27,23 @@ impl Tape {
             let deltas = self.node_deltas(i);
             for (var, delta) in deltas {
                 if self.needs(var) {
+                    self.san_grad_finite(i, var, &delta);
                     self.accumulate(var, &delta);
                 }
             }
         }
+        self.san_report_leaks(loss);
     }
 
     /// Computes the gradient contributions of node `i` to each of its
     /// parents. Pure read-only with respect to the tape.
     fn node_deltas(&self, i: usize) -> Vec<(Var, Matrix)> {
         let node = &self.nodes[i];
-        let g = node.grad.as_ref().expect("node_deltas called without gradient");
+        let g = node
+            .grad
+            .as_ref()
+            // lint:allow(no-unwrap): caller filters on grad.is_some(); a miss is a tape bug
+            .expect("node_deltas called without gradient");
         let val = |v: Var| &self.nodes[v.0].value;
         match &node.op {
             Op::Leaf => Vec::new(),
@@ -84,7 +94,11 @@ impl Tape {
                 }
                 vec![(*matrix, dm), (*scaler, ds)]
             }
-            Op::Spmm { structure, values, dense } => {
+            Op::Spmm {
+                structure,
+                values,
+                dense,
+            } => {
                 let mut out = Vec::with_capacity(2);
                 if self.needs(*dense) {
                     let dd = spmm_transpose(structure, val(*values).as_slice(), g);
@@ -113,7 +127,10 @@ impl Tape {
             Op::Relu(a) => vec![(*a, g.zip(val(*a), |gi, xi| if xi > 0.0 { gi } else { 0.0 }))],
             Op::LeakyRelu(a, slope) => {
                 let s = *slope;
-                vec![(*a, g.zip(val(*a), move |gi, xi| if xi > 0.0 { gi } else { s * gi }))]
+                vec![(
+                    *a,
+                    g.zip(val(*a), move |gi, xi| if xi > 0.0 { gi } else { s * gi }),
+                )]
             }
             Op::Elu(a, alpha) => {
                 let al = *alpha;
@@ -136,7 +153,12 @@ impl Tape {
                 let y = &node.value;
                 vec![(*a, g.zip(y, |gi, yi| gi / (2.0 * yi)))]
             }
-            Op::Abs(a) => vec![(*a, g.zip(val(*a), |gi, xi| gi * xi.signum() * (xi != 0.0) as u8 as f32))],
+            Op::Abs(a) => vec![(
+                *a,
+                g.zip(val(*a), |gi, xi| {
+                    gi * xi.signum() * (xi != 0.0) as u8 as f32
+                }),
+            )],
             Op::Log(a, eps) => {
                 let e = *eps;
                 vec![(*a, g.zip(val(*a), move |gi, xi| gi / (xi + e)))]

@@ -7,6 +7,7 @@ use super::{Op, Tape, Var};
 impl Tape {
     /// Element-wise addition. Shapes must match.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        self.san_same_shape("add", a, b);
         let v = self.value(a).add(self.value(b));
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Add(a, b), ng)
@@ -14,6 +15,7 @@ impl Tape {
 
     /// Element-wise subtraction `a - b`. Shapes must match.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        self.san_same_shape("sub", a, b);
         let v = self.value(a).sub(self.value(b));
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Sub(a, b), ng)
@@ -21,6 +23,7 @@ impl Tape {
 
     /// Element-wise (Hadamard) product. Shapes must match.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        self.san_same_shape("mul", a, b);
         let v = self.value(a).hadamard(self.value(b));
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Mul(a, b), ng)
@@ -47,7 +50,11 @@ impl Tape {
 
     /// Multiplies a matrix by a learnable `1 × 1` scalar variable.
     pub fn mul_scalar_var(&mut self, scalar: Var, matrix: Var) -> Var {
-        assert_eq!(self.shape(scalar), (1, 1), "mul_scalar_var: scalar must be 1x1");
+        assert_eq!(
+            self.shape(scalar),
+            (1, 1),
+            "mul_scalar_var: scalar must be 1x1"
+        );
         let s = self.value(scalar).scalar_value();
         let v = self.value(matrix).scale(s);
         let ng = self.needs(scalar) || self.needs(matrix);
@@ -77,7 +84,9 @@ impl Tape {
 
     /// Exponential linear unit `x > 0 ? x : α(e^x − 1)`.
     pub fn elu(&mut self, a: Var, alpha: f32) -> Var {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        let v = self
+            .value(a)
+            .map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
         let ng = self.needs(a);
         self.push(v, Op::Elu(a, alpha), ng)
     }
@@ -150,7 +159,11 @@ impl Tape {
     /// Row-broadcast bias addition: `(n × f) + (1 × f)`.
     pub fn add_row_broadcast(&mut self, matrix: Var, bias: Var) -> Var {
         let (n, f) = self.shape(matrix);
-        assert_eq!(self.shape(bias), (1, f), "add_row_broadcast: bias must be 1x{f}");
+        assert_eq!(
+            self.shape(bias),
+            (1, f),
+            "add_row_broadcast: bias must be 1x{f}"
+        );
         let mut v = self.value(matrix).clone();
         let b = self.value(bias).as_slice().to_vec();
         for i in 0..n {
@@ -166,13 +179,17 @@ impl Tape {
     /// Column-broadcast scaling: `(n × f) * (n × 1)`.
     pub fn mul_col_broadcast(&mut self, matrix: Var, scaler: Var) -> Var {
         let (n, f) = self.shape(matrix);
-        assert_eq!(self.shape(scaler), (n, 1), "mul_col_broadcast: scaler must be {n}x1");
+        assert_eq!(
+            self.shape(scaler),
+            (n, 1),
+            "mul_col_broadcast: scaler must be {n}x1"
+        );
         let mut v = self.value(matrix).clone();
         let s = self.value(scaler).as_slice().to_vec();
-        for i in 0..n {
+        for (i, &si) in s.iter().enumerate().take(n) {
             let row = v.row_mut(i);
             for x in row.iter_mut().take(f) {
-                *x *= s[i];
+                *x *= si;
             }
         }
         let ng = self.needs(matrix) || self.needs(scaler);
@@ -183,7 +200,10 @@ impl Tape {
 /// Samples a dropout mask: each entry is `0` with probability `p`, otherwise
 /// `1/(1−p)` (inverted dropout). With `p == 0` the mask is all ones.
 pub fn dropout_mask(len: usize, p: f32, rng: &mut impl rand::Rng) -> Arc<Vec<f32>> {
-    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "dropout probability must be in [0, 1)"
+    );
     if p == 0.0 {
         return Arc::new(vec![1.0; len]);
     }

@@ -20,9 +20,18 @@ impl Tape {
         let (vn, vc) = self.shape(values);
         assert_eq!(vc, 1, "spmm: values must be nnz x 1");
         assert_eq!(vn, structure.nnz(), "spmm: values length must equal nnz");
+        self.san_spmm_dims("spmm", &structure, dense);
         let v = spmm(&structure, self.value(values).as_slice(), self.value(dense));
         let ng = self.needs(values) || self.needs(dense);
-        self.push(v, Op::Spmm { structure, values, dense }, ng)
+        self.push(
+            v,
+            Op::Spmm {
+                structure,
+                values,
+                dense,
+            },
+            ng,
+        )
     }
 
     /// Convenience: sparse × dense with *fixed* values (records the values as
@@ -41,7 +50,11 @@ impl Tape {
     pub fn edge_softmax(&mut self, structure: Arc<CsrStructure>, scores: Var) -> Var {
         let (vn, vc) = self.shape(scores);
         assert_eq!(vc, 1, "edge_softmax: scores must be nnz x 1");
-        assert_eq!(vn, structure.nnz(), "edge_softmax: scores length must equal nnz");
+        assert_eq!(
+            vn,
+            structure.nnz(),
+            "edge_softmax: scores length must equal nnz"
+        );
         let s = self.value(scores).as_slice();
         let mut out = vec![0.0f32; s.len()];
         for r in 0..structure.n_rows() {
@@ -49,7 +62,10 @@ impl Tape {
             if range.is_empty() {
                 continue;
             }
-            let max = s[range.clone()].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let max = s[range.clone()]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0;
             for p in range.clone() {
                 let e = (s[p] - max).exp();
@@ -62,7 +78,11 @@ impl Tape {
         }
         let nnz = out.len();
         let ng = self.needs(scores);
-        self.push(Matrix::from_vec(nnz, 1, out), Op::EdgeSoftmax { scores, structure }, ng)
+        self.push(
+            Matrix::from_vec(nnz, 1, out),
+            Op::EdgeSoftmax { scores, structure },
+            ng,
+        )
     }
 }
 
@@ -72,7 +92,11 @@ mod tests {
 
     fn chain_structure() -> Arc<CsrStructure> {
         // 3 nodes; row r holds incoming edges: 0<-1, 1<-0, 1<-2, 2<-1
-        Arc::new(CsrStructure::from_edges(3, 3, &[(0, 1), (1, 0), (1, 2), (2, 1)]))
+        Arc::new(CsrStructure::from_edges(
+            3,
+            3,
+            &[(0, 1), (1, 0), (1, 2), (2, 1)],
+        ))
     }
 
     #[test]

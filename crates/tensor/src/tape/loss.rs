@@ -62,7 +62,12 @@ impl Tape {
     /// Used by the subgraph loss (Eq. 7), where the targets are the stacked
     /// positive/negative edge labels.
     pub fn l1_to_constant(&mut self, a: Var, target: &Matrix) -> Var {
-        assert_eq!(self.shape(a), target.shape(), "l1_to_constant: shape mismatch");
+        assert_eq!(
+            self.shape(a),
+            target.shape(),
+            "l1_to_constant: shape mismatch"
+        );
+        self.san_forward_finite(&Op::Leaf, target);
         let t = self.constant(target.clone());
         let d = self.sub(a, t);
         let ad = self.abs(d);
@@ -77,7 +82,11 @@ mod tests {
     #[test]
     fn log_softmax_rows_normalised() {
         let mut t = Tape::new();
-        let a = t.leaf(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 10.0, 10.0, 10.0]));
+        let a = t.leaf(Matrix::from_vec(
+            2,
+            3,
+            vec![1.0, 2.0, 3.0, 10.0, 10.0, 10.0],
+        ));
         let lp = t.log_softmax_rows(a);
         for i in 0..2 {
             let sum: f32 = t.value(lp).row(i).iter().map(|&x| x.exp()).sum();

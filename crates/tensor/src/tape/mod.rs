@@ -9,7 +9,10 @@
 //! * sparse adjacency structure is shared via `Arc<CsrStructure>` and never
 //!   copied per epoch;
 //! * gradients are allocated lazily: constants (inputs, adjacency) never
-//!   receive a gradient buffer.
+//!   receive a gradient buffer;
+//! * a [sanitizer](sanitize) validates operand shapes, finiteness of forward
+//!   values and gradients, and reports leaked nodes — always on in debug
+//!   builds, opt-in via `SES_SANITIZE=1` in release (see `docs/CORRECTNESS.md`).
 
 mod backward;
 mod elementwise;
@@ -17,8 +20,10 @@ mod graph_ops;
 mod linalg;
 mod loss;
 mod reduce;
+mod sanitize;
 
 pub use elementwise::dropout_mask;
+pub use sanitize::{sanitize_enabled, Leak, LeakKind};
 
 use std::sync::Arc;
 
@@ -28,6 +33,14 @@ use crate::sparse::CsrStructure;
 /// Handle to a value recorded on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The node's arena index — matches the node ids in sanitizer
+    /// diagnostics and [`Tape::leaked_nodes`] reports.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Recorded operation. Each variant stores the parent [`Var`]s plus whatever
 /// forward-pass data the backward pass needs.
@@ -46,15 +59,28 @@ pub(crate) enum Op {
     Scale(Var, f32),
     AddScalar(Var, f32),
     /// `matrix * scalar_var` where the scalar is a `1 × 1` variable.
-    MulScalarVar { scalar: Var, matrix: Var },
+    MulScalarVar {
+        scalar: Var,
+        matrix: Var,
+    },
     MatMul(Var, Var),
     Transpose(Var),
     /// `(n × f) + (1 × f)` row-broadcast bias addition.
-    AddRowBroadcast { matrix: Var, bias: Var },
+    AddRowBroadcast {
+        matrix: Var,
+        bias: Var,
+    },
     /// `(n × f) * (n × 1)` column-broadcast scaling.
-    MulColBroadcast { matrix: Var, scaler: Var },
+    MulColBroadcast {
+        matrix: Var,
+        scaler: Var,
+    },
     /// Sparse × dense product; `values` is an `nnz × 1` variable.
-    Spmm { structure: Arc<CsrStructure>, values: Var, dense: Var },
+    Spmm {
+        structure: Arc<CsrStructure>,
+        values: Var,
+        dense: Var,
+    },
     Sigmoid(Var),
     Relu(Var),
     LeakyRelu(Var, f32),
@@ -70,11 +96,21 @@ pub(crate) enum Op {
     /// Row-wise log-softmax.
     LogSoftmaxRows(Var),
     /// Mean negative log-likelihood over the rows listed in `idx`.
-    NllMasked { logp: Var, labels: Arc<Vec<usize>>, idx: Arc<Vec<usize>> },
+    NllMasked {
+        logp: Var,
+        labels: Arc<Vec<usize>>,
+        idx: Arc<Vec<usize>>,
+    },
     /// Per-row (destination-segment) softmax over CSR entries;
     /// `scores` is `nnz × 1`.
-    EdgeSoftmax { scores: Var, structure: Arc<CsrStructure> },
-    GatherRows { src: Var, idx: Arc<Vec<usize>> },
+    EdgeSoftmax {
+        scores: Var,
+        structure: Arc<CsrStructure>,
+    },
+    GatherRows {
+        src: Var,
+        idx: Arc<Vec<usize>>,
+    },
     ConcatCols(Var, Var),
     ConcatRows(Var, Var),
     SumAll(Var),
@@ -82,7 +118,10 @@ pub(crate) enum Op {
     /// `n × f → n × 1` row sums.
     RowSum(Var),
     /// Element-wise multiply by a fixed (pre-sampled) dropout mask.
-    Dropout { src: Var, mask: Arc<Vec<f32>> },
+    Dropout {
+        src: Var,
+        mask: Arc<Vec<f32>>,
+    },
 }
 
 pub(crate) struct Node {
@@ -106,7 +145,9 @@ impl Tape {
 
     /// Creates an empty tape with room for `cap` nodes.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { nodes: Vec::with_capacity(cap) }
+        Self {
+            nodes: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of recorded nodes.
@@ -141,7 +182,9 @@ impl Tape {
 
     /// Gradient of `v`, panicking when absent (convenience for parameters).
     pub fn grad_unwrap(&self, v: Var) -> &Matrix {
-        self.grad(v).expect("no gradient: did you call backward()? is this a constant?")
+        self.grad(v)
+            // lint:allow(no-unwrap): documented panicking accessor; use `grad` to handle absence
+            .expect("no gradient: did you call backward()? is this a constant?")
     }
 
     /// Shape of the forward value of `v`.
@@ -150,8 +193,13 @@ impl Tape {
     }
 
     pub(crate) fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> Var {
-        debug_assert!(value.all_finite() || !cfg!(debug_assertions), "non-finite forward value");
-        self.nodes.push(Node { value, grad: None, op, needs_grad });
+        self.san_forward_finite(&op, &value);
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            needs_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 

@@ -29,6 +29,7 @@ impl Tape {
     /// `out[i] = ||a[i, :] − b[i, :]||₂` (with a small epsilon inside the
     /// square root for gradient stability). Returns `n × 1`.
     pub fn row_l2_distance(&mut self, a: Var, b: Var) -> Var {
+        self.san_same_shape("row_l2_distance", a, b);
         let d = self.sub(a, b);
         let sq = self.mul(d, d);
         let s = self.row_sum(sq);

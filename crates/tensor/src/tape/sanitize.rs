@@ -1,0 +1,287 @@
+//! Tape sanitizer: runtime validation of autodiff invariants.
+//!
+//! Three families of checks, all reporting the offending **op name** and
+//! **node id** so a diagnostic points at the exact tape operation:
+//!
+//! 1. **Operand shapes** are validated at op registration (before the forward
+//!    kernel runs), so a mismatched `add` fails as `add`, not as an opaque
+//!    index panic deep inside a matrix kernel.
+//! 2. **Non-finite forward values** (NaN/±Inf) are caught as the node is
+//!    pushed onto the tape.
+//! 3. **Non-finite gradients** are caught during the backward sweep, naming
+//!    the op whose backward rule produced them; after the sweep, tape nodes
+//!    whose gradients were never produced or consumed are reported as leaks.
+//!
+//! # Activation
+//!
+//! * `SES_SANITIZE=1` (or any value other than `0`/`off`) — always on, also
+//!   in release builds.
+//! * `SES_SANITIZE=0` — always off.
+//! * unset — on under `debug_assertions`, off in release.
+//!
+//! The advisory leak *report* (an `eprintln`, not a panic) additionally
+//! requires the explicit `SES_SANITIZE=1` opt-in, because legitimate graphs
+//! hold auxiliary read-only nodes; [`Tape::leaked_nodes`] stays available as
+//! a query regardless. The activation decision is made once per process and
+//! cached.
+
+use std::sync::OnceLock;
+
+use super::{Op, Tape, Var};
+use crate::matrix::Matrix;
+use crate::sparse::CsrStructure;
+
+/// True when the sanitizer is active for this process (see module docs).
+pub fn sanitize_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("SES_SANITIZE") {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("off")),
+        Err(_) => cfg!(debug_assertions),
+    })
+}
+
+/// True only when `SES_SANITIZE` was explicitly set to an "on" value.
+///
+/// The advisory leak report is gated on this rather than on
+/// [`sanitize_enabled`]: legitimate training graphs hold auxiliary read-only
+/// computations (eval-path forwards, embeddings recorded for later
+/// inspection), so printing leak lines on every debug-build backward pass
+/// would be noise. Hard invariant checks stay on whenever the sanitizer is.
+fn sanitize_explicit() -> bool {
+    static EXPLICIT: OnceLock<bool> = OnceLock::new();
+    *EXPLICIT.get_or_init(|| {
+        std::env::var("SES_SANITIZE")
+            .map(|v| !(v == "0" || v.eq_ignore_ascii_case("off")))
+            .unwrap_or(false)
+    })
+}
+
+impl Op {
+    /// The user-facing name of the tape method that records this op.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Scale(..) => "scale",
+            Op::AddScalar(..) => "add_scalar",
+            Op::MulScalarVar { .. } => "mul_scalar_var",
+            Op::MatMul(..) => "matmul",
+            Op::Transpose(..) => "transpose",
+            Op::AddRowBroadcast { .. } => "add_row_broadcast",
+            Op::MulColBroadcast { .. } => "mul_col_broadcast",
+            Op::Spmm { .. } => "spmm",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Relu(..) => "relu",
+            Op::LeakyRelu(..) => "leaky_relu",
+            Op::Elu(..) => "elu",
+            Op::Tanh(..) => "tanh",
+            Op::Sqrt(..) => "sqrt_eps",
+            Op::Log(..) => "log_eps",
+            Op::Exp(..) => "exp",
+            Op::Abs(..) => "abs",
+            Op::LogSoftmaxRows(..) => "log_softmax_rows",
+            Op::NllMasked { .. } => "nll_masked",
+            Op::EdgeSoftmax { .. } => "edge_softmax",
+            Op::GatherRows { .. } => "gather_rows",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::ConcatRows(..) => "concat_rows",
+            Op::SumAll(..) => "sum_all",
+            Op::MeanAll(..) => "mean_all",
+            Op::RowSum(..) => "row_sum",
+            Op::Dropout { .. } => "dropout",
+        }
+    }
+}
+
+/// One leaked tape node found by [`Tape::leaked_nodes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Leak {
+    /// Arena index of the leaked node.
+    pub node: usize,
+    /// Name of the op that recorded it.
+    pub op: &'static str,
+    /// What kind of leak this is.
+    pub kind: LeakKind,
+}
+
+/// Classification of a leaked tape node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeakKind {
+    /// Recorded after the loss node: the backward sweep can never reach it,
+    /// so its forward computation was wasted work.
+    AfterLoss,
+    /// Requires a gradient but received none: it never (transitively)
+    /// contributed to the loss, which usually means a wiring bug.
+    Disconnected,
+}
+
+impl Tape {
+    /// Shape-mismatch check for element-wise binary ops.
+    pub(crate) fn san_same_shape(&self, op: &'static str, a: Var, b: Var) {
+        if !sanitize_enabled() {
+            return;
+        }
+        let (sa, sb) = (self.shape(a), self.shape(b));
+        assert_eq!(
+            sa, sb,
+            "SES_SANITIZE[{op}]: operand shape mismatch: node {} is {}x{} but node {} is {}x{}",
+            a.0, sa.0, sa.1, b.0, sb.0, sb.1
+        );
+    }
+
+    /// Inner-dimension check for `a × b` matrix products.
+    pub(crate) fn san_matmul_dims(&self, op: &'static str, a: Var, b: Var) {
+        if !sanitize_enabled() {
+            return;
+        }
+        let (sa, sb) = (self.shape(a), self.shape(b));
+        assert_eq!(
+            sa.1, sb.0,
+            "SES_SANITIZE[{op}]: inner dimensions disagree: node {} is {}x{} but node {} is {}x{}",
+            a.0, sa.0, sa.1, b.0, sb.0, sb.1
+        );
+    }
+
+    /// Row-count agreement (for column-wise concatenation).
+    pub(crate) fn san_rows_match(&self, op: &'static str, a: Var, b: Var) {
+        if !sanitize_enabled() {
+            return;
+        }
+        let (sa, sb) = (self.shape(a), self.shape(b));
+        assert_eq!(
+            sa.0, sb.0,
+            "SES_SANITIZE[{op}]: row counts disagree: node {} is {}x{} but node {} is {}x{}",
+            a.0, sa.0, sa.1, b.0, sb.0, sb.1
+        );
+    }
+
+    /// Column-count agreement (for row-wise concatenation).
+    pub(crate) fn san_cols_match(&self, op: &'static str, a: Var, b: Var) {
+        if !sanitize_enabled() {
+            return;
+        }
+        let (sa, sb) = (self.shape(a), self.shape(b));
+        assert_eq!(
+            sa.1, sb.1,
+            "SES_SANITIZE[{op}]: column counts disagree: node {} is {}x{} but node {} is {}x{}",
+            a.0, sa.0, sa.1, b.0, sb.0, sb.1
+        );
+    }
+
+    /// Dense-operand dimension check for sparse × dense products.
+    pub(crate) fn san_spmm_dims(&self, op: &'static str, structure: &CsrStructure, dense: Var) {
+        if !sanitize_enabled() {
+            return;
+        }
+        let (dn, dc) = self.shape(dense);
+        assert_eq!(
+            dn,
+            structure.n_cols(),
+            "SES_SANITIZE[{op}]: dense operand node {} is {dn}x{dc} but the sparse \
+             structure has {} columns",
+            dense.0,
+            structure.n_cols()
+        );
+    }
+
+    /// Index-bounds check for row gathers.
+    pub(crate) fn san_gather_bounds(&self, op: &'static str, src: Var, idx: &[usize]) {
+        if !sanitize_enabled() {
+            return;
+        }
+        let n = self.shape(src).0;
+        if let Some(&bad) = idx.iter().find(|&&i| i >= n) {
+            // lint:allow(no-unwrap): sanitizer diagnostics are deliberate panics
+            panic!(
+                "SES_SANITIZE[{op}]: gather index {bad} out of bounds for node {} with {n} rows",
+                src.0
+            );
+        }
+    }
+
+    /// NaN/Inf check on a freshly computed forward value, run by
+    /// [`Tape::push`] before the node lands on the tape.
+    pub(crate) fn san_forward_finite(&self, op: &Op, value: &Matrix) {
+        if !sanitize_enabled() {
+            return;
+        }
+        assert!(
+            value.all_finite(),
+            "SES_SANITIZE[{}]: non-finite forward value at node {} ({}x{})",
+            op.name(),
+            self.nodes.len(),
+            value.rows(),
+            value.cols()
+        );
+    }
+
+    /// NaN/Inf check on a gradient contribution produced by the backward rule
+    /// of node `producer` for parent `parent`.
+    pub(crate) fn san_grad_finite(&self, producer: usize, parent: Var, delta: &Matrix) {
+        if !sanitize_enabled() {
+            return;
+        }
+        assert!(
+            delta.all_finite(),
+            "SES_SANITIZE[{}]: non-finite gradient from backward of node {producer} \
+             into node {}",
+            self.nodes[producer].op.name(),
+            parent.0
+        );
+    }
+
+    /// Scans the tape after a backward pass from `loss` and returns the
+    /// leaked nodes: work recorded after the loss (unreachable by the sweep)
+    /// and gradient-requiring nodes the sweep never reached.
+    ///
+    /// This is a query, not an assertion — legitimate graphs can hold
+    /// auxiliary read-only computations. [`Tape::backward`] prints a capped
+    /// report only when `SES_SANITIZE` is explicitly set.
+    pub fn leaked_nodes(&self, loss: Var) -> Vec<Leak> {
+        let mut leaks = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let kind = if i > loss.0 {
+                LeakKind::AfterLoss
+            } else if node.needs_grad && node.grad.is_none() {
+                LeakKind::Disconnected
+            } else {
+                continue;
+            };
+            leaks.push(Leak {
+                node: i,
+                op: node.op.name(),
+                kind,
+            });
+        }
+        leaks
+    }
+
+    /// Prints the (capped) leak report for `loss`; called at the end of
+    /// [`Tape::backward`]. Advisory only, so it requires the explicit
+    /// `SES_SANITIZE=1` opt-in (debug builds alone don't print it).
+    pub(crate) fn san_report_leaks(&self, loss: Var) {
+        if !sanitize_explicit() {
+            return;
+        }
+        let leaks = self.leaked_nodes(loss);
+        if leaks.is_empty() {
+            return;
+        }
+        const SHOWN: usize = 8;
+        for leak in leaks.iter().take(SHOWN) {
+            let what = match leak.kind {
+                LeakKind::AfterLoss => "recorded after the loss, unreachable by backward",
+                LeakKind::Disconnected => "requires a gradient but never received one",
+            };
+            eprintln!(
+                "SES_SANITIZE[leak]: node {} (op `{}`): {what}",
+                leak.node, leak.op
+            );
+        }
+        if leaks.len() > SHOWN {
+            eprintln!("SES_SANITIZE[leak]: … and {} more", leaks.len() - SHOWN);
+        }
+    }
+}

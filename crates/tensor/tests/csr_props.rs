@@ -1,0 +1,67 @@
+//! Property tests for the CSR structure invariants every kernel relies on:
+//! monotone row pointers, per-row sorted + deduplicated column indices, and
+//! exact agreement with the COO edge list the structure was built from.
+
+use proptest::prelude::*;
+use ses_tensor::CsrStructure;
+
+/// Random bounded edge lists, encoded as flat cell ids so the generator only
+/// needs integer strategies.
+fn edge_list(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec(0..n * n, 0..max_edges)
+        .prop_map(move |cells| cells.iter().map(|&e| (e / n, e % n)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn row_pointers_are_monotone_and_span_nnz(edges in edge_list(12, 60)) {
+        let s = CsrStructure::from_edges(12, 12, &edges);
+        let indptr = s.indptr();
+        prop_assert_eq!(indptr.len(), 13);
+        prop_assert_eq!(indptr[0], 0);
+        prop_assert_eq!(indptr[12], s.nnz());
+        for w in indptr.windows(2) {
+            prop_assert!(w[0] <= w[1], "row pointers must be monotone");
+        }
+    }
+
+    #[test]
+    fn rows_are_sorted_and_duplicate_free(edges in edge_list(10, 80)) {
+        let s = CsrStructure::from_edges(10, 10, &edges);
+        for r in 0..10 {
+            let cols = s.row_indices(r);
+            for w in cols.windows(2) {
+                prop_assert!(w[0] < w[1], "row {} not strictly sorted: {:?}", r, cols);
+            }
+        }
+    }
+
+    #[test]
+    fn structure_matches_edge_set_exactly(edges in edge_list(9, 50)) {
+        let s = CsrStructure::from_edges(9, 9, &edges);
+        // every input edge is stored…
+        for &(r, c) in &edges {
+            prop_assert!(s.find(r, c).is_some(), "missing edge ({r},{c})");
+        }
+        // …and every stored entry came from the input
+        for (r, c, _) in s.iter_entries() {
+            prop_assert!(edges.contains(&(r, c)), "phantom entry ({r},{c})");
+        }
+        // dedup means nnz never exceeds the input count
+        prop_assert!(s.nnz() <= edges.len());
+    }
+
+    #[test]
+    fn find_agrees_with_row_scan(edges in edge_list(8, 40)) {
+        let s = CsrStructure::from_edges(8, 8, &edges);
+        for r in 0..8 {
+            for c in 0..8 {
+                let scanned = s.row_indices(r).iter().position(|&x| x == c);
+                let found = s.find(r, c).map(|p| p - s.row_range(r).start);
+                prop_assert_eq!(found, scanned, "find/scan disagree at ({},{})", r, c);
+            }
+        }
+    }
+}

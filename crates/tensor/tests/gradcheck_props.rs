@@ -20,11 +20,8 @@ fn small_mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 /// Values bounded away from the kink points of relu/abs so the finite
 /// difference is valid.
 fn kink_free_mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(
-        prop_oneof![-1.5f32..-0.15, 0.15f32..1.5],
-        rows * cols,
-    )
-    .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+    proptest::collection::vec(prop_oneof![-1.5f32..-0.15, 0.15f32..1.5], rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
 }
 
 proptest! {
@@ -79,15 +76,15 @@ proptest! {
 
     #[test]
     fn grad_relu_family(a in kink_free_mat(2, 4)) {
-        assert_gradcheck(&[a.clone()], TOL, |t, vs| {
+        assert_gradcheck(std::slice::from_ref(&a), TOL, |t, vs| {
             let r = t.relu(vs[0]);
             t.mean_all(r)
         });
-        assert_gradcheck(&[a.clone()], TOL, |t, vs| {
+        assert_gradcheck(std::slice::from_ref(&a), TOL, |t, vs| {
             let r = t.leaky_relu(vs[0], 0.2);
             t.mean_all(r)
         });
-        assert_gradcheck(&[a.clone()], TOL, |t, vs| {
+        assert_gradcheck(std::slice::from_ref(&a), TOL, |t, vs| {
             let r = t.elu(vs[0], 1.0);
             t.mean_all(r)
         });
@@ -215,7 +212,7 @@ proptest! {
     #[test]
     fn grad_log_exp(a in proptest::collection::vec(0.1f32..1.5, 6)) {
         let m = Matrix::from_vec(2, 3, a);
-        assert_gradcheck(&[m.clone()], TOL, |t, vs| {
+        assert_gradcheck(std::slice::from_ref(&m), TOL, |t, vs| {
             let l = t.log_eps(vs[0], 1e-6);
             t.mean_all(l)
         });
@@ -235,12 +232,90 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn grad_neg(a in small_mat(2, 3)) {
+        assert_gradcheck(&[a], TOL, |t, vs| {
+            let n = t.neg(vs[0]);
+            let m = t.mul(n, vs[0]);
+            t.mean_all(m)
+        });
+    }
+
+    #[test]
+    fn grad_row_sum(a in small_mat(3, 4)) {
+        assert_gradcheck(&[a], TOL, |t, vs| {
+            let s = t.row_sum(vs[0]);
+            let q = t.mul(s, s);
+            t.mean_all(q)
+        });
+    }
+
+    #[test]
+    fn grad_linear(x in small_mat(3, 4), w in small_mat(4, 2), b in small_mat(1, 2)) {
+        assert_gradcheck(&[x, w, b], TOL, |t, vs| {
+            let y = t.linear(vs[0], vs[1], vs[2]);
+            let q = t.mul(y, y);
+            t.mean_all(q)
+        });
+    }
+
+    #[test]
+    fn grad_log_softmax_rows_direct(a in small_mat(3, 4)) {
+        // Exercises LogSoftmaxRows' backward through a non-NLL consumer, so
+        // the full Jacobian (not just the label column) is checked.
+        assert_gradcheck(&[a], TOL, |t, vs| {
+            let lp = t.log_softmax_rows(vs[0]);
+            let q = t.mul(lp, lp);
+            t.mean_all(q)
+        });
+    }
+
+    #[test]
+    fn grad_nll_masked_direct(a in small_mat(4, 3)) {
+        let labels = Arc::new(vec![0usize, 2, 1, 0]);
+        let idx = Arc::new(vec![1usize, 3]);
+        assert_gradcheck(&[a], TOL, move |t, vs| {
+            let lp = t.log_softmax_rows(vs[0]);
+            t.nll_masked(lp, labels.clone(), idx.clone())
+        });
+    }
+
+    #[test]
+    fn grad_l1_to_constant(a in kink_free_mat(2, 3)) {
+        // Target 0 keeps |a - target| away from the kink for kink-free inputs.
+        let target = Matrix::zeros(2, 3);
+        assert_gradcheck(&[a], TOL, move |t, vs| {
+            t.l1_to_constant(vs[0], &target)
+        });
+    }
+
+    #[test]
+    fn grad_spmm_fixed_dense_operand(x in small_mat(4, 3)) {
+        let s = Arc::new(CsrStructure::from_edges(
+            4, 4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 0)],
+        ));
+        let vals = [0.5f32, -1.0, 0.25, 2.0, -0.75];
+        assert_gradcheck(&[x], TOL, move |t, vs| {
+            let y = t.spmm_fixed(s.clone(), &vals, vs[0]);
+            let q = t.mul(y, y);
+            t.mean_all(q)
+        });
+    }
+}
+
 #[test]
 fn binary_entropy_maximal_at_half() {
     let mut t = Tape::new();
     let a = t.leaf(Matrix::row_vec(&[0.5, 0.01, 0.99]));
     let h = t.binary_entropy(a);
     let v = t.value(h).as_slice().to_vec();
-    assert!((v[0] - std::f32::consts::LN_2).abs() < 1e-4, "H(0.5)=ln2, got {}", v[0]);
+    assert!(
+        (v[0] - std::f32::consts::LN_2).abs() < 1e-4,
+        "H(0.5)=ln2, got {}",
+        v[0]
+    );
     assert!(v[1] < v[0] && v[2] < v[0]);
 }

@@ -11,9 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ses::core::{fit, MaskGenerator, SesConfig};
 use ses::data::{realworld, Profile, Splits};
-use ses::gnn::{
-    fidelity_plus, train_node_classifier, AdjView, Encoder, Gcn, TrainConfig,
-};
+use ses::gnn::{fidelity_plus, train_node_classifier, AdjView, Encoder, Gcn, TrainConfig};
 use ses::metrics::{calinski_harabasz_score, silhouette_score};
 
 fn main() {
@@ -32,22 +30,22 @@ fn main() {
 
     // --- plain GCN baseline ---
     let mut gcn = Gcn::new(graph.n_features(), 64, graph.n_classes(), &mut rng);
-    let report = train_node_classifier(
-        &mut gcn,
-        graph,
-        &adj,
-        &splits,
-        &TrainConfig::default(),
-    );
+    let report = train_node_classifier(&mut gcn, graph, &adj, &splits, &TrainConfig::default());
     println!("\nGCN      test accuracy: {:.2}%", 100.0 * report.test_acc);
 
     // --- SES on the same split ---
     let encoder = Gcn::new(graph.n_features(), 64, graph.n_classes(), &mut rng);
     let mask_gen = MaskGenerator::new(encoder.hidden_dim(), graph.n_features(), &mut rng);
-    let mut config = SesConfig::default();
-    config.mask_size_weight = 0.1; // selective feature mask for fidelity
+    // selective feature mask for fidelity
+    let config = SesConfig {
+        mask_size_weight: 0.1,
+        ..Default::default()
+    };
     let trained = fit(encoder, mask_gen, graph, &splits, &config);
-    println!("SES(GCN) test accuracy: {:.2}%", 100.0 * trained.report.test_acc);
+    println!(
+        "SES(GCN) test accuracy: {:.2}%",
+        100.0 * trained.report.test_acc
+    );
 
     // --- explanation quality: Fidelity+ of the feature mask ---
     let fid = fidelity_plus(
@@ -58,17 +56,18 @@ fn main() {
         5,
         &splits.test,
     );
-    println!("\nSES Fidelity+ (top-5 feature removal): {:.2}%", 100.0 * fid);
-    // random importance as a control
-    let random_imp = ses::tensor::init::uniform(
-        graph.n_nodes(),
-        graph.n_features(),
-        0.0,
-        1.0,
-        &mut rng,
+    println!(
+        "\nSES Fidelity+ (top-5 feature removal): {:.2}%",
+        100.0 * fid
     );
+    // random importance as a control
+    let random_imp =
+        ses::tensor::init::uniform(graph.n_nodes(), graph.n_features(), 0.0, 1.0, &mut rng);
     let fid_rand = fidelity_plus(&trained.encoder, graph, &adj, &random_imp, 5, &splits.test);
-    println!("random-mask Fidelity+ (control):       {:.2}%", 100.0 * fid_rand);
+    println!(
+        "random-mask Fidelity+ (control):       {:.2}%",
+        100.0 * fid_rand
+    );
 
     // --- embedding quality (Table 9 metrics) ---
     let sil = silhouette_score(&trained.embeddings, graph.labels());
@@ -76,14 +75,25 @@ fn main() {
     println!("\nSES embeddings: silhouette {sil:.3}, Calinski–Harabasz {ch:.1}");
 
     // --- a case study, Fig. 8 style ---
-    let center = *splits.test.iter().find(|&&v| graph.degree(v) >= 3).expect("deg>=3 node");
-    println!("\ncase study: neighbours of node {center} (class {}):", graph.labels()[center]);
+    let center = *splits
+        .test
+        .iter()
+        .find(|&&v| graph.degree(v) >= 3)
+        .expect("deg>=3 node");
+    println!(
+        "\ncase study: neighbours of node {center} (class {}):",
+        graph.labels()[center]
+    );
     for (u, w) in trained.explanations.ranked_neighbors(center) {
         if graph.has_edge(center, u) {
             println!(
                 "  {u:4}  weight {w:.3}  class {} ({})",
                 graph.labels()[u],
-                if graph.labels()[u] == graph.labels()[center] { "same" } else { "different" }
+                if graph.labels()[u] == graph.labels()[center] {
+                    "same"
+                } else {
+                    "different"
+                }
             );
         }
     }

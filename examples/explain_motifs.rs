@@ -10,9 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ses::core::{fit, MaskGenerator, SesConfig};
 use ses::data::{synthetic, Splits};
-use ses::explain::{
-    explanation_auc, Backbone, GnnExplainer, GnnExplainerConfig, SesExplainer,
-};
+use ses::explain::{explanation_auc, Backbone, GnnExplainer, GnnExplainerConfig, SesExplainer};
 use ses::gnn::{Gcn, TrainConfig};
 
 fn main() {
@@ -29,8 +27,8 @@ fn main() {
 
     // SES with a 3-layer GCN (structural roles need a 3-hop receptive field)
     // and the explanation-tuned config (mask-size penalty on).
-    let encoder = Gcn::three_layer(graph.n_features(), 32, graph.n_classes(), &mut rng)
-        .with_dropout(0.0);
+    let encoder =
+        Gcn::three_layer(graph.n_features(), 32, graph.n_classes(), &mut rng).with_dropout(0.0);
     let mask_gen = MaskGenerator::new(32, graph.n_features(), &mut rng);
     let config = SesConfig {
         k: 2,
@@ -43,28 +41,53 @@ fn main() {
         ..Default::default()
     };
     let trained = fit(encoder, mask_gen, graph, &splits, &config);
-    println!("SES plain test accuracy: {:.2}%", 100.0 * trained.report.test_acc_plain);
+    println!(
+        "SES plain test accuracy: {:.2}%",
+        100.0 * trained.report.test_acc_plain
+    );
 
-    let eval_nodes: Vec<usize> =
-        data.ground_truth.motif_nodes().into_iter().step_by(7).take(40).collect();
+    let eval_nodes: Vec<usize> = data
+        .ground_truth
+        .motif_nodes()
+        .into_iter()
+        .step_by(7)
+        .take(40)
+        .collect();
     let mut ses_explainer = SesExplainer::new(trained.explanations.clone(), graph.clone());
     let ses_auc = explanation_auc(&mut ses_explainer, &data, &eval_nodes, 2);
     println!("SES explanation AUC: {:.3}", ses_auc);
 
     // Baseline: GNNExplainer over a separately trained backbone.
-    let cfg = TrainConfig { epochs: 500, patience: 0, lr: 0.01, ..Default::default() };
-    let enc = Gcn::three_layer(graph.n_features(), 32, graph.n_classes(), &mut rng)
-        .with_dropout(0.0);
+    let cfg = TrainConfig {
+        epochs: 500,
+        patience: 0,
+        lr: 0.01,
+        ..Default::default()
+    };
+    let enc =
+        Gcn::three_layer(graph.n_features(), 32, graph.n_classes(), &mut rng).with_dropout(0.0);
     let bb = Backbone::train(Box::new(enc), graph, &splits, &cfg);
     let mut gx = GnnExplainer::new(&bb, GnnExplainerConfig::default());
     let gx_auc = explanation_auc(&mut gx, &data, &eval_nodes, 2);
-    println!("GNNExplainer AUC:    {:.3} (backbone acc {:.2}%)", gx_auc, 100.0 * bb.test_acc);
+    println!(
+        "GNNExplainer AUC:    {:.3} (backbone acc {:.2}%)",
+        gx_auc,
+        100.0 * bb.test_acc
+    );
 
     // Show one motif node's neighbour ranking against ground truth.
     let node = eval_nodes[0];
-    let motif = data.ground_truth.motif_of(node).expect("eval node is in a motif");
+    let motif = data
+        .ground_truth
+        .motif_of(node)
+        .expect("eval node is in a motif");
     println!("\nnode {node} belongs to motif {motif}; SES neighbour ranking:");
-    for (u, w) in trained.explanations.ranked_neighbors(node).into_iter().take(8) {
+    for (u, w) in trained
+        .explanations
+        .ranked_neighbors(node)
+        .into_iter()
+        .take(8)
+    {
         let in_motif = data.ground_truth.motif_of(u) == Some(motif);
         println!("  neighbour {u:4}  weight {w:.3}  in same motif: {in_motif}");
     }

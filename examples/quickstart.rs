@@ -49,7 +49,12 @@ fn main() {
     let node = splits.test[0];
     println!("\nexplaining node {node} (class {}):", graph.labels()[node]);
     println!("  most important neighbours (structure mask):");
-    for (u, w) in trained.explanations.ranked_neighbors(node).into_iter().take(5) {
+    for (u, w) in trained
+        .explanations
+        .ranked_neighbors(node)
+        .into_iter()
+        .take(5)
+    {
         let same = graph.labels()[u] == graph.labels()[node];
         println!("    node {u:4}  weight {w:.3}  same class: {same}");
     }

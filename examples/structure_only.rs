@@ -40,29 +40,55 @@ fn main() {
     let mask_gen = MaskGenerator::new(encoder.hidden_dim(), graph.n_features(), &mut rng);
     let ses_cfg = SesConfig::default();
     let trained = fit(encoder, mask_gen, graph, &splits, &ses_cfg);
-    println!("SES  test accuracy: {:.2}%", 100.0 * trained.report.test_acc);
+    println!(
+        "SES  test accuracy: {:.2}%",
+        100.0 * trained.report.test_acc
+    );
 
     // ablation on the spot: how much does each mask matter here?
     for (label, variant) in [
-        ("-{M_f}", SesVariant { use_feature_mask: false, ..Default::default() }),
-        ("-{M̂_s}", SesVariant { use_structure_mask: false, ..Default::default() }),
+        (
+            "-{M_f}",
+            SesVariant {
+                use_feature_mask: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "-{M̂_s}",
+            SesVariant {
+                use_structure_mask: false,
+                ..Default::default()
+            },
+        ),
     ] {
         let mut rng2 = StdRng::seed_from_u64(3);
         let enc = Gcn::new(graph.n_features(), 32, graph.n_classes(), &mut rng2);
         let mg = MaskGenerator::new(enc.hidden_dim(), graph.n_features(), &mut rng2);
-        let mut cfg2 = SesConfig::default();
-        cfg2.variant = variant;
+        let cfg2 = SesConfig {
+            variant,
+            ..Default::default()
+        };
         let t = fit(enc, mg, graph, &splits, &cfg2);
-        println!("SES {label:8} test accuracy: {:.2}%", 100.0 * t.report.test_acc);
+        println!(
+            "SES {label:8} test accuracy: {:.2}%",
+            100.0 * t.report.test_acc
+        );
     }
 
     // structural explanation: do high-weight neighbours share the blog's
     // political leaning?
     let center = splits.test[0];
     let ranked = trained.explanations.ranked_neighbors(center);
-    let direct: Vec<_> =
-        ranked.iter().filter(|&&(u, _)| graph.has_edge(center, u)).take(6).collect();
-    println!("\ntop direct neighbours of node {center} (class {}):", graph.labels()[center]);
+    let direct: Vec<_> = ranked
+        .iter()
+        .filter(|&&(u, _)| graph.has_edge(center, u))
+        .take(6)
+        .collect();
+    println!(
+        "\ntop direct neighbours of node {center} (class {}):",
+        graph.labels()[center]
+    );
     for &&(u, w) in &direct {
         println!("  {u:4}  weight {w:.3}  class {}", graph.labels()[u]);
     }

@@ -19,15 +19,27 @@ fn ses_matches_or_beats_backbone_on_polblogs_like() {
 
     let mut gcn = Gcn::new(g.n_features(), 16, g.n_classes(), &mut rng);
     let adj = AdjView::of_graph(g);
-    let cfg = TrainConfig { epochs: 60, patience: 0, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 60,
+        patience: 0,
+        ..Default::default()
+    };
     let base = train_node_classifier(&mut gcn, g, &adj, &splits, &cfg);
 
     let enc = Gcn::new(g.n_features(), 16, g.n_classes(), &mut rng);
     let mg = MaskGenerator::new(enc.hidden_dim(), g.n_features(), &mut rng);
-    let ses_cfg = SesConfig { epochs_explain: 60, epochs_epl: 8, ..Default::default() };
+    let ses_cfg = SesConfig {
+        epochs_explain: 60,
+        epochs_epl: 8,
+        ..Default::default()
+    };
     let trained = fit(enc, mg, g, &splits, &ses_cfg);
 
-    assert!(base.test_acc > 0.8, "backbone should learn: {}", base.test_acc);
+    assert!(
+        base.test_acc > 0.8,
+        "backbone should learn: {}",
+        base.test_acc
+    );
     assert!(
         trained.report.test_acc >= base.test_acc - 0.05,
         "SES ({}) must not regress materially below GCN ({})",
@@ -57,8 +69,13 @@ fn ses_explanation_auc_floor_on_tree_cycle() {
         ..Default::default()
     };
     let trained = fit(enc, mg, g, &splits, &cfg);
-    let nodes: Vec<usize> =
-        data.ground_truth.motif_nodes().into_iter().step_by(19).take(15).collect();
+    let nodes: Vec<usize> = data
+        .ground_truth
+        .motif_nodes()
+        .into_iter()
+        .step_by(19)
+        .take(15)
+        .collect();
     let mut sx = SesExplainer::new(trained.explanations.clone(), g.clone());
     let auc = explanation_auc(&mut sx, &data, &nodes, 2);
     assert!(auc > 0.7, "tree-cycle explanation AUC too low: {auc}");
@@ -73,7 +90,11 @@ fn explanations_are_global_and_bounded() {
     let splits = Splits::classification(g.n_nodes(), &mut rng);
     let enc = Gcn::new(g.n_features(), 8, g.n_classes(), &mut rng);
     let mg = MaskGenerator::new(8, g.n_features(), &mut rng);
-    let cfg = SesConfig { epochs_explain: 10, epochs_epl: 2, ..Default::default() };
+    let cfg = SesConfig {
+        epochs_explain: 10,
+        epochs_epl: 2,
+        ..Default::default()
+    };
     let trained = fit(enc, mg, g, &splits, &cfg);
 
     let ex = &trained.explanations;
@@ -99,7 +120,12 @@ fn training_is_seed_deterministic() {
         let splits = Splits::classification(g.n_nodes(), &mut rng);
         let enc = Gcn::new(g.n_features(), 8, g.n_classes(), &mut rng);
         let mg = MaskGenerator::new(8, g.n_features(), &mut rng);
-        let cfg = SesConfig { epochs_explain: 8, epochs_epl: 2, seed: 9, ..Default::default() };
+        let cfg = SesConfig {
+            epochs_explain: 8,
+            epochs_epl: 2,
+            seed: 9,
+            ..Default::default()
+        };
         let t = fit(enc, mg, g, &splits, &cfg);
         (t.report.test_acc, t.explanations.structure_weights.clone())
     };

@@ -81,6 +81,10 @@ fn realworld_statistics_stable_across_seeds() {
         assert_eq!(cora.graph.n_classes(), 7);
         assert!((0.70..0.92).contains(&cora.graph.edge_homophily()));
         let pol = realworld::polblogs_like(Profile::Fast, &mut rng);
-        assert_eq!(pol.graph.n_features(), pol.graph.n_nodes(), "identity features");
+        assert_eq!(
+            pol.graph.n_features(),
+            pol.graph.n_nodes(),
+            "identity features"
+        );
     }
 }

@@ -1,0 +1,187 @@
+//! Offline vendored stub of the subset of `criterion` 0.5 used by the SES
+//! workspace: [`Criterion`], [`BenchmarkId`], benchmark groups, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it reports a simple mean
+//! wall-clock time per iteration over `sample_size` timed iterations (after
+//! one untimed warm-up), which is enough to eyeball the kernels' relative
+//! costs in an offline environment.
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one parameterised benchmark case.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from the parameter value alone.
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        Self { id: p.to_string() }
+    }
+
+    /// Id with a function name and a parameter.
+    pub fn new<P: std::fmt::Display>(name: &str, p: P) -> Self {
+        Self {
+            id: format!("{name}/{p}"),
+        }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`: one untimed warm-up, then `sample_size` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.last_mean_ns = total.as_nanos() as f64 / self.sample_size as f64;
+    }
+}
+
+/// Top-level handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("{name:<40} {:>12}/iter", human(b.last_mean_ns));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related parameterised benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one case of the group with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.parent.sample_size,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        let label = format!("{}/{}", self.name, id.id);
+        println!("{label:<40} {:>12}/iter", human(b.last_mean_ns));
+        self
+    }
+
+    /// Ends the group (formatting no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! { name = $name; config = $crate::Criterion::default(); targets = $($target),+ }
+    };
+}
+
+/// Declares the benchmark `main` entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_without_panicking() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0usize;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // 1 warm-up + 3 timed iterations.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn groups_run_each_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        let mut seen = Vec::new();
+        for &n in &[1usize, 2] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &input| {
+                b.iter(|| seen.push(input))
+            });
+        }
+        g.finish();
+        assert!(seen.contains(&1) && seen.contains(&2));
+    }
+}

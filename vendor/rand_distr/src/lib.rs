@@ -1,0 +1,124 @@
+//! Offline vendored stub of the subset of `rand_distr` 0.4 used by the SES
+//! workspace: the [`Distribution`] trait, [`Normal`] (Box–Muller) and
+//! [`Uniform`], all over `f32`.
+//!
+//! See the vendored `rand` crate for why this exists (no crates.io access in
+//! the build environment).
+
+use rand::{RngCore, Standard};
+
+/// A distribution samplable with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Normal::new`] for non-finite or negative scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Normal: standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Normal (Gaussian) distribution `N(mean, std_dev²)` over `f32`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f32,
+    std_dev: f32,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`; fails when `std_dev` is negative or
+    /// non-finite.
+    pub fn new(mean: f32, std_dev: f32) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || !mean.is_finite() || std_dev < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f32> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Box–Muller; one draw per sample keeps the stream simple and
+        // deterministic (no cached second variate).
+        let mut u1 = <f32 as Standard>::sample_standard(rng);
+        if u1 <= f32::MIN_POSITIVE {
+            u1 = f32::MIN_POSITIVE;
+        }
+        let u2 = <f32 as Standard>::sample_standard(rng);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.mean + self.std_dev * r * theta.cos()
+    }
+}
+
+/// Uniform distribution over `f32`, half-open `[lo, hi)` or inclusive
+/// `[lo, hi]` (the distinction is below `f32` resolution for sampling
+/// purposes; both reject inverted bounds).
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    lo: f32,
+    hi: f32,
+}
+
+impl Uniform {
+    /// Uniform on `[lo, hi)`.
+    pub fn new(lo: f32, hi: f32) -> Self {
+        assert!(lo < hi, "Uniform::new: lo must be < hi");
+        Self { lo, hi }
+    }
+
+    /// Uniform on `[lo, hi]`.
+    pub fn new_inclusive(lo: f32, hi: f32) -> Self {
+        assert!(lo <= hi, "Uniform::new_inclusive: lo must be <= hi");
+        Self { lo, hi }
+    }
+}
+
+impl Distribution<f32> for Uniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let unit = <f32 as Standard>::sample_standard(rng);
+        self.lo + (self.hi - self.lo) * unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(1.0, 2.0).unwrap();
+        let xs: Vec<f32> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.4, "var={var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_std() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f32::NAN).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = Uniform::new_inclusive(-0.25, 0.25);
+        for _ in 0..5_000 {
+            let x = d.sample(&mut rng);
+            assert!((-0.25..=0.25).contains(&x));
+        }
+    }
+}
