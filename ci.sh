@@ -16,4 +16,11 @@ cargo run -q -p ses-lint
 echo "== cargo test -q"
 cargo test -q
 
+echo "== bench smoke (quick mode, regression gate)"
+# Absolute paths: cargo runs the bench binary from the package root.
+SES_BENCH_QUICK=1 \
+SES_BENCH_OUT="$PWD/BENCH_kernels.json" \
+SES_BENCH_BASELINE="$PWD/crates/tensor/benches/BENCH_baseline.json" \
+cargo bench -q -p ses-tensor --bench kernels
+
 echo "ci: all gates green"

@@ -8,6 +8,7 @@
 //! | `no-thread-rng` | no unseeded randomness anywhere in the workspace |
 //! | `no-f64-in-kernels` | the tensor engine stays `f32` end to end |
 //! | `allow-syntax` | every escape hatch names a known rule and carries a reason |
+//! | `no-narrowing-cast` | no `as usize`/`as f32` in tensor kernel hot paths |
 //!
 //! Escape hatch: `// lint:allow(<rule>): <reason>` on the offending line, or
 //! alone on the line directly above it. Reasons are mandatory.
@@ -181,6 +182,7 @@ pub fn run(ws: &Workspace) -> Vec<Violation> {
         rules::no_unwrap(f, &mut out);
         rules::no_thread_rng(f, &mut out);
         rules::no_f64_in_kernels(f, &mut out);
+        rules::no_narrowing_cast(f, &mut out);
         rules::allow_syntax(f, &mut out);
     }
     rules::gradcheck_coverage(&ws.files, &mut out);

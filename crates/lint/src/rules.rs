@@ -14,6 +14,8 @@ pub const NO_THREAD_RNG: &str = "no-thread-rng";
 pub const NO_F64_IN_KERNELS: &str = "no-f64-in-kernels";
 /// See [`NO_UNWRAP`].
 pub const ALLOW_SYNTAX: &str = "allow-syntax";
+/// See [`NO_UNWRAP`].
+pub const NO_NARROWING_CAST: &str = "no-narrowing-cast";
 
 /// All rule names, for validating `lint:allow(..)` directives.
 pub const ALL_RULES: &[&str] = &[
@@ -22,6 +24,7 @@ pub const ALL_RULES: &[&str] = &[
     NO_THREAD_RNG,
     NO_F64_IN_KERNELS,
     ALLOW_SYNTAX,
+    NO_NARROWING_CAST,
 ];
 
 /// True for paths whose panics are acceptable: test code, benchmarks,
@@ -117,6 +120,49 @@ pub fn no_f64_in_kernels(file: &LintFile, out: &mut Vec<Violation>) {
                       `// lint:allow(no-f64-in-kernels): <reason>`"
                     .to_string(),
             });
+        }
+    }
+}
+
+/// The tensor-kernel hot paths covered by [`NO_NARROWING_CAST`]: the dense
+/// and sparse kernel sources, the parallel execution layer, and the storage
+/// types whose inner loops they call into.
+fn is_kernel_hot_path(rel_path: &str) -> bool {
+    rel_path == "crates/tensor/src/sparse.rs"
+        || rel_path == "crates/tensor/src/matrix.rs"
+        || rel_path == "crates/tensor/src/par.rs"
+        || rel_path.starts_with("crates/tensor/src/kernels")
+}
+
+/// `no-narrowing-cast`: forbids `as usize` / `as f32` casts in kernel hot
+/// paths. A silent `as` narrowing (usize → f32 loses integer precision past
+/// 2^24; float → usize saturates) inside a kernel corrupts indices or values
+/// without a diagnostic; use `try_into`, explicit widening, or justify with
+/// a reasoned `lint:allow`.
+pub fn no_narrowing_cast(file: &LintFile, out: &mut Vec<Violation>) {
+    if !is_kernel_hot_path(&file.rel_path) {
+        return;
+    }
+    const PATTERNS: [&str; 2] = ["as usize", "as f32"];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_region {
+            continue;
+        }
+        for pat in PATTERNS {
+            if contains_word(&line.code, pat) {
+                if file.is_allowed(idx, NO_NARROWING_CAST) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: NO_NARROWING_CAST,
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    msg: format!(
+                        "`{pat}` narrowing cast in a kernel hot path: use `try_into`/explicit \
+                         widening or justify with `// lint:allow(no-narrowing-cast): <reason>`"
+                    ),
+                });
+            }
         }
     }
 }
@@ -344,6 +390,47 @@ mod tests {
             no_f64_in_kernels,
         );
         assert!(v2.is_empty(), "{v2:?}");
+    }
+
+    #[test]
+    fn narrowing_cast_flagged_only_in_kernel_hot_paths() {
+        let src = "fn k(n: usize) -> f32 { n as f32 }\nfn m(x: f32) -> usize { x as usize }";
+        for path in [
+            "crates/tensor/src/matrix.rs",
+            "crates/tensor/src/sparse.rs",
+            "crates/tensor/src/par.rs",
+            "crates/tensor/src/kernels/dense.rs",
+        ] {
+            let v = run_single(&file(path, src), no_narrowing_cast);
+            assert_eq!(v.len(), 2, "{path}: {v:?}");
+        }
+        // outside the hot paths the same source is clean
+        let v = run_single(&file("crates/tensor/src/init.rs", src), no_narrowing_cast);
+        assert!(v.is_empty());
+        let v = run_single(&file("crates/graph/src/norm.rs", src), no_narrowing_cast);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_respects_tests_and_allow() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f(n: usize) -> f32 { n as f32 }\n}";
+        let v = run_single(
+            &file("crates/tensor/src/matrix.rs", in_test),
+            no_narrowing_cast,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let allowed = "fn f(n: usize) -> f32 {\n    \
+                       // lint:allow(no-narrowing-cast): counts stay far below 2^24\n    \
+                       n as f32\n}";
+        let v = run_single(
+            &file("crates/tensor/src/matrix.rs", allowed),
+            no_narrowing_cast,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // identifiers containing the words must not trip
+        let bare = "fn f() { let aliased_as_f32_name = 1.0f32; }";
+        let v = run_single(&file("crates/tensor/src/par.rs", bare), no_narrowing_cast);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Criterion micro-bench suite for the ses-tensor kernel layer, plus the
+//! regression gate wired into `ci.sh`.
+//!
+//! Covers every hot kernel — `spmm`, `spmm_transpose`, `spmm_values_grad`,
+//! `edge_softmax`, `edge_softmax_backward`, `matmul`, `t_matmul`,
+//! `matmul_t` — at BAShapes- and Coauthor-CS-like sizes, at 1/2/4 threads,
+//! and writes a machine-readable `BENCH_kernels.json` report.
+//!
+//! Environment:
+//! * `SES_BENCH_QUICK=1` — small sizes + few samples (the CI smoke mode);
+//! * `SES_BENCH_OUT=<path>` — where to write the JSON report
+//!   (default `BENCH_kernels.json` in the invocation directory);
+//! * `SES_BENCH_BASELINE=<path>` — compare against a committed baseline and
+//!   exit non-zero when any kernel regresses more than 20% in
+//!   calibration-normalised time (see `docs/PERF.md`).
+//!
+//! Timings are stored both raw (`mean_ns`) and normalised by a scalar f32
+//! calibration loop measured in the same process (`norm`), so the committed
+//! baseline transfers across machines of different absolute speed.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{black_box, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ses_tensor::{kernels, CsrStructure, Matrix};
+
+/// Thread counts every kernel is measured at.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Regression tolerance for the baseline gate: fail when a kernel's
+/// normalised time exceeds the baseline by more than this factor.
+const REGRESSION_FACTOR: f64 = 1.2;
+
+/// Entries faster than this are timing noise; the gate skips them.
+const NOISE_FLOOR_NS: f64 = 50_000.0;
+
+/// How many times the whole suite is repeated; each entry keeps its fastest
+/// repeat. Minimum-of-means is far less noisy than a single mean, which the
+/// 20% regression gate needs on shared CI hardware.
+const REPEATS: usize = 3;
+
+/// One benchmark problem: a random CSR adjacency plus dense operands sized
+/// like a real dataset's training step.
+struct Case {
+    name: &'static str,
+    structure: Arc<CsrStructure>,
+    values: Vec<f32>,
+    /// `n × f` node features (spmm dense operand; also the matmul LHS).
+    feats: Matrix,
+    /// `f × f` weight matrix (matmul RHS).
+    weight: Matrix,
+    /// `n × f` upstream gradient (transpose/values-grad operand).
+    grad: Matrix,
+    /// Per-entry attention scores.
+    scores: Vec<f32>,
+}
+
+fn build_case(name: &'static str, n: usize, deg: usize, f: usize, seed: u64) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * deg);
+    for r in 0..n {
+        for _ in 0..deg {
+            edges.push((r, rng.gen_range(0..n)));
+        }
+    }
+    let structure = Arc::new(CsrStructure::from_edges(n, n, &edges));
+    let nnz = structure.nnz();
+    let values = (0..nnz).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let scores = (0..nnz).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    let dense = |rows: usize, cols: usize, rng: &mut StdRng| {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
+        )
+    };
+    let feats = dense(n, f, &mut rng);
+    let weight = dense(f, f, &mut rng);
+    let grad = dense(n, f, &mut rng);
+    Case {
+        name,
+        structure,
+        values,
+        feats,
+        weight,
+        grad,
+        scores,
+    }
+}
+
+/// A fixed scalar f32 workload timed in-process; kernel times are divided by
+/// this so the committed baseline compares across machines.
+fn calibration_ns() -> f64 {
+    let mut acc = 0.0f32;
+    let start = Instant::now();
+    for i in 0..4_000_000u32 {
+        acc = acc.mul_add(1.000_000_1, (i & 0xff) as f32 * 1e-9);
+    }
+    black_box(acc);
+    start.elapsed().as_nanos() as f64
+}
+
+/// One recorded measurement, parsed back out of a report file by the gate.
+#[derive(Debug, Clone)]
+struct Entry {
+    kernel: String,
+    size: String,
+    threads: usize,
+    mean_ns: f64,
+    norm: f64,
+}
+
+fn main() {
+    let quick = std::env::var("SES_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let out_path =
+        std::env::var("SES_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let cases = if quick {
+        vec![
+            build_case("ba_shapes", 700, 6, 32, 7),
+            build_case("coauthor_cs", 4096, 9, 32, 11),
+        ]
+    } else {
+        vec![
+            build_case("ba_shapes", 700, 6, 32, 7),
+            // Coauthor-CS published scale: 18333 nodes, ~164k edges.
+            build_case("coauthor_cs", 18333, 9, 64, 11),
+        ]
+    };
+
+    let calib = calibration_ns();
+    let mut c = Criterion::default().sample_size(if quick { 3 } else { 10 });
+
+    for _rep in 0..REPEATS {
+        for case in &cases {
+            let s = &case.structure;
+            let softmax = kernels::edge_softmax(s, &case.scores, 1);
+            let softmax = Matrix::from_vec(softmax.len(), 1, softmax);
+            let grad_entries = Matrix::from_vec(
+                s.nnz(),
+                1,
+                case.values.iter().map(|v| v * 0.5).collect::<Vec<f32>>(),
+            );
+            for t in THREAD_COUNTS {
+                c.bench_function(&format!("spmm/{}/t{t}", case.name), |b| {
+                    b.iter(|| kernels::spmm(s, &case.values, &case.feats, t))
+                });
+                c.bench_function(&format!("spmm_transpose/{}/t{t}", case.name), |b| {
+                    b.iter(|| kernels::spmm_transpose(s, &case.values, &case.grad, t))
+                });
+                c.bench_function(&format!("spmm_values_grad/{}/t{t}", case.name), |b| {
+                    b.iter(|| kernels::spmm_values_grad(s, &case.feats, &case.grad, t))
+                });
+                c.bench_function(&format!("edge_softmax/{}/t{t}", case.name), |b| {
+                    b.iter(|| kernels::edge_softmax(s, &case.scores, t))
+                });
+                c.bench_function(&format!("edge_softmax_backward/{}/t{t}", case.name), |b| {
+                    b.iter(|| kernels::edge_softmax_backward(s, &softmax, &grad_entries, t))
+                });
+                c.bench_function(&format!("matmul/{}/t{t}", case.name), |b| {
+                    b.iter(|| kernels::matmul(&case.feats, &case.weight, t))
+                });
+                c.bench_function(&format!("t_matmul/{}/t{t}", case.name), |b| {
+                    b.iter(|| kernels::t_matmul(&case.feats, &case.grad, t))
+                });
+                c.bench_function(&format!("matmul_t/{}/t{t}", case.name), |b| {
+                    b.iter(|| kernels::matmul_t(&case.feats, &case.weight, t))
+                });
+            }
+        }
+    }
+
+    // Fold repeats down to the fastest run of each label, preserving first-seen
+    // order so the report reads in suite order.
+    let mut entries: Vec<Entry> = Vec::new();
+    for (label, mean_ns) in c.records() {
+        let mut parts = label.split('/');
+        let (Some(kernel), Some(size), Some(threads)) = (
+            parts.next(),
+            parts.next(),
+            parts.next().and_then(|p| p.strip_prefix('t')),
+        ) else {
+            continue;
+        };
+        let Ok(threads) = threads.parse::<usize>() else {
+            continue;
+        };
+        match entries
+            .iter_mut()
+            .find(|e| e.kernel == kernel && e.size == size && e.threads == threads)
+        {
+            Some(e) if *mean_ns < e.mean_ns => {
+                e.mean_ns = *mean_ns;
+                e.norm = *mean_ns / calib;
+            }
+            Some(_) => {}
+            None => entries.push(Entry {
+                kernel: kernel.to_string(),
+                size: size.to_string(),
+                threads,
+                mean_ns: *mean_ns,
+                norm: *mean_ns / calib,
+            }),
+        }
+    }
+
+    let report = render_report(quick, hardware_threads, calib, &entries);
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("bench: failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("bench: wrote {out_path} ({} entries)", entries.len());
+
+    let mut failed = false;
+    if let Ok(baseline_path) = std::env::var("SES_BENCH_BASELINE") {
+        failed |= !gate_against_baseline(&baseline_path, quick, hardware_threads, &entries);
+    }
+    failed |= !gate_speedup(hardware_threads, &entries);
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Renders the JSON report. One entry per line so the baseline gate can
+/// parse it back without a JSON dependency.
+fn render_report(quick: bool, hardware_threads: usize, calib: f64, entries: &[Entry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"ses-bench-kernels/v1\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
+    s.push_str(&format!("  \"calibration_ns\": {calib:.1},\n"));
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"size\": \"{}\", \"threads\": {}, \"mean_ns\": {:.1}, \"norm\": {:.6}}}{comma}\n",
+            e.kernel, e.size, e.threads, e.mean_ns, e.norm
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"speedups\": [\n");
+    let speedups = speedups(entries);
+    for (i, (kernel, size, threads, sp)) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{kernel}\", \"size\": \"{size}\", \"threads\": {threads}, \"speedup\": {sp:.3}}}{comma}\n"
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Serial-vs-parallel speedups derivable from the entries: for every kernel
+/// and size, `t1 mean / tN mean` for each parallel thread count.
+fn speedups(entries: &[Entry]) -> Vec<(String, String, usize, f64)> {
+    let mut out = Vec::new();
+    for e in entries.iter().filter(|e| e.threads > 1) {
+        if let Some(base) = entries
+            .iter()
+            .find(|b| b.kernel == e.kernel && b.size == e.size && b.threads == 1)
+        {
+            if e.mean_ns > 0.0 {
+                out.push((
+                    e.kernel.clone(),
+                    e.size.clone(),
+                    e.threads,
+                    base.mean_ns / e.mean_ns,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Extracts one `"key": value` field from a single JSON report line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next().map(str::trim)
+    }
+}
+
+/// Parses the entries out of a previously written report.
+fn parse_entries(text: &str) -> Vec<Entry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(Entry {
+                kernel: field(line, "kernel")?.to_string(),
+                size: field(line, "size")?.to_string(),
+                threads: field(line, "threads")?.parse().ok()?,
+                mean_ns: field(line, "mean_ns")?.parse().ok()?,
+                norm: field(line, "norm")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Compares current entries to the committed baseline; returns false (gate
+/// failure) when any matching kernel regressed beyond [`REGRESSION_FACTOR`]
+/// in calibration-normalised time. Skipped: sub-noise entries, and entries
+/// whose thread count exceeds the hardware (those measure spawn overhead on
+/// an oversubscribed core — pure noise, and the determinism contract means
+/// their results are identical anyway).
+fn gate_against_baseline(
+    path: &str,
+    quick: bool,
+    hardware_threads: usize,
+    entries: &[Entry],
+) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench gate: baseline {path} unreadable ({e}); skipping comparison");
+            return true;
+        }
+    };
+    let baseline_quick = text
+        .lines()
+        .find_map(|l| field(l, "quick"))
+        .map(|v| v == "true");
+    if baseline_quick != Some(quick) {
+        eprintln!("bench gate: baseline {path} mode mismatch (quick={quick}); skipping comparison");
+        return true;
+    }
+    let baseline = parse_entries(&text);
+    let mut ok = true;
+    let mut compared = 0usize;
+    for e in entries {
+        let Some(b) = baseline
+            .iter()
+            .find(|b| b.kernel == e.kernel && b.size == e.size && b.threads == e.threads)
+        else {
+            continue;
+        };
+        if e.mean_ns < NOISE_FLOOR_NS && b.mean_ns < NOISE_FLOOR_NS {
+            continue;
+        }
+        if e.threads > hardware_threads {
+            continue;
+        }
+        compared += 1;
+        if e.norm > b.norm * REGRESSION_FACTOR {
+            eprintln!(
+                "bench gate: REGRESSION {}/{}/t{}: norm {:.4} vs baseline {:.4} (>{:.0}%)",
+                e.kernel,
+                e.size,
+                e.threads,
+                e.norm,
+                b.norm,
+                (REGRESSION_FACTOR - 1.0) * 100.0
+            );
+            ok = false;
+        }
+    }
+    println!("bench gate: compared {compared} entries against {path}");
+    ok
+}
+
+/// On machines with real parallelism, require the headline Coauthor-CS spmm
+/// speedup at 4 threads to reach 2×. On narrower hardware the check is
+/// skipped (and says so): a 1-core container cannot exhibit parallel
+/// speedup by construction.
+fn gate_speedup(hardware_threads: usize, entries: &[Entry]) -> bool {
+    const WANT: f64 = 2.0;
+    if hardware_threads < 4 {
+        println!(
+            "bench gate: {hardware_threads} hardware thread(s) — skipping the 4-thread \
+             speedup check (needs >= 4)"
+        );
+        return true;
+    }
+    let sp = speedups(entries)
+        .into_iter()
+        .find(|(k, s, t, _)| k == "spmm" && s == "coauthor_cs" && *t == 4)
+        .map(|(_, _, _, sp)| sp);
+    match sp {
+        Some(sp) if sp >= WANT => {
+            println!("bench gate: spmm/coauthor_cs speedup at 4 threads: {sp:.2}x (>= {WANT}x)");
+            true
+        }
+        Some(sp) => {
+            eprintln!(
+                "bench gate: spmm/coauthor_cs speedup at 4 threads only {sp:.2}x (< {WANT}x)"
+            );
+            false
+        }
+        None => {
+            eprintln!("bench gate: spmm/coauthor_cs 4-thread entry missing");
+            false
+        }
+    }
+}

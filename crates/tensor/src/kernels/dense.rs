@@ -1,0 +1,218 @@
+//! Dense matmul family: row-parallel, feature-tiled `i-k-j` kernels.
+//!
+//! All three variants partition the *output* rows across threads, so each
+//! output element is produced by exactly one task accumulating over `k` in
+//! ascending order — bit-identical at any thread count.
+
+use std::ops::Range;
+
+use super::FEATURE_TILE;
+use crate::matrix::Matrix;
+use crate::par;
+
+/// `a × b` with `i-k-j` loop order, feature-tiled over the output columns so
+/// the active output segment stays resident while rows of `b` stream.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: shape mismatch {}x{} × {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let n = b.cols();
+    let mut out = Matrix::zeros(a.rows(), n);
+    let ranges = par::even_ranges(a.rows(), threads);
+    let slices = par::split_rows_mut(out.as_mut_slice(), n, &ranges);
+    let tasks: Vec<_> = ranges
+        .into_iter()
+        .zip(slices)
+        .map(|(rows, slice)| move || matmul_rows(a, b, rows, slice))
+        .collect();
+    par::run_tasks(threads, tasks);
+    out
+}
+
+/// Serial [`matmul`] body for one output row block.
+fn matmul_rows(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+    let n = b.cols();
+    let base = rows.start;
+    for i in rows {
+        let a_row = a.row(i);
+        let out_row = &mut out[(i - base) * n..(i - base + 1) * n];
+        let mut jt = 0;
+        while jt < n {
+            let je = (jt + FEATURE_TILE).min(n);
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                let b_row = &b.row(k)[jt..je];
+                for (o, &bj) in out_row[jt..je].iter_mut().zip(b_row) {
+                    *o += a_ik * bj;
+                }
+            }
+            jt = je;
+        }
+    }
+}
+
+/// `aᵀ × b` without materialising the transpose. Parallel over output rows
+/// (columns of `a`): each task sweeps `k` (rows of `a`/`b`) in order and
+/// updates only its own output rows, preserving the serial accumulation
+/// order per element.
+///
+/// # Panics
+/// Panics if `a.rows() != b.rows()`.
+pub fn t_matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "t_matmul: shape mismatch {}x{}ᵀ × {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let n = b.cols();
+    let mut out = Matrix::zeros(a.cols(), n);
+    let ranges = par::even_ranges(a.cols(), threads);
+    let slices = par::split_rows_mut(out.as_mut_slice(), n, &ranges);
+    let tasks: Vec<_> = ranges
+        .into_iter()
+        .zip(slices)
+        .map(|(cols, slice)| {
+            move || {
+                for k in 0..a.rows() {
+                    let a_seg = &a.row(k)[cols.clone()];
+                    let b_row = b.row(k);
+                    for (i, &a_ki) in a_seg.iter().enumerate() {
+                        let out_row = &mut slice[i * n..(i + 1) * n];
+                        for (o, &bj) in out_row.iter_mut().zip(b_row) {
+                            *o += a_ki * bj;
+                        }
+                    }
+                }
+            }
+        })
+        .collect();
+    par::run_tasks(threads, tasks);
+    out
+}
+
+/// `a × bᵀ` without materialising the transpose: independent dot products,
+/// parallel over output rows.
+///
+/// # Panics
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_t(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_t: shape mismatch {}x{} × {}x{}ᵀ",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let n = b.rows();
+    let mut out = Matrix::zeros(a.rows(), n);
+    let ranges = par::even_ranges(a.rows(), threads);
+    let slices = par::split_rows_mut(out.as_mut_slice(), n, &ranges);
+    let tasks: Vec<_> = ranges
+        .into_iter()
+        .zip(slices)
+        .map(|(rows, slice)| {
+            move || {
+                let base = rows.start;
+                for i in rows {
+                    let a_row = a.row(i);
+                    let out_row = &mut slice[(i - base) * n..(i - base + 1) * n];
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        let b_row = b.row(j);
+                        let mut acc = 0.0;
+                        for (&ak, &bk) in a_row.iter().zip(b_row) {
+                            acc += ak * bk;
+                        }
+                        *o = acc;
+                    }
+                }
+            }
+        })
+        .collect();
+    par::run_tasks(threads, tasks);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, seed: u32) -> Matrix {
+        // Small deterministic pseudo-random fill, no RNG needed.
+        let mut state = seed;
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 16) % 1000) as f32 / 250.0 - 2.0
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn matmul_thread_counts_bit_identical() {
+        let a = mat(17, 9, 1);
+        let b = mat(9, 13, 2);
+        let ref1 = matmul(&a, &b, 1);
+        for t in [2, 4, 8] {
+            assert_eq!(matmul(&a, &b, t).as_slice(), ref1.as_slice());
+        }
+    }
+
+    #[test]
+    fn t_matmul_thread_counts_bit_identical() {
+        let a = mat(11, 7, 3);
+        let b = mat(11, 5, 4);
+        let ref1 = t_matmul(&a, &b, 1);
+        for t in [2, 4, 8] {
+            assert_eq!(t_matmul(&a, &b, t).as_slice(), ref1.as_slice());
+        }
+    }
+
+    #[test]
+    fn matmul_t_thread_counts_bit_identical() {
+        let a = mat(10, 6, 5);
+        let b = mat(8, 6, 6);
+        let ref1 = matmul_t(&a, &b, 1);
+        for t in [2, 4, 8] {
+            assert_eq!(matmul_t(&a, &b, t).as_slice(), ref1.as_slice());
+        }
+    }
+
+    #[test]
+    fn variants_agree_with_explicit_transpose() {
+        let a = mat(6, 4, 7);
+        let b = mat(6, 5, 8);
+        let fast = t_matmul(&a, &b, 4);
+        let slow = matmul(&a.transpose(), &b, 1);
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+
+        let c = mat(5, 4, 9);
+        let d = mat(7, 4, 10);
+        let fast = matmul_t(&c, &d, 4);
+        let slow = matmul(&c, &d.transpose(), 1);
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn empty_and_single_row_shapes() {
+        let a = Matrix::zeros(0, 3);
+        let b = mat(3, 2, 11);
+        assert_eq!(matmul(&a, &b, 4).shape(), (0, 2));
+        let a1 = mat(1, 3, 12);
+        assert_eq!(matmul(&a1, &b, 4).shape(), (1, 2));
+    }
+}

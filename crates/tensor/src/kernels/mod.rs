@@ -1,0 +1,33 @@
+//! Cache-blocked, row-parallel compute kernels.
+//!
+//! Every hot loop in the workspace bottoms out here: the sparse × dense
+//! products and edge softmax that dominate SES mask learning, and the dense
+//! matmul family behind every linear layer. Each kernel takes an explicit
+//! `threads` argument; the public wrappers ([`crate::Matrix::matmul`],
+//! [`crate::sparse::spmm`], the tape ops) pass
+//! [`crate::par::configured_threads`].
+//!
+//! # Determinism
+//!
+//! All kernels are **bit-identical at any thread count** (see
+//! [`crate::par`] for the contract): parallelism is over disjoint output row
+//! blocks with a fixed per-element accumulation order, except
+//! [`spmm_transpose`], whose colliding output rows are handled with
+//! per-block partial buffers whose geometry depends only on the problem
+//! shape and which are merged in block order.
+//!
+//! Cache blocking: spmm tiles the feature (column) dimension so the active
+//! output row segment stays in registers/L1 while gathered dense rows
+//! stream; matmul uses `i-k-j` ordering with the same feature tiling, which
+//! keeps both output and right-hand rows contiguous for autovectorisation.
+
+mod dense;
+mod sparse;
+
+pub use dense::{matmul, matmul_t, t_matmul};
+pub use sparse::{edge_softmax, edge_softmax_backward, spmm, spmm_transpose, spmm_values_grad};
+
+/// Feature-dimension tile width (f32 lanes). 128 lanes = 512 bytes per
+/// output-row segment: comfortably inside L1 alongside the streamed operand
+/// rows, wide enough to amortise the loop overhead.
+pub(crate) const FEATURE_TILE: usize = 128;

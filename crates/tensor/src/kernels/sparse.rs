@@ -1,0 +1,347 @@
+//! Sparse kernels: CSR × dense products (forward, transpose, value-gradient)
+//! and the per-row edge softmax, all row-parallel and deterministic.
+
+use std::ops::Range;
+
+use super::FEATURE_TILE;
+use crate::matrix::Matrix;
+use crate::par;
+use crate::sparse::CsrStructure;
+
+/// Entry budget per `spmm_transpose` partial block. A pure function of the
+/// problem (never of the thread count) so block geometry — and therefore the
+/// merge order and the output bits — is thread-count invariant.
+const TRANSPOSE_BLOCK_NNZ: usize = 32_768;
+
+/// Cap on `spmm_transpose` partial blocks: each block owns a full
+/// `n_cols × f` partial buffer, so this bounds the memory overhead.
+const TRANSPOSE_MAX_BLOCKS: usize = 8;
+
+/// Row-blocked, feature-tiled sparse × dense product:
+/// `out[r, :] = Σ_p values[p] * dense[col(p), :]` over row `r`'s entries.
+///
+/// Rows are partitioned into nnz-balanced contiguous blocks, one task per
+/// block, each writing a disjoint slice of the output. Within a row the
+/// entries accumulate in CSR order for every tile, so the result is
+/// bit-identical at any `threads`.
+///
+/// # Panics
+/// Panics if `structure.n_cols() != dense.rows()` or
+/// `values.len() != structure.nnz()`.
+pub fn spmm(structure: &CsrStructure, values: &[f32], dense: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(
+        structure.n_cols(),
+        dense.rows(),
+        "spmm: sparse cols {} != dense rows {}",
+        structure.n_cols(),
+        dense.rows()
+    );
+    assert_eq!(values.len(), structure.nnz(), "spmm: values len != nnz");
+    let f = dense.cols();
+    let mut out = Matrix::zeros(structure.n_rows(), f);
+    let ranges = par::nnz_balanced_ranges(structure.indptr(), threads);
+    let slices = par::split_rows_mut(out.as_mut_slice(), f, &ranges);
+    let tasks: Vec<_> = ranges
+        .into_iter()
+        .zip(slices)
+        .map(|(rows, slice)| move || spmm_rows(structure, values, dense, rows, slice))
+        .collect();
+    par::run_tasks(threads, tasks);
+    out
+}
+
+/// Serial body of [`spmm`] for one contiguous row block, writing into the
+/// block's slice of the output buffer.
+fn spmm_rows(
+    structure: &CsrStructure,
+    values: &[f32],
+    dense: &Matrix,
+    rows: Range<usize>,
+    out: &mut [f32],
+) {
+    let f = dense.cols();
+    let indices = structure.indices();
+    let base = rows.start;
+    for r in rows {
+        let out_row = &mut out[(r - base) * f..(r - base + 1) * f];
+        let entries = structure.row_range(r);
+        let mut jt = 0;
+        while jt < f {
+            let je = (jt + FEATURE_TILE).min(f);
+            for p in entries.clone() {
+                let v = values[p];
+                let d = &dense.row(indices[p])[jt..je];
+                for (o, &dj) in out_row[jt..je].iter_mut().zip(d) {
+                    *o += v * dj;
+                }
+            }
+            jt = je;
+        }
+    }
+}
+
+/// Transposed sparse × dense product:
+/// `out[c, :] += values[p] * dense[row(p), :]` — the backward of [`spmm`]
+/// with respect to its dense operand.
+///
+/// Output rows collide across source rows, so the rows are cut into blocks
+/// whose geometry depends only on `nnz` ([`TRANSPOSE_BLOCK_NNZ`], capped at
+/// [`TRANSPOSE_MAX_BLOCKS`]); each block accumulates into its own partial
+/// output, and partials are merged in block order on the calling thread.
+/// Thread count affects scheduling only, never the bits.
+///
+/// # Panics
+/// Panics if `structure.n_rows() != dense.rows()` or
+/// `values.len() != structure.nnz()`.
+pub fn spmm_transpose(
+    structure: &CsrStructure,
+    values: &[f32],
+    dense: &Matrix,
+    threads: usize,
+) -> Matrix {
+    assert_eq!(
+        structure.n_rows(),
+        dense.rows(),
+        "spmm_transpose: sparse rows {} != dense rows {}",
+        structure.n_rows(),
+        dense.rows()
+    );
+    assert_eq!(
+        values.len(),
+        structure.nnz(),
+        "spmm_transpose: values len != nnz"
+    );
+    let f = dense.cols();
+    let n_blocks = (structure.nnz() / TRANSPOSE_BLOCK_NNZ + 1).min(TRANSPOSE_MAX_BLOCKS);
+    let ranges = par::nnz_balanced_ranges(structure.indptr(), n_blocks);
+    let tasks: Vec<_> = ranges
+        .into_iter()
+        .map(|rows| {
+            move || {
+                let mut partial = Matrix::zeros(structure.n_cols(), f);
+                let indices = structure.indices();
+                for r in rows {
+                    let d_row = dense.row(r);
+                    for p in structure.row_range(r) {
+                        let v = values[p];
+                        let out_row = partial.row_mut(indices[p]);
+                        for (o, &dj) in out_row.iter_mut().zip(d_row) {
+                            *o += v * dj;
+                        }
+                    }
+                }
+                partial
+            }
+        })
+        .collect();
+    let mut partials = par::run_tasks(threads, tasks).into_iter();
+    let mut out = partials
+        .next()
+        .unwrap_or_else(|| Matrix::zeros(structure.n_cols(), f));
+    for p in partials {
+        out.add_assign(&p);
+    }
+    out
+}
+
+/// Gradient of [`spmm`] with respect to its edge values:
+/// `dv[p] = ⟨grad_out[row(p), :], dense[col(p), :]⟩`, as an `nnz × 1`
+/// matrix. Each entry belongs to exactly one row, so row-parallelism gives
+/// disjoint entry slices and bit-identical output at any thread count.
+pub fn spmm_values_grad(
+    structure: &CsrStructure,
+    dense: &Matrix,
+    grad_out: &Matrix,
+    threads: usize,
+) -> Matrix {
+    assert_eq!(
+        grad_out.rows(),
+        structure.n_rows(),
+        "spmm_values_grad: grad rows != sparse rows"
+    );
+    let mut dv = Matrix::zeros(structure.nnz(), 1);
+    let ranges = par::nnz_balanced_ranges(structure.indptr(), threads);
+    let slices = par::split_entries_mut(dv.as_mut_slice(), structure.indptr(), &ranges);
+    let indices = structure.indices();
+    let tasks: Vec<_> = ranges
+        .into_iter()
+        .zip(slices)
+        .map(|(rows, slice)| {
+            move || {
+                let base = structure.indptr()[rows.start];
+                for r in rows {
+                    let g_row = grad_out.row(r);
+                    for p in structure.row_range(r) {
+                        let d_row = dense.row(indices[p]);
+                        let mut acc = 0.0;
+                        for (&gj, &dj) in g_row.iter().zip(d_row) {
+                            acc += gj * dj;
+                        }
+                        slice[p - base] = acc;
+                    }
+                }
+            }
+        })
+        .collect();
+    par::run_tasks(threads, tasks);
+    dv
+}
+
+/// Per-row (destination-segment) softmax over CSR entries. `scores` holds
+/// one value per entry; the result has the same layout. Rows are
+/// independent, so row-parallelism is trivially bit-identical.
+pub fn edge_softmax(structure: &CsrStructure, scores: &[f32], threads: usize) -> Vec<f32> {
+    assert_eq!(
+        scores.len(),
+        structure.nnz(),
+        "edge_softmax: scores len != nnz"
+    );
+    let mut out = vec![0.0f32; scores.len()];
+    let ranges = par::nnz_balanced_ranges(structure.indptr(), threads);
+    let slices = par::split_entries_mut(&mut out, structure.indptr(), &ranges);
+    let tasks: Vec<_> = ranges
+        .into_iter()
+        .zip(slices)
+        .map(|(rows, slice)| {
+            move || {
+                let base = structure.indptr()[rows.start];
+                for r in rows {
+                    let entries = structure.row_range(r);
+                    if entries.is_empty() {
+                        continue;
+                    }
+                    let max = scores[entries.clone()]
+                        .iter()
+                        .copied()
+                        .fold(f32::NEG_INFINITY, f32::max);
+                    let mut denom = 0.0;
+                    for p in entries.clone() {
+                        let e = (scores[p] - max).exp();
+                        slice[p - base] = e;
+                        denom += e;
+                    }
+                    for p in entries {
+                        slice[p - base] /= denom;
+                    }
+                }
+            }
+        })
+        .collect();
+    par::run_tasks(threads, tasks);
+    out
+}
+
+/// Backward of [`edge_softmax`]: for each row segment,
+/// `d[p] = y[p] * (g[p] - Σ_q y[q] g[q])`. Same row partitioning (and the
+/// same determinism argument) as the forward pass.
+pub fn edge_softmax_backward(
+    structure: &CsrStructure,
+    softmax: &Matrix,
+    grad: &Matrix,
+    threads: usize,
+) -> Matrix {
+    assert_eq!(
+        softmax.rows(),
+        structure.nnz(),
+        "edge_softmax_backward: softmax len != nnz"
+    );
+    let mut d = Matrix::zeros(softmax.rows(), 1);
+    let ranges = par::nnz_balanced_ranges(structure.indptr(), threads);
+    let slices = par::split_entries_mut(d.as_mut_slice(), structure.indptr(), &ranges);
+    let y = softmax.as_slice();
+    let g = grad.as_slice();
+    let tasks: Vec<_> = ranges
+        .into_iter()
+        .zip(slices)
+        .map(|(rows, slice)| {
+            move || {
+                let base = structure.indptr()[rows.start];
+                for r in rows {
+                    let entries = structure.row_range(r);
+                    if entries.is_empty() {
+                        continue;
+                    }
+                    let mut dot = 0.0;
+                    for p in entries.clone() {
+                        dot += y[p] * g[p];
+                    }
+                    for p in entries {
+                        slice[p - base] = y[p] * (g[p] - dot);
+                    }
+                }
+            }
+        })
+        .collect();
+    par::run_tasks(threads, tasks);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sample() -> (Arc<CsrStructure>, Vec<f32>, Matrix) {
+        let s = Arc::new(CsrStructure::from_edges(
+            4,
+            3,
+            &[(0, 1), (0, 2), (1, 0), (2, 2), (3, 0), (3, 1), (3, 2)],
+        ));
+        let vals = vec![2.0, -3.0, 4.0, 0.0, 1.5, -0.5, 2.5];
+        let dense = Matrix::from_vec(3, 2, vec![1.0, 2.0, -3.0, 4.0, 5.0, -6.0]);
+        (s, vals, dense)
+    }
+
+    #[test]
+    fn spmm_thread_counts_bit_identical() {
+        let (s, vals, dense) = sample();
+        let ref1 = spmm(&s, &vals, &dense, 1);
+        for t in [2, 3, 4, 8] {
+            let out = spmm(&s, &vals, &dense, t);
+            assert_eq!(out.as_slice(), ref1.as_slice(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn spmm_transpose_thread_counts_bit_identical() {
+        let (s, vals, _) = sample();
+        let dense = Matrix::from_vec(4, 2, vec![1.0, -1.0, 2.0, 0.5, -3.0, 4.0, 0.0, 7.0]);
+        let ref1 = spmm_transpose(&s, &vals, &dense, 1);
+        for t in [2, 4, 8] {
+            let out = spmm_transpose(&s, &vals, &dense, t);
+            assert_eq!(out.as_slice(), ref1.as_slice(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn spmm_matches_dense_reference() {
+        let (s, vals, dense) = sample();
+        let full = crate::sparse::CsrMatrix::new(s.clone(), vals.clone()).to_dense();
+        let expect = full.matmul(&dense);
+        let got = spmm(&s, &vals, &dense, 4);
+        assert!(got.max_abs_diff(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn edge_softmax_rows_normalise() {
+        let (s, _, _) = sample();
+        let scores = vec![0.3, -1.0, 2.0, 0.0, 1.0, 1.0, -2.0];
+        for t in [1, 2, 4] {
+            let out = edge_softmax(&s, &scores, t);
+            let r0: f32 = out[0..2].iter().sum();
+            let r3: f32 = out[4..7].iter().sum();
+            assert!((r0 - 1.0).abs() < 1e-6 && (r3 - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn values_grad_matches_manual() {
+        let (s, _, dense) = sample();
+        let g = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, -0.5]);
+        let dv = spmm_values_grad(&s, &dense, &g, 3);
+        // entry 0 is (0,1): <g[0,:], dense[1,:]> = 1*-3 + 0*4 = -3
+        assert!((dv.as_slice()[0] - -3.0).abs() < 1e-6);
+        // entry 2 is (1,0): <g[1,:], dense[0,:]> = 0*1 + 1*2 = 2
+        assert!((dv.as_slice()[2] - 2.0).abs() < 1e-6);
+    }
+}

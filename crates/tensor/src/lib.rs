@@ -12,7 +12,11 @@
 //! * [`optim`] — `Param`, SGD and Adam;
 //! * [`init`] — Xavier/Glorot and friends;
 //! * [`gradcheck`] — finite-difference gradient verification used throughout
-//!   the test suite.
+//!   the test suite;
+//! * [`par`]/[`kernels`] — the deterministic parallel execution layer and the
+//!   cache-blocked kernels every hot path (spmm, edge softmax, the matmul
+//!   family) runs on. Thread count comes from `SES_THREADS` (see
+//!   `docs/PERF.md`); outputs are bit-identical at any thread count.
 //!
 //! # Example
 //! ```
@@ -30,8 +34,10 @@
 
 pub mod gradcheck;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod optim;
+pub mod par;
 pub mod sparse;
 pub mod tape;
 

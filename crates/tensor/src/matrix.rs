@@ -151,80 +151,27 @@ impl Matrix {
 
     /// Matrix product `self × rhs`.
     ///
-    /// Uses an `i-k-j` loop order so the inner loop runs over contiguous rows
-    /// of both the output and `rhs`, which autovectorises well.
+    /// Delegates to the row-parallel, feature-tiled `i-k-j` kernel in
+    /// [`crate::kernels`] at the configured thread count
+    /// ([`crate::par::configured_threads`]); output bits are identical at
+    /// any thread count.
     ///
     /// # Panics
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "matmul: shape mismatch {}x{} × {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let n = rhs.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * n..(k + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a_ik * b_row[j];
-                }
-            }
-        }
-        out
+        crate::kernels::matmul(self, rhs, crate::par::configured_threads())
     }
 
-    /// `selfᵀ × rhs` without materialising the transpose.
+    /// `selfᵀ × rhs` without materialising the transpose (parallel, see
+    /// [`Matrix::matmul`]).
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, rhs.rows,
-            "t_matmul: shape mismatch {}x{}ᵀ × {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        let n = rhs.cols;
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &a_ki) in a_row.iter().enumerate() {
-                if a_ki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a_ki * b_row[j];
-                }
-            }
-        }
-        out
+        crate::kernels::t_matmul(self, rhs, crate::par::configured_threads())
     }
 
-    /// `self × rhsᵀ` without materialising the transpose.
+    /// `self × rhsᵀ` without materialising the transpose (parallel, see
+    /// [`Matrix::matmul`]).
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.cols,
-            "matmul_t: shape mismatch {}x{} × {}x{}ᵀ",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for k in 0..self.cols {
-                    acc += a_row[k] * b_row[k];
-                }
-                out[(i, j)] = acc;
-            }
-        }
-        out
+        crate::kernels::matmul_t(self, rhs, crate::par::configured_threads())
     }
 
     /// Transposed copy.
@@ -322,6 +269,7 @@ impl Matrix {
         if self.data.is_empty() {
             0.0
         } else {
+            // lint:allow(no-narrowing-cast): element counts stay far below 2^24
             self.sum() / self.data.len() as f32
         }
     }

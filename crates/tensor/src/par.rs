@@ -1,0 +1,307 @@
+//! Deterministic scoped-thread parallel execution layer.
+//!
+//! The workspace is offline (no rayon — only vendored stubs exist), so this
+//! module hand-rolls the little scheduling the kernels need on top of
+//! [`std::thread::scope`]:
+//!
+//! * [`run_tasks`] — run a vector of closures on up to `threads` worker
+//!   threads and return their results **in task order**, so any merge over
+//!   the results is deterministic;
+//! * [`even_ranges`] / [`nnz_balanced_ranges`] — contiguous, disjoint
+//!   partitions of row spaces (uniform, or balanced by CSR entry counts);
+//! * [`split_rows_mut`] — carve one flat output buffer into per-partition
+//!   mutable slices so workers write disjoint memory without locks.
+//!
+//! # Determinism contract
+//!
+//! Every kernel built on this layer (see [`crate::kernels`]) produces output
+//! that is **bit-identical at any thread count**, including 1. The rules that
+//! make this hold:
+//!
+//! 1. work is partitioned over *output* elements, never over reduction
+//!    domains, so each output element is computed by exactly one task with a
+//!    serial, fixed accumulation order; or
+//! 2. where output elements collide across tasks (`spmm_transpose`), the
+//!    partition geometry is a pure function of the problem shape — never of
+//!    the thread count — and per-block partial outputs are merged in block
+//!    order on the calling thread.
+//!
+//! # Thread-count configuration
+//!
+//! [`configured_threads`] resolves, in priority order: the process-local
+//! programmatic override ([`set_thread_override`], used by tests and
+//! benches), the `SES_THREADS` environment variable (a positive integer; `0`
+//! or unset means "auto"), then [`std::thread::available_parallelism`].
+//! The environment lookup is cached once per process.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Process-local thread-count override; 0 means "no override". Written by
+/// [`set_thread_override`] (tests/benches), read by [`configured_threads`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (n ≥ 1) or clears (n = 0) the programmatic thread-count override.
+///
+/// Exists so tests and benches can exercise specific thread counts without
+/// mutating process environment (the `SES_THREADS` lookup is cached). Takes
+/// effect for all subsequent kernel wrapper calls in this process.
+pub fn set_thread_override(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The thread count every kernel wrapper uses: override, else `SES_THREADS`,
+/// else the machine's available parallelism (min 1).
+pub fn configured_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    static FROM_ENV: OnceLock<usize> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        match std::env::var("SES_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) if n > 0 => n,
+            _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    })
+}
+
+/// Runs `tasks` on up to `threads` OS threads (scoped; borrows allowed) and
+/// returns the results **in task order**.
+///
+/// Tasks are assigned to workers in contiguous chunks; the calling thread
+/// executes the first chunk itself, so `threads == 1` (or a single task)
+/// degenerates to a plain in-order loop with no spawning at all. A panicking
+/// task is resumed on the calling thread.
+pub fn run_tasks<T, F>(threads: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    if threads <= 1 || n <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let workers = threads.min(n);
+    // Contiguous chunks, sizes differing by at most one.
+    let mut chunks: Vec<Vec<F>> = Vec::with_capacity(workers);
+    let mut rest = tasks;
+    for w in 0..workers {
+        let remaining = rest.len();
+        let take = remaining.div_ceil(workers - w);
+        let tail = rest.split_off(take);
+        chunks.push(rest);
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty());
+
+    let mut chunk_results: Vec<Vec<T>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let mut iter = chunks.into_iter();
+        let first = iter.next();
+        let handles: Vec<_> = iter
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(|f| f()).collect::<Vec<T>>()))
+            .collect();
+        if let Some(chunk) = first {
+            chunk_results.push(chunk.into_iter().map(|f| f()).collect());
+        }
+        for h in handles {
+            match h.join() {
+                Ok(v) => chunk_results.push(v),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+    chunk_results.into_iter().flatten().collect()
+}
+
+/// Splits `0..n` into at most `parts` contiguous non-empty ranges with sizes
+/// differing by at most one. Deterministic; returns fewer ranges when
+/// `n < parts` and none when `n == 0`.
+pub fn even_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let take = (n - start).div_ceil(parts - p);
+        out.push(start..start + take);
+        start += take;
+    }
+    out
+}
+
+/// Splits the rows of a CSR structure (described by its `indptr` array) into
+/// at most `parts` contiguous ranges holding roughly equal entry counts, so
+/// row-parallel sparse kernels stay balanced on skewed degree distributions.
+/// Empty ranges are dropped; deterministic for fixed inputs.
+pub fn nnz_balanced_ranges(indptr: &[usize], parts: usize) -> Vec<Range<usize>> {
+    assert!(!indptr.is_empty(), "nnz_balanced_ranges: empty indptr");
+    let n_rows = indptr.len() - 1;
+    if n_rows == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n_rows);
+    let total = indptr[n_rows];
+    if parts == 1 || total == 0 {
+        return std::iter::once(0..n_rows).collect();
+    }
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 1..=parts {
+        // Row index whose cumulative nnz first reaches the p-th quantile.
+        let target = total * p / parts;
+        let mut end = indptr.partition_point(|&x| x < target).max(start);
+        if p == parts {
+            end = n_rows;
+        }
+        let end = end.min(n_rows);
+        if end > start {
+            out.push(start..end);
+            start = end;
+        }
+    }
+    if start < n_rows {
+        out.push(start..n_rows);
+    }
+    out
+}
+
+/// Carves a flat row-major buffer of `cols`-wide rows into one mutable slice
+/// per range. `ranges` must be contiguous, ascending and start at row 0
+/// (exactly what [`even_ranges`]/[`nnz_balanced_ranges`] produce).
+pub fn split_rows_mut<'a>(
+    mut data: &'a mut [f32],
+    cols: usize,
+    ranges: &[Range<usize>],
+) -> Vec<&'a mut [f32]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut row = 0;
+    for r in ranges {
+        assert_eq!(r.start, row, "split_rows_mut: ranges must be contiguous");
+        let (head, tail) = data.split_at_mut((r.end - r.start) * cols);
+        out.push(head);
+        data = tail;
+        row = r.end;
+    }
+    out
+}
+
+/// Carves a flat per-entry buffer (one value per CSR entry) into one mutable
+/// slice per row range, using `indptr` to find the entry boundaries.
+pub fn split_entries_mut<'a>(
+    mut data: &'a mut [f32],
+    indptr: &[usize],
+    ranges: &[Range<usize>],
+) -> Vec<&'a mut [f32]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut pos = 0;
+    for r in ranges {
+        assert_eq!(
+            indptr[r.start], pos,
+            "split_entries_mut: ranges must be contiguous"
+        );
+        let (head, tail) = data.split_at_mut(indptr[r.end] - pos);
+        out.push(head);
+        data = tail;
+        pos = indptr[r.end];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_tasks_preserves_order_at_any_thread_count() {
+        for threads in [1, 2, 3, 4, 8, 33] {
+            let tasks: Vec<_> = (0..17).map(|i| move || i * 10).collect();
+            let out = run_tasks(threads, tasks);
+            assert_eq!(out, (0..17).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_tasks_empty_and_single() {
+        let none: Vec<fn() -> usize> = Vec::new();
+        assert!(run_tasks(4, none).is_empty());
+        assert_eq!(run_tasks(4, vec![|| 7usize]), vec![7]);
+    }
+
+    #[test]
+    fn run_tasks_propagates_panics() {
+        let r = std::panic::catch_unwind(|| {
+            run_tasks(
+                2,
+                vec![Box::new(|| 1) as Box<dyn FnOnce() -> i32 + Send>, {
+                    Box::new(|| panic!("worker boom"))
+                }],
+            )
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn even_ranges_cover_and_balance() {
+        for (n, parts) in [(10, 3), (3, 10), (1, 1), (16, 4), (7, 2)] {
+            let rs = even_ranges(n, parts);
+            assert!(rs.len() <= parts);
+            assert_eq!(rs.first().map(|r| r.start), Some(0));
+            assert_eq!(rs.last().map(|r| r.end), Some(n));
+            for w in rs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let sizes: Vec<_> = rs.iter().map(|r| r.len()).collect();
+            let (mn, mx) = (sizes.iter().min(), sizes.iter().max());
+            assert!(mx.zip(mn).is_some_and(|(a, b)| a - b <= 1));
+        }
+        assert!(even_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn nnz_balanced_ranges_cover_rows() {
+        // indptr for 6 rows with degrees 10, 0, 0, 1, 9, 2
+        let indptr = [0usize, 10, 10, 10, 11, 20, 22];
+        for parts in [1, 2, 3, 6, 9] {
+            let rs = nnz_balanced_ranges(&indptr, parts);
+            assert_eq!(rs.first().map(|r| r.start), Some(0));
+            assert_eq!(rs.last().map(|r| r.end), Some(6));
+            for w in rs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+        // all-empty rows collapse to a single range
+        assert_eq!(nnz_balanced_ranges(&[0, 0, 0], 4), vec![0..2]);
+    }
+
+    #[test]
+    fn split_rows_mut_disjoint_cover() {
+        let mut buf = vec![0.0f32; 12];
+        let ranges = even_ranges(4, 3); // rows of width 3
+        let slices = split_rows_mut(&mut buf, 3, &ranges);
+        let total: usize = slices.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn split_entries_mut_follows_indptr() {
+        let indptr = [0usize, 2, 2, 5];
+        let mut buf = vec![0.0f32; 5];
+        let ranges = vec![0..1, 1..3];
+        let slices = split_entries_mut(&mut buf, &indptr, &ranges);
+        assert_eq!(slices[0].len(), 2);
+        assert_eq!(slices[1].len(), 3);
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

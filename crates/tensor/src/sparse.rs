@@ -229,62 +229,26 @@ impl CsrMatrix {
 
 /// Sparse × dense product: `out[i, :] = Σ_p values[p] * dense[col(p), :]`.
 ///
+/// Delegates to the row-blocked parallel kernel in [`crate::kernels`] at the
+/// configured thread count; bit-identical at any thread count.
+///
 /// # Panics
-/// Panics if `structure.n_cols() != dense.rows()`.
+/// Panics if `structure.n_cols() != dense.rows()` or
+/// `values.len() != structure.nnz()`.
 pub fn spmm(structure: &CsrStructure, values: &[f32], dense: &Matrix) -> Matrix {
-    assert_eq!(
-        structure.n_cols(),
-        dense.rows(),
-        "spmm: sparse cols {} != dense rows {}",
-        structure.n_cols(),
-        dense.rows()
-    );
-    assert_eq!(values.len(), structure.nnz(), "spmm: values len != nnz");
-    let f = dense.cols();
-    let mut out = Matrix::zeros(structure.n_rows(), f);
-    for r in 0..structure.n_rows() {
-        let range = structure.row_range(r);
-        let out_row = out.row_mut(r);
-        for p in range {
-            let c = structure.indices()[p];
-            let v = values[p];
-            if v == 0.0 {
-                continue;
-            }
-            let d_row = dense.row(c);
-            for j in 0..f {
-                out_row[j] += v * d_row[j];
-            }
-        }
-    }
-    out
+    crate::kernels::spmm(structure, values, dense, crate::par::configured_threads())
 }
 
 /// Transposed sparse × dense product: `out[c, :] += values[p] * dense[row(p), :]`.
 ///
 /// Used by the backward pass of [`spmm`] with respect to its dense operand.
+/// Delegates to the block-partial parallel kernel in [`crate::kernels`].
+///
+/// # Panics
+/// Panics if `structure.n_rows() != dense.rows()` or
+/// `values.len() != structure.nnz()`.
 pub fn spmm_transpose(structure: &CsrStructure, values: &[f32], dense: &Matrix) -> Matrix {
-    assert_eq!(
-        structure.n_rows(),
-        dense.rows(),
-        "spmm_transpose: sparse rows {} != dense rows {}",
-        structure.n_rows(),
-        dense.rows()
-    );
-    let f = dense.cols();
-    let mut out = Matrix::zeros(structure.n_cols(), f);
-    for (r, c, p) in structure.iter_entries() {
-        let v = values[p];
-        if v == 0.0 {
-            continue;
-        }
-        let d_row = dense.row(r);
-        let out_row = out.row_mut(c);
-        for j in 0..f {
-            out_row[j] += v * d_row[j];
-        }
-    }
-    out
+    crate::kernels::spmm_transpose(structure, values, dense, crate::par::configured_threads())
 }
 
 #[cfg(test)]

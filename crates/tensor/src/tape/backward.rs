@@ -99,23 +99,20 @@ impl Tape {
                 values,
                 dense,
             } => {
+                // Both deltas run on the parallel kernels; sanitizer checks
+                // happen on the merged matrices in the backward sweep.
                 let mut out = Vec::with_capacity(2);
                 if self.needs(*dense) {
                     let dd = spmm_transpose(structure, val(*values).as_slice(), g);
                     out.push((*dense, dd));
                 }
                 if self.needs(*values) {
-                    let d = val(*dense);
-                    let mut dv = Matrix::zeros(structure.nnz(), 1);
-                    for (r, c, p) in structure.iter_entries() {
-                        let grow = g.row(r);
-                        let drow = d.row(c);
-                        let mut acc = 0.0;
-                        for j in 0..grow.len() {
-                            acc += grow[j] * drow[j];
-                        }
-                        dv[(p, 0)] = acc;
-                    }
+                    let dv = crate::kernels::spmm_values_grad(
+                        structure,
+                        val(*dense),
+                        g,
+                        crate::par::configured_threads(),
+                    );
                     out.push((*values, dv));
                 }
                 out
@@ -193,21 +190,12 @@ impl Tape {
                 vec![(*logp, d)]
             }
             Op::EdgeSoftmax { scores, structure } => {
-                let y = &node.value;
-                let mut d = Matrix::zeros(y.rows(), 1);
-                for r in 0..structure.n_rows() {
-                    let range = structure.row_range(r);
-                    if range.is_empty() {
-                        continue;
-                    }
-                    let mut dot = 0.0;
-                    for p in range.clone() {
-                        dot += y[(p, 0)] * g[(p, 0)];
-                    }
-                    for p in range {
-                        d[(p, 0)] = y[(p, 0)] * (g[(p, 0)] - dot);
-                    }
-                }
+                let d = crate::kernels::edge_softmax_backward(
+                    structure,
+                    &node.value,
+                    g,
+                    crate::par::configured_threads(),
+                );
                 vec![(*scores, d)]
             }
             Op::GatherRows { src, idx } => {

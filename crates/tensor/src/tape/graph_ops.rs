@@ -46,7 +46,10 @@ impl Tape {
     /// output has the same shape.
     ///
     /// With rows as destination nodes this is exactly GAT's attention
-    /// normalisation over incoming edges.
+    /// normalisation over incoming edges. Rows are processed in parallel by
+    /// the [`crate::kernels::edge_softmax`] kernel (bit-identical at any
+    /// thread count); sanitizer checks run on the merged output as it is
+    /// pushed onto the tape.
     pub fn edge_softmax(&mut self, structure: Arc<CsrStructure>, scores: Var) -> Var {
         let (vn, vc) = self.shape(scores);
         assert_eq!(vc, 1, "edge_softmax: scores must be nnz x 1");
@@ -55,27 +58,11 @@ impl Tape {
             structure.nnz(),
             "edge_softmax: scores length must equal nnz"
         );
-        let s = self.value(scores).as_slice();
-        let mut out = vec![0.0f32; s.len()];
-        for r in 0..structure.n_rows() {
-            let range = structure.row_range(r);
-            if range.is_empty() {
-                continue;
-            }
-            let max = s[range.clone()]
-                .iter()
-                .copied()
-                .fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0;
-            for p in range.clone() {
-                let e = (s[p] - max).exp();
-                out[p] = e;
-                denom += e;
-            }
-            for p in range {
-                out[p] /= denom;
-            }
-        }
+        let out = crate::kernels::edge_softmax(
+            &structure,
+            self.value(scores).as_slice(),
+            crate::par::configured_threads(),
+        );
         let nnz = out.len();
         let ng = self.needs(scores);
         self.push(

@@ -1,0 +1,370 @@
+//! Determinism-contract tests for the parallel kernel layer: every kernel
+//! must return **bit-identical** output at any thread count (1/2/4/8), on
+//! random CSR structures and on the ragged shapes the row partitioner has to
+//! survive (empty rows, a single row, nnz = 0). Naive scalar references pin
+//! down the numerics; tape-level gradchecks re-run under a 4-thread override
+//! so the blocked forward/backward paths are finite-difference checked too.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ses_tensor::gradcheck::assert_gradcheck;
+use ses_tensor::{kernels, par, CsrStructure, Matrix};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// f32 slices compared as raw bit patterns: the contract is bit-identity,
+/// not approximate agreement.
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+/// One random kernel workload, fully determined by the proptest-drawn
+/// parameters (nnz depends on dedup, so values are sized after the build).
+struct Case {
+    s: CsrStructure,
+    values: Vec<f32>,
+    scores: Vec<f32>,
+    dense: Matrix,
+    grad: Matrix,
+}
+
+fn build_case(seed: u64, n: usize, f: usize, edges_drawn: usize) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<(usize, usize)> = (0..edges_drawn)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    let s = CsrStructure::from_edges(n, n, &edges);
+    let nnz = s.nnz();
+    let values = (0..nnz).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    let scores = (0..nnz).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+    let dense = Matrix::from_vec(
+        n,
+        f,
+        (0..n * f).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    );
+    let grad = Matrix::from_vec(
+        n,
+        f,
+        (0..n * f).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    );
+    Case {
+        s,
+        values,
+        scores,
+        dense,
+        grad,
+    }
+}
+
+// ---- naive scalar references ------------------------------------------------
+
+fn naive_spmm(s: &CsrStructure, vals: &[f32], d: &Matrix) -> Matrix {
+    let f = d.cols();
+    let mut out = Matrix::zeros(s.n_rows(), f);
+    for r in 0..s.n_rows() {
+        for p in s.row_range(r) {
+            let c = s.indices()[p];
+            let v = vals[p];
+            for j in 0..f {
+                out.row_mut(r)[j] += v * d.row(c)[j];
+            }
+        }
+    }
+    out
+}
+
+fn naive_spmm_transpose(s: &CsrStructure, vals: &[f32], d: &Matrix) -> Matrix {
+    let f = d.cols();
+    let mut out = Matrix::zeros(s.n_cols(), f);
+    for r in 0..s.n_rows() {
+        for p in s.row_range(r) {
+            let c = s.indices()[p];
+            let v = vals[p];
+            for j in 0..f {
+                out.row_mut(c)[j] += v * d.row(r)[j];
+            }
+        }
+    }
+    out
+}
+
+fn naive_edge_softmax(s: &CsrStructure, scores: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; scores.len()];
+    for r in 0..s.n_rows() {
+        let rng = s.row_range(r);
+        if rng.is_empty() {
+            continue;
+        }
+        let max = scores[rng.clone()]
+            .iter()
+            .fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut denom = 0.0f32;
+        for p in rng.clone() {
+            out[p] = (scores[p] - max).exp();
+            denom += out[p];
+        }
+        for p in rng {
+            out[p] /= denom;
+        }
+    }
+    out
+}
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a.row(i)[kk];
+            for j in 0..n {
+                out.row_mut(i)[j] += aik * b.row(kk)[j];
+            }
+        }
+    }
+    out
+}
+
+fn transpose(a: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols(), a.rows());
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            out.row_mut(j)[i] = a.row(i)[j];
+        }
+    }
+    out
+}
+
+// ---- thread-count parity + reference agreement ------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn spmm_family_parity(seed in 0u64..1 << 16, n in 1usize..40, f in 1usize..20, e in 0usize..160) {
+        let c = build_case(seed, n, f, e);
+        let base = kernels::spmm(&c.s, &c.values, &c.dense, 1);
+        let base_t = kernels::spmm_transpose(&c.s, &c.values, &c.grad, 1);
+        let base_vg = kernels::spmm_values_grad(&c.s, &c.dense, &c.grad, 1);
+        for t in THREAD_COUNTS {
+            let out = kernels::spmm(&c.s, &c.values, &c.dense, t);
+            prop_assert_eq!(bits(out.as_slice()), bits(base.as_slice()), "spmm at {} threads", t);
+            let out = kernels::spmm_transpose(&c.s, &c.values, &c.grad, t);
+            prop_assert_eq!(bits(out.as_slice()), bits(base_t.as_slice()), "spmm_transpose at {} threads", t);
+            let out = kernels::spmm_values_grad(&c.s, &c.dense, &c.grad, t);
+            prop_assert_eq!(bits(out.as_slice()), bits(base_vg.as_slice()), "spmm_values_grad at {} threads", t);
+        }
+        // pinned against the scalar references (approximate: summation order
+        // inside a block may differ from the naive loop)
+        prop_assert!(base.max_abs_diff(&naive_spmm(&c.s, &c.values, &c.dense)) < 1e-4);
+        prop_assert!(base_t.max_abs_diff(&naive_spmm_transpose(&c.s, &c.values, &c.grad)) < 1e-4);
+    }
+
+    #[test]
+    fn edge_softmax_parity(seed in 0u64..1 << 16, n in 1usize..40, e in 0usize..160) {
+        let c = build_case(seed, n, 1, e);
+        let base = kernels::edge_softmax(&c.s, &c.scores, 1);
+        for t in THREAD_COUNTS {
+            let out = kernels::edge_softmax(&c.s, &c.scores, t);
+            prop_assert_eq!(bits(&out), bits(&base), "edge_softmax at {} threads", t);
+        }
+        let naive = naive_edge_softmax(&c.s, &c.scores);
+        for (a, b) in base.iter().zip(naive.iter()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+        // each nonempty row is a probability distribution
+        for r in 0..c.s.n_rows() {
+            let rng = c.s.row_range(r);
+            if !rng.is_empty() {
+                let sum: f32 = base[rng].iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4, "row {} sums to {}", r, sum);
+            }
+        }
+        // backward parity on the same structure
+        let softmax = Matrix::from_vec(c.s.nnz(), 1, base);
+        let grad = Matrix::from_vec(c.s.nnz(), 1, c.values.clone());
+        let base_b = kernels::edge_softmax_backward(&c.s, &softmax, &grad, 1);
+        for t in THREAD_COUNTS {
+            let out = kernels::edge_softmax_backward(&c.s, &softmax, &grad, t);
+            prop_assert_eq!(bits(out.as_slice()), bits(base_b.as_slice()), "edge_softmax_backward at {} threads", t);
+        }
+    }
+
+    #[test]
+    fn matmul_family_parity(seed in 0u64..1 << 16, m in 1usize..24, k in 1usize..24, n in 1usize..24) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mat = |r: usize, c: usize| {
+            Matrix::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        };
+        let a = mat(m, k);
+        let b = mat(k, n);
+        let bt = mat(n, k);
+        let at = mat(k, m);
+        let base = kernels::matmul(&a, &b, 1);
+        let base_t = kernels::t_matmul(&at, &b, 1);
+        let base_bt = kernels::matmul_t(&a, &bt, 1);
+        for t in THREAD_COUNTS {
+            let out = kernels::matmul(&a, &b, t);
+            prop_assert_eq!(bits(out.as_slice()), bits(base.as_slice()), "matmul at {} threads", t);
+            let out = kernels::t_matmul(&at, &b, t);
+            prop_assert_eq!(bits(out.as_slice()), bits(base_t.as_slice()), "t_matmul at {} threads", t);
+            let out = kernels::matmul_t(&a, &bt, t);
+            prop_assert_eq!(bits(out.as_slice()), bits(base_bt.as_slice()), "matmul_t at {} threads", t);
+        }
+        prop_assert!(base.max_abs_diff(&naive_matmul(&a, &b)) < 1e-4);
+        prop_assert!(base_t.max_abs_diff(&naive_matmul(&transpose(&at), &b)) < 1e-4);
+        prop_assert!(base_bt.max_abs_diff(&naive_matmul(&a, &transpose(&bt))) < 1e-4);
+    }
+}
+
+// ---- ragged shapes the partitioner must survive ------------------------------
+
+#[test]
+fn empty_structure_all_thread_counts() {
+    let s = CsrStructure::from_edges(6, 6, &[]);
+    let d = Matrix::ones(6, 3);
+    for t in THREAD_COUNTS {
+        let out = kernels::spmm(&s, &[], &d, t);
+        assert_eq!(out.shape(), (6, 3));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        let out = kernels::spmm_transpose(&s, &[], &d, t);
+        assert_eq!(out.shape(), (6, 3));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        assert!(kernels::edge_softmax(&s, &[], t).is_empty());
+    }
+}
+
+#[test]
+fn mostly_empty_rows_all_thread_counts() {
+    // all mass in one row: the nnz-balanced partitioner degenerates hard
+    let edges: Vec<(usize, usize)> = (0..9).map(|c| (4, c)).collect();
+    let s = CsrStructure::from_edges(9, 9, &edges);
+    let vals: Vec<f32> = (0..s.nnz()).map(|i| i as f32 - 4.0).collect();
+    let d = Matrix::from_vec(9, 2, (0..18).map(|i| (i as f32).sin()).collect());
+    let base = kernels::spmm(&s, &vals, &d, 1);
+    let base_sm = kernels::edge_softmax(&s, &vals, 1);
+    for t in THREAD_COUNTS {
+        assert_eq!(
+            bits(kernels::spmm(&s, &vals, &d, t).as_slice()),
+            bits(base.as_slice())
+        );
+        assert_eq!(bits(&kernels::edge_softmax(&s, &vals, t)), bits(&base_sm));
+    }
+    // only row 4 is populated
+    for r in 0..9 {
+        let zero = base.row(r).iter().all(|&v| v == 0.0);
+        assert_eq!(zero, r != 4, "row {r}");
+    }
+}
+
+#[test]
+fn single_row_matmul_all_thread_counts() {
+    let a = Matrix::from_vec(1, 7, (0..7).map(|i| i as f32 * 0.25 - 0.5).collect());
+    let b = Matrix::from_vec(7, 3, (0..21).map(|i| (i as f32).cos()).collect());
+    let base = kernels::matmul(&a, &b, 1);
+    for t in THREAD_COUNTS {
+        assert_eq!(
+            bits(kernels::matmul(&a, &b, t).as_slice()),
+            bits(base.as_slice())
+        );
+    }
+    assert!(base.max_abs_diff(&naive_matmul(&a, &b)) < 1e-5);
+}
+
+#[test]
+fn more_threads_than_rows_is_fine() {
+    let c = build_case(99, 3, 2, 10);
+    let base = kernels::spmm(&c.s, &c.values, &c.dense, 1);
+    for t in [16, 33, 64] {
+        assert_eq!(
+            bits(kernels::spmm(&c.s, &c.values, &c.dense, t).as_slice()),
+            bits(base.as_slice())
+        );
+    }
+}
+
+// ---- gradchecks through the blocked tape paths -------------------------------
+
+const TOL: f32 = 2e-2;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn grad_spmm_blocked_parallel(vals in proptest::collection::vec(-1.5f32..1.5, 5),
+                                  x in proptest::collection::vec(-1.5f32..1.5, 12)) {
+        par::set_thread_override(4);
+        let s = Arc::new(CsrStructure::from_edges(
+            4, 4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 0)],
+        ));
+        let vals = Matrix::col_vec(&vals);
+        let x = Matrix::from_vec(4, 3, x);
+        assert_gradcheck(&[vals, x], TOL, move |t, vs| {
+            let y = t.spmm(s.clone(), vs[0], vs[1]);
+            let q = t.mul(y, y);
+            t.mean_all(q)
+        });
+        par::set_thread_override(0);
+    }
+
+    #[test]
+    fn grad_edge_softmax_blocked_parallel(scores in proptest::collection::vec(-1.5f32..1.5, 5),
+                                          x in proptest::collection::vec(-1.5f32..1.5, 8)) {
+        par::set_thread_override(4);
+        let s = Arc::new(CsrStructure::from_edges(
+            4, 4, &[(0, 1), (0, 2), (1, 0), (2, 3), (3, 0)],
+        ));
+        let scores = Matrix::col_vec(&scores);
+        let x = Matrix::from_vec(4, 2, x);
+        assert_gradcheck(&[scores, x], TOL, move |t, vs| {
+            let att = t.edge_softmax(s.clone(), vs[0]);
+            let y = t.spmm(s.clone(), att, vs[1]);
+            let q = t.mul(y, y);
+            t.mean_all(q)
+        });
+        par::set_thread_override(0);
+    }
+
+    #[test]
+    fn grad_matmul_blocked_parallel(a in proptest::collection::vec(-1.5f32..1.5, 12),
+                                    b in proptest::collection::vec(-1.5f32..1.5, 8)) {
+        par::set_thread_override(4);
+        let a = Matrix::from_vec(3, 4, a);
+        let b = Matrix::from_vec(4, 2, b);
+        assert_gradcheck(&[a, b], TOL, |t, vs| {
+            let c = t.matmul(vs[0], vs[1]);
+            let sq = t.mul(c, c);
+            t.mean_all(sq)
+        });
+        par::set_thread_override(0);
+    }
+}
+
+/// Tape forward results must not depend on the wrapper-level thread count
+/// either — the whole training step is bit-deterministic.
+#[test]
+fn tape_spmm_forward_identical_across_overrides() {
+    let s = Arc::new(CsrStructure::from_edges(
+        5,
+        5,
+        &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 2)],
+    ));
+    let vals = Matrix::col_vec(&[0.5, -1.0, 0.25, 2.0, -0.75, 1.5]);
+    let x = Matrix::from_vec(5, 3, (0..15).map(|i| (i as f32).sin()).collect());
+    let run = |threads: usize| {
+        par::set_thread_override(threads);
+        let mut t = ses_tensor::Tape::new();
+        let v = t.leaf(vals.clone());
+        let d = t.leaf(x.clone());
+        let y = t.spmm(s.clone(), v, d);
+        let out = t.value(y).as_slice().to_vec();
+        par::set_thread_override(0);
+        out
+    };
+    let base = run(1);
+    for t in [2, 4, 8] {
+        assert_eq!(bits(&run(t)), bits(&base), "tape spmm at {t} threads");
+    }
+}

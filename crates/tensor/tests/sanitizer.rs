@@ -90,6 +90,55 @@ fn gather_out_of_bounds_names_the_op() {
 }
 
 #[test]
+fn parallel_spmm_nan_names_the_op() {
+    if !sanitize_enabled() {
+        return;
+    }
+    // The blocked kernels merge per-thread partials before `Tape::push` sees
+    // the result, so the sanitizer must catch a non-finite value that only
+    // exists in the merged output (every input here is a finite f32; the two
+    // row-0 products overflow to +inf when accumulated) — at every
+    // wrapper-level thread count.
+    for threads in [2, 4] {
+        ses_tensor::par::set_thread_override(threads);
+        let msg = panic_message(|| {
+            let mut t = Tape::new();
+            let s = Arc::new(ses_tensor::CsrStructure::from_edges(
+                3,
+                3,
+                &[(0, 1), (0, 2), (1, 2), (2, 0)],
+            ));
+            let vals = t.leaf(Matrix::col_vec(&[3.0e38, 3.0e38, 1.0, 2.0]));
+            let x = t.leaf(Matrix::ones(3, 2));
+            let _ = t.spmm(s, vals, x);
+        });
+        ses_tensor::par::set_thread_override(0);
+        assert!(msg.contains("SES_SANITIZE"), "{msg}");
+        assert!(msg.contains("spmm"), "diagnostic must name the op: {msg}");
+        assert!(msg.contains("non-finite forward value"), "{msg}");
+    }
+}
+
+#[test]
+fn parallel_matmul_shape_mismatch_names_the_op() {
+    if !sanitize_enabled() {
+        return;
+    }
+    // Shape validation happens before the parallel kernel runs; a thread
+    // override must not bypass it.
+    ses_tensor::par::set_thread_override(4);
+    let msg = panic_message(|| {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::zeros(2, 3));
+        let b = t.leaf(Matrix::zeros(4, 2));
+        let _ = t.matmul(a, b);
+    });
+    ses_tensor::par::set_thread_override(0);
+    assert!(msg.contains("SES_SANITIZE[matmul]"), "{msg}");
+    assert!(msg.contains("inner dimensions"), "{msg}");
+}
+
+#[test]
 fn backward_leak_query_classifies_nodes() {
     let mut t = Tape::new();
     let a = t.leaf(Matrix::row_vec(&[1.0, 2.0]));

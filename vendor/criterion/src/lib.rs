@@ -54,13 +54,22 @@ impl Bencher {
 }
 
 /// Top-level handle, mirroring `criterion::Criterion`.
+///
+/// Stub extension: every measurement is also recorded as a
+/// `(label, mean_ns)` pair retrievable via [`Criterion::records`], so bench
+/// harnesses can post-process timings (e.g. emit machine-readable reports)
+/// without re-running anything.
 pub struct Criterion {
     sample_size: usize,
+    records: Vec<(String, f64)>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 10 }
+        Self {
+            sample_size: 10,
+            records: Vec::new(),
+        }
     }
 }
 
@@ -92,7 +101,15 @@ impl Criterion {
         };
         f(&mut b);
         println!("{name:<40} {:>12}/iter", human(b.last_mean_ns));
+        self.records.push((name.to_string(), b.last_mean_ns));
         self
+    }
+
+    /// All `(label, mean nanoseconds per iteration)` measurements recorded so
+    /// far, in execution order (stub extension; upstream criterion exposes
+    /// this through its report files instead).
+    pub fn records(&self) -> &[(String, f64)] {
+        &self.records
     }
 
     /// Opens a named group of related benchmarks.
@@ -123,6 +140,7 @@ impl BenchmarkGroup<'_> {
         f(&mut b, input);
         let label = format!("{}/{}", self.name, id.id);
         println!("{label:<40} {:>12}/iter", human(b.last_mean_ns));
+        self.parent.records.push((label, b.last_mean_ns));
         self
     }
 
@@ -169,6 +187,10 @@ mod tests {
         });
         // 1 warm-up + 3 timed iterations.
         assert_eq!(calls, 4);
+        // and the measurement is recorded for post-processing
+        assert_eq!(c.records().len(), 1);
+        assert_eq!(c.records()[0].0, "noop");
+        assert!(c.records()[0].1 >= 0.0);
     }
 
     #[test]
