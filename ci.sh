@@ -16,6 +16,13 @@ cargo run -q -p ses-lint
 echo "== cargo test -q"
 cargo test -q
 
+echo "== observability smoke (instrumented quickstart + JSONL validation)"
+SES_OBS=1 \
+SES_OBS_FILE="$PWD/target/obs_ci.jsonl" \
+SES_QUICKSTART_EPOCHS=3 \
+cargo run -q --example quickstart >/dev/null
+cargo run -q -p ses-obs --bin obs-validate -- "$PWD/target/obs_ci.jsonl"
+
 echo "== bench smoke (quick mode, regression gate)"
 # Absolute paths: cargo runs the bench binary from the package root.
 SES_BENCH_QUICK=1 \

@@ -15,7 +15,7 @@ use ses_core::{fit, MaskGenerator};
 use ses_data::Profile;
 use ses_explain::*;
 use ses_gnn::Gcn;
-use ses_metrics::{format_duration, Stopwatch};
+use ses_metrics::Stopwatch;
 
 fn main() {
     let profile = Profile::from_env();
@@ -27,16 +27,12 @@ fn main() {
     let bb = Backbone::train_gcn(g, &splits, &cfg);
     eprintln!("backbone acc {:.3}", bb.test_acc);
 
-    let mut rows = Vec::new();
-    let mut csv = Vec::new();
-    let mut record = |name: &str, secs: f64| {
-        rows.push(vec![
-            name.to_string(),
-            format_duration(std::time::Duration::from_secs_f64(secs)),
-        ]);
-        csv.push(format!("{name},{secs:.3}"));
-        eprintln!("{name}: {secs:.2}s");
-    };
+    let mut sheet = TimingSheet::new(
+        "Table 6: explanation inference time, all nodes, Cora stand-in",
+        "table6.csv",
+        "method,seconds",
+        &["method", "time"],
+    );
 
     // GNNExplainer: re-optimise a mask per node.
     let mut sw = Stopwatch::new();
@@ -52,7 +48,7 @@ fn main() {
             let _ = e.explain(v);
         }
     }
-    record("GNNExplainer", sw.lap("gnnx").as_secs_f64());
+    sheet.record("GNNExplainer", sw.lap("gnnx").as_secs_f64());
 
     // GraphLIME: one lasso fit per node.
     {
@@ -61,13 +57,13 @@ fn main() {
             let _ = e.explain(v);
         }
     }
-    record("GraphLIME", sw.lap("lime").as_secs_f64());
+    sheet.record("GraphLIME", sw.lap("lime").as_secs_f64());
 
     // PGExplainer: train the global scorer once.
     {
         let _ = PgExplainer::train(&bb, &PgExplainerConfig::default());
     }
-    record("PGExplainer", sw.lap("pge").as_secs_f64());
+    sheet.record("PGExplainer", sw.lap("pge").as_secs_f64());
 
     // SEGNN: similarity classification of every node (includes its share of
     // backbone training, as the paper counts self-explainable training time).
@@ -78,7 +74,7 @@ fn main() {
             let _ = segnn.classify(v);
         }
     }
-    record("SEGNN", sw.lap("segnn").as_secs_f64());
+    sheet.record("SEGNN", sw.lap("segnn").as_secs_f64());
 
     // SES (et): explainable training produces all explanations at once.
     {
@@ -89,13 +85,8 @@ fn main() {
         let mut cfg = ses_prediction_config(profile, seed);
         cfg.epochs_epl = 0; // et phase only: that is when explanations exist
         let trained = fit(enc, mg, g, &splits, &cfg);
-        record("SES (et)", trained.report.explain_time.as_secs_f64());
+        sheet.record("SES (et)", trained.report.explain_time.as_secs_f64());
     }
 
-    print_table(
-        "Table 6: explanation inference time, all nodes, Cora stand-in",
-        &["method", "time"],
-        &rows,
-    );
-    write_csv("table6.csv", "method,seconds", &csv).expect("write experiment csv");
+    sheet.finish().expect("write experiment csv");
 }

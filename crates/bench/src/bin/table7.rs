@@ -7,13 +7,16 @@
 use ses_bench::*;
 use ses_core::fit;
 use ses_data::Profile;
-use ses_metrics::format_duration;
 
 fn main() {
     let profile = Profile::from_env();
     let seed = 7;
-    let mut rows = Vec::new();
-    let mut csv = Vec::new();
+    let mut sheet = TimingSheet::new(
+        "Table 7: SES(GCN) inference & training time",
+        "table7.csv",
+        "dataset,inference_s,training_s,test_acc",
+        &["dataset", "inference", "training", "test acc %"],
+    );
     for d in realworld_datasets(profile, seed) {
         let g = &d.graph;
         let splits = classification_splits(&d, seed);
@@ -23,27 +26,19 @@ fn main() {
         let infer = trained.report.explain_time.as_secs_f64();
         let total =
             infer + trained.report.epl_time.as_secs_f64() + trained.report.pair_time.as_secs_f64();
-        rows.push(vec![
-            d.name.clone(),
-            format_duration(std::time::Duration::from_secs_f64(infer)),
-            format_duration(std::time::Duration::from_secs_f64(total)),
-            pct(trained.report.test_acc),
-        ]);
-        csv.push(format!(
-            "{},{infer:.3},{total:.3},{:.4}",
-            d.name, trained.report.test_acc
-        ));
         eprintln!("{}: inference {infer:.2}s training {total:.2}s", d.name);
+        sheet.push_row(
+            vec![
+                d.name.clone(),
+                fmt_secs(infer),
+                fmt_secs(total),
+                pct(trained.report.test_acc),
+            ],
+            format!(
+                "{},{infer:.3},{total:.3},{:.4}",
+                d.name, trained.report.test_acc
+            ),
+        );
     }
-    print_table(
-        "Table 7: SES(GCN) inference & training time",
-        &["dataset", "inference", "training", "test acc %"],
-        &rows,
-    );
-    write_csv(
-        "table7.csv",
-        "dataset,inference_s,training_s,test_acc",
-        &csv,
-    )
-    .expect("write experiment csv");
+    sheet.finish().expect("write experiment csv");
 }

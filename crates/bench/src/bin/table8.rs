@@ -25,8 +25,12 @@ fn sparse_graph(n: usize, rng: &mut StdRng) -> Graph {
 
 fn main() {
     let sizes = [100usize, 1_000, 10_000, 50_000, 70_000];
-    let mut rows = Vec::new();
-    let mut csv = Vec::new();
+    let mut sheet = TimingSheet::new(
+        "Table 8: Algorithm 1 (pair construction) runtime",
+        "table8.csv",
+        "nodes,seconds,triples",
+        &["nodes", "time", "triples"],
+    );
     for &n in &sizes {
         let mut rng = StdRng::seed_from_u64(8);
         let g = sparse_graph(n, &mut rng);
@@ -40,18 +44,15 @@ fn main() {
         let sw = Stopwatch::new();
         let pairs = construct_pairs(&khop, &weights, &negs, 0.8, &mut rng);
         let secs = sw.elapsed().as_secs_f64();
-        rows.push(vec![
-            format!("{n}"),
-            format!("{secs:.4}s"),
-            format!("{}", pairs.len()),
-        ]);
-        csv.push(format!("{n},{secs:.6},{}", pairs.len()));
         eprintln!("n={n}: {secs:.4}s ({} triples)", pairs.len());
+        sheet.push_row(
+            vec![
+                format!("{n}"),
+                format!("{secs:.4}s"),
+                format!("{}", pairs.len()),
+            ],
+            format!("{n},{secs:.6},{}", pairs.len()),
+        );
     }
-    print_table(
-        "Table 8: Algorithm 1 (pair construction) runtime",
-        &["nodes", "time", "triples"],
-        &rows,
-    );
-    write_csv("table8.csv", "nodes,seconds,triples", &csv).expect("write experiment csv");
+    sheet.finish().expect("write experiment csv");
 }

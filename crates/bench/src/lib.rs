@@ -11,12 +11,14 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ses_core::{MaskGenerator, SesConfig};
 use ses_data::{realworld, Dataset, Profile, Splits};
 use ses_gnn::{Encoder, Gcn, TrainConfig};
+use ses_metrics::format_duration;
 
 /// Where experiment CSVs land (created on first use).
 pub fn experiments_dir() -> std::io::Result<PathBuf> {
@@ -33,13 +35,13 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<(
     for r in rows {
         writeln!(f, "{r}")?;
     }
-    eprintln!("wrote {}", path.display());
+    ses_obs::info!("wrote {}", path.display());
     Ok(())
 }
 
 /// Pretty-prints a table: `header` then aligned rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
+    ses_obs::outln!("\n== {title} ==");
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -56,12 +58,81 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!(
+    ses_obs::outln!(
         "{}",
         fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
     for row in rows {
-        println!("{}", fmt_row(row));
+        ses_obs::outln!("{}", fmt_row(row));
+    }
+}
+
+/// Formats fractional seconds in the human scale used across the timing
+/// tables (`format_duration` on the equivalent [`Duration`]).
+pub fn fmt_secs(secs: f64) -> String {
+    format_duration(Duration::from_secs_f64(secs))
+}
+
+/// Accumulator for the timing tables (Tables 6–8): keeps the pretty-printed
+/// rows and the CSV lines in lockstep, logs per-row progress through
+/// `ses-obs`, and renders/persists both on [`TimingSheet::finish`]. Replaces
+/// the parallel `rows`/`csv` vectors every timing binary used to hand-roll.
+pub struct TimingSheet {
+    title: String,
+    csv_name: &'static str,
+    csv_header: &'static str,
+    header: Vec<&'static str>,
+    rows: Vec<Vec<String>>,
+    csv: Vec<String>,
+}
+
+impl TimingSheet {
+    /// Starts an empty sheet. `header` names the pretty columns; `csv_header`
+    /// names the CSV columns (they may differ, e.g. formatted vs raw seconds).
+    pub fn new(
+        title: impl Into<String>,
+        csv_name: &'static str,
+        csv_header: &'static str,
+        header: &[&'static str],
+    ) -> Self {
+        Self {
+            title: title.into(),
+            csv_name,
+            csv_header,
+            header: header.to_vec(),
+            rows: Vec::new(),
+            csv: Vec::new(),
+        }
+    }
+
+    /// Records a `(label, seconds)` timing row — the Table 6/8 shape — and
+    /// logs a progress line.
+    pub fn record(&mut self, label: &str, secs: f64) {
+        ses_obs::info!("{label}: {secs:.2}s");
+        self.push_row(
+            vec![label.to_string(), fmt_secs(secs)],
+            format!("{label},{secs:.3}"),
+        );
+    }
+
+    /// Records an arbitrary row, keeping the table and CSV in lockstep.
+    pub fn push_row(&mut self, cells: Vec<String>, csv_line: String) {
+        if ses_obs::sink::active() {
+            let mut rec = ses_obs::Record::new("bench_row").str("sheet", self.csv_name);
+            for (name, cell) in self.header.iter().zip(&cells) {
+                rec = rec.str(name, cell);
+            }
+            rec.emit();
+        }
+        self.rows.push(cells);
+        self.csv.push(csv_line);
+    }
+
+    /// Pretty-prints the table and writes the CSV under
+    /// `target/experiments/`.
+    pub fn finish(self) -> std::io::Result<()> {
+        print_table(&self.title, &self.header, &self.rows);
+        write_csv(self.csv_name, self.csv_header, &self.csv)
     }
 }
 
@@ -148,6 +219,28 @@ mod tests {
         let content =
             std::fs::read_to_string(experiments_dir().unwrap().join("unit_test.csv")).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn timing_sheet_keeps_table_and_csv_in_lockstep() {
+        let mut sheet = TimingSheet::new(
+            "unit sheet",
+            "unit_sheet.csv",
+            "method,seconds",
+            &["method", "time"],
+        );
+        sheet.record("fast", 0.25);
+        sheet.push_row(
+            vec!["slow".into(), fmt_secs(90.0)],
+            "slow,90.000".to_string(),
+        );
+        assert_eq!(sheet.rows.len(), sheet.csv.len());
+        assert_eq!(sheet.rows[0][0], "fast");
+        assert_eq!(sheet.csv[0], "fast,0.250");
+        sheet.finish().unwrap();
+        let content =
+            std::fs::read_to_string(experiments_dir().unwrap().join("unit_sheet.csv")).unwrap();
+        assert_eq!(content, "method,seconds\nfast,0.250\nslow,90.000\n");
     }
 
     #[test]

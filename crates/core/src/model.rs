@@ -141,6 +141,27 @@ fn build_lift_map(khop: &CsrStructure, view: &AdjView) -> Vec<usize> {
         .collect()
 }
 
+/// Telemetry digest of a mask matrix: `(mean activation, fraction of
+/// entries below 0.5)` — the latter is "sparsity" in the paper's sense of
+/// suppressed features/edges. Only computed when the JSONL sink is active.
+fn mask_stats(m: &Matrix) -> (f64, f64) {
+    let s = m.as_slice();
+    if s.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sum = 0.0f64;
+    let mut below = 0u64;
+    for &v in s {
+        sum += f64::from(v);
+        if v < 0.5 {
+            below += 1;
+        }
+    }
+    let n = s.len() as u64;
+    // lint:allow(no-f64-in-kernels): reporting arithmetic, not a kernel
+    (sum / n as f64, below as f64 / n as f64)
+}
+
 /// Lifts the structure-mask variable onto a view via the precomputed gather
 /// map: self-loop slots read from an appended constant-one block.
 fn lift_mask(tape: &mut Tape, ms: Var, n_nodes: usize, map: &Arc<Vec<usize>>) -> Var {
@@ -171,6 +192,7 @@ pub fn fit<E: Encoder>(
     let ctx = SesContext::build(graph, splits, config, &mut rng);
 
     // ----- Phase 1: explainable training -----
+    let phase_span = ses_obs::span!("ses.phase.explain");
     let et_start = Instant::now();
     let mut opt = Adam::new(config.lr).with_weight_decay(config.weight_decay);
     let mut et_loss_curve = Vec::with_capacity(config.epochs_explain);
@@ -178,6 +200,8 @@ pub fn fit<E: Encoder>(
     let mut snapshots = Vec::new();
 
     for epoch in 0..config.epochs_explain {
+        let epoch_start = Instant::now();
+        let spans_before = ses_obs::spans::snapshot();
         let mut tape = Tape::new();
         let x = tape.constant(graph.features().clone());
 
@@ -218,6 +242,7 @@ pub fn fit<E: Encoder>(
         let l_sub = tape.l1_to_constant(stacked, &targets);
 
         // Eq. (8): masked re-encoding consistency loss
+        let mut l_m_val = None;
         let mask_obj = if config.variant.use_masked_xent {
             let xm = tape.mul(masks.feature, x);
             let (view, map) = match config.masked_graph {
@@ -238,6 +263,7 @@ pub fn fit<E: Encoder>(
             };
             let l_m =
                 tape.cross_entropy_masked(out_m.logits, ctx.labels.clone(), ctx.train_idx.clone());
+            l_m_val = Some(tape.value(l_m).scalar_value());
             let weighted_sub = tape.scale(l_sub, config.sub_loss_weight);
             let mut obj = tape.add(weighted_sub, l_m);
             if config.mask_size_weight > 0.0 {
@@ -273,6 +299,28 @@ pub fn fit<E: Encoder>(
         let val_acc = accuracy(&pred, graph.labels(), eval_split(splits));
         et_val_curve.push(val_acc);
 
+        if ses_obs::sink::active() {
+            let (feat_mean, feat_sparsity) = mask_stats(tape.value(masks.feature));
+            let (struct_mean, struct_sparsity) = mask_stats(tape.value(masks.structure));
+            let mut rec = ses_obs::Record::new("epoch")
+                .str("phase", "explain")
+                .int("epoch", epoch as i64)
+                .num("loss", f64::from(loss_val))
+                .num("loss_xent", f64::from(tape.value(l_xent).scalar_value()))
+                .num("loss_sub", f64::from(tape.value(l_sub).scalar_value()));
+            if let Some(lm) = l_m_val {
+                rec = rec.num("loss_mask_xent", f64::from(lm));
+            }
+            rec.num("feat_mask_mean", feat_mean)
+                .num("feat_mask_sparsity", feat_sparsity)
+                .num("struct_mask_mean", struct_mean)
+                .num("struct_mask_sparsity", struct_sparsity)
+                .num("val_acc", val_acc)
+                .num("epoch_ms", epoch_start.elapsed().as_secs_f64() * 1e3)
+                .span_breakdown("kernels_ms", &ses_obs::spans::delta_since(&spans_before))
+                .emit();
+        }
+
         if config.record_masks_at.contains(&epoch) {
             let (fm, sw) = extract_masks(&encoder, &mask_gen, graph, &ctx, config.seed);
             snapshots.push(MaskSnapshot {
@@ -287,6 +335,7 @@ pub fn fit<E: Encoder>(
     let (feature_mask, structure_weights) =
         extract_masks(&encoder, &mask_gen, graph, &ctx, config.seed);
     let explain_time = et_start.elapsed();
+    drop(phase_span);
 
     let explanations = Explanations {
         feature_mask: feature_mask.clone(),
@@ -318,6 +367,7 @@ pub fn fit<E: Encoder>(
     let pair_time = pair_start.elapsed();
 
     // ----- Phase 2: enhanced predictive learning -----
+    let phase_span = ses_obs::span!("ses.phase.epl");
     let epl_start = Instant::now();
     let epl_loss_curve = run_epl_phase(
         &mut encoder,
@@ -329,6 +379,7 @@ pub fn fit<E: Encoder>(
         &mut rng,
     );
     let epl_time = epl_start.elapsed();
+    drop(phase_span);
 
     let (predictions, embeddings) = masked_eval(
         &encoder,
@@ -340,6 +391,18 @@ pub fn fit<E: Encoder>(
     );
     let test_acc = accuracy(&predictions, graph.labels(), test_split(splits));
     let val_acc = accuracy(&predictions, graph.labels(), eval_split(splits));
+
+    if ses_obs::sink::active() {
+        ses_obs::Record::new("run")
+            .str("model", "ses")
+            .num("test_acc", test_acc)
+            .num("test_acc_after_et", test_acc_after_et)
+            .num("val_acc", val_acc)
+            .num("explain_ms", explain_time.as_secs_f64() * 1e3)
+            .num("epl_ms", epl_time.as_secs_f64() * 1e3)
+            .num("pair_ms", pair_time.as_secs_f64() * 1e3)
+            .emit();
+    }
 
     TrainedSes {
         encoder,
@@ -418,7 +481,9 @@ fn run_epl_phase<E: Encoder + ?Sized>(
         None
     };
 
-    for _epoch in 0..config.epochs_epl {
+    for epoch in 0..config.epochs_epl {
+        let epoch_start = Instant::now();
+        let spans_before = ses_obs::spans::snapshot();
         let mut tape = Tape::new();
         let x = tape.constant(masked_x.clone());
         let edge_mask = onehop_mask_values
@@ -438,6 +503,8 @@ fn run_epl_phase<E: Encoder + ?Sized>(
 
         // Eq. (13): β L_triplet + (1 − β) L_xent
         let mut loss = None;
+        let mut l_triplet_val = None;
+        let mut l_xent_val = None;
         if config.variant.use_triplet && !pairs.is_empty() {
             let a = tape.gather_rows(out.hidden, anchor.clone());
             let p = tape.gather_rows(out.hidden, pos.clone());
@@ -448,11 +515,13 @@ fn run_epl_phase<E: Encoder + ?Sized>(
             let gap = tape.add_scalar(gap, config.margin);
             let hinge = tape.relu(gap);
             let l_triplet = tape.mean_all(hinge);
+            l_triplet_val = Some(tape.value(l_triplet).scalar_value());
             loss = Some(tape.scale(l_triplet, config.beta));
         }
         if config.variant.use_xent_epl {
             let l_xent =
                 tape.cross_entropy_masked(out.logits, ctx.labels.clone(), ctx.train_idx.clone());
+            l_xent_val = Some(tape.value(l_xent).scalar_value());
             let weighted = tape.scale(l_xent, 1.0 - config.beta);
             loss = Some(match loss {
                 Some(l) => tape.add(l, weighted),
@@ -463,9 +532,26 @@ fn run_epl_phase<E: Encoder + ?Sized>(
         // with an empty pair set): nothing to optimise, so stop early rather
         // than spin through no-op epochs.
         let Some(loss) = loss else { break };
-        curve.push(tape.value(loss).scalar_value());
+        let loss_val = tape.value(loss).scalar_value();
+        curve.push(loss_val);
         tape.backward(loss);
         apply_step(&mut opt, &tape, encoder, None, &out.param_vars, &[]);
+
+        if ses_obs::sink::active() {
+            let mut rec = ses_obs::Record::new("epoch")
+                .str("phase", "epl")
+                .int("epoch", epoch as i64)
+                .num("loss", f64::from(loss_val));
+            if let Some(lt) = l_triplet_val {
+                rec = rec.num("loss_triplet", f64::from(lt));
+            }
+            if let Some(lx) = l_xent_val {
+                rec = rec.num("loss_xent", f64::from(lx));
+            }
+            rec.num("epoch_ms", epoch_start.elapsed().as_secs_f64() * 1e3)
+                .span_breakdown("kernels_ms", &ses_obs::spans::delta_since(&spans_before))
+                .emit();
+        }
     }
     curve
 }

@@ -36,8 +36,17 @@ pub fn explanation_auc(
     let graph = &data.dataset.graph;
     let mut scores = Vec::new();
     let mut labels = Vec::new();
+    let harness_start = std::time::Instant::now();
     for &v in eval_nodes {
-        let explained = explainer.explain_node(v);
+        let explained = {
+            let _span = ses_obs::span!("explain.node");
+            let node_start = std::time::Instant::now();
+            let explained = explainer.explain_node(v);
+            ses_obs::metrics::EXPLAIN_NODES.incr();
+            ses_obs::metrics::EXPLAIN_NODE_NS
+                .record(u64::try_from(node_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            explained
+        };
         // index explained edges for lookup (max over orientations)
         let mut lookup = std::collections::HashMap::new();
         for &(a, b, w) in &explained {
@@ -61,7 +70,20 @@ pub fn explanation_auc(
             }
         }
     }
-    roc_auc(&scores, &labels).unwrap_or(0.5)
+    let auc = roc_auc(&scores, &labels).unwrap_or(0.5);
+    if ses_obs::sink::active() && !eval_nodes.is_empty() {
+        ses_obs::Record::new("explain_eval")
+            .str("explainer", explainer.name())
+            .uint("nodes", eval_nodes.len() as u64)
+            .num("auc", auc)
+            .num("total_ms", harness_start.elapsed().as_secs_f64() * 1e3)
+            .num(
+                "mean_node_ms",
+                harness_start.elapsed().as_secs_f64() * 1e3 / eval_nodes.len() as f64,
+            )
+            .emit();
+    }
+    auc
 }
 
 #[cfg(test)]

@@ -112,6 +112,8 @@ pub fn train_node_classifier(
 
     for epoch in 0..config.epochs {
         epochs_run = epoch + 1;
+        let epoch_start = Instant::now();
+        let spans_before = ses_obs::spans::snapshot();
         let mut tape = Tape::new();
         let x = tape.constant(graph.features().clone());
         let mut ctx = ForwardCtx {
@@ -122,27 +124,34 @@ pub fn train_node_classifier(
             train: true,
             rng: &mut rng,
         };
-        let out = encoder.forward(&mut ctx);
+        let out = {
+            let _span = ses_obs::span!("trainer.forward");
+            encoder.forward(&mut ctx)
+        };
         let loss = tape.cross_entropy_masked(out.logits, labels.clone(), train_idx.clone());
         let loss_val = tape.value(loss).scalar_value();
         tape.backward(loss);
 
-        let grads: Vec<Matrix> = out
-            .param_vars
-            .iter()
-            .map(|&v| tape.grad_unwrap(v).clone())
-            .collect();
-        let mut params = encoder.params_mut();
-        let mut updates: Vec<(&mut ses_tensor::Param, &Matrix)> = params
-            .iter_mut()
-            .map(|p| &mut **p)
-            .zip(grads.iter())
-            .collect();
-        opt.step(&mut updates);
-        drop(params);
+        {
+            let _span = ses_obs::span!("trainer.step");
+            let grads: Vec<Matrix> = out
+                .param_vars
+                .iter()
+                .map(|&v| tape.grad_unwrap(v).clone())
+                .collect();
+            let mut params = encoder.params_mut();
+            let mut updates: Vec<(&mut ses_tensor::Param, &Matrix)> = params
+                .iter_mut()
+                .map(|p| &mut **p)
+                .zip(grads.iter())
+                .collect();
+            opt.step(&mut updates);
+        }
 
         // validation
+        let _eval_span = ses_obs::span!("trainer.eval");
         let (pred, _) = predict(encoder, graph, adj, config.seed);
+        drop(_eval_span);
         let val_acc = if splits.val.is_empty() {
             accuracy(&pred, graph.labels(), &splits.train)
         } else {
@@ -151,8 +160,19 @@ pub fn train_node_classifier(
         loss_curve.push(loss_val);
         val_curve.push(val_acc);
 
+        if ses_obs::sink::active() {
+            ses_obs::Record::new("epoch")
+                .str("phase", "backbone")
+                .str("model", encoder.name())
+                .int("epoch", epoch as i64)
+                .num("loss", f64::from(loss_val))
+                .num("val_acc", val_acc)
+                .num("epoch_ms", epoch_start.elapsed().as_secs_f64() * 1e3)
+                .span_breakdown("kernels_ms", &ses_obs::spans::delta_since(&spans_before))
+                .emit();
+        }
         if config.log_every > 0 && epoch % config.log_every == 0 {
-            eprintln!(
+            ses_obs::info!(
                 "[{}] epoch {epoch}: loss={loss_val:.4} val={val_acc:.4}",
                 encoder.name()
             );

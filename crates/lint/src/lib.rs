@@ -9,6 +9,7 @@
 //! | `no-f64-in-kernels` | the tensor engine stays `f32` end to end |
 //! | `allow-syntax` | every escape hatch names a known rule and carries a reason |
 //! | `no-narrowing-cast` | no `as usize`/`as f32` in tensor kernel hot paths |
+//! | `no-println-in-lib` | library diagnostics go through `ses_obs`, not raw stdio macros |
 //!
 //! Escape hatch: `// lint:allow(<rule>): <reason>` on the offending line, or
 //! alone on the line directly above it. Reasons are mandatory.
@@ -183,6 +184,7 @@ pub fn run(ws: &Workspace) -> Vec<Violation> {
         rules::no_thread_rng(f, &mut out);
         rules::no_f64_in_kernels(f, &mut out);
         rules::no_narrowing_cast(f, &mut out);
+        rules::no_println_in_lib(f, &mut out);
         rules::allow_syntax(f, &mut out);
     }
     rules::gradcheck_coverage(&ws.files, &mut out);

@@ -16,6 +16,8 @@ pub const NO_F64_IN_KERNELS: &str = "no-f64-in-kernels";
 pub const ALLOW_SYNTAX: &str = "allow-syntax";
 /// See [`NO_UNWRAP`].
 pub const NO_NARROWING_CAST: &str = "no-narrowing-cast";
+/// See [`NO_UNWRAP`].
+pub const NO_PRINTLN_IN_LIB: &str = "no-println-in-lib";
 
 /// All rule names, for validating `lint:allow(..)` directives.
 pub const ALL_RULES: &[&str] = &[
@@ -25,6 +27,7 @@ pub const ALL_RULES: &[&str] = &[
     NO_F64_IN_KERNELS,
     ALLOW_SYNTAX,
     NO_NARROWING_CAST,
+    NO_PRINTLN_IN_LIB,
 ];
 
 /// True for paths whose panics are acceptable: test code, benchmarks,
@@ -162,6 +165,51 @@ pub fn no_narrowing_cast(file: &LintFile, out: &mut Vec<Violation>) {
                          widening or justify with `// lint:allow(no-narrowing-cast): <reason>`"
                     ),
                 });
+            }
+        }
+    }
+}
+
+/// True for paths where ad-hoc stdio output is fine: anything already exempt
+/// from panic rules (tests, benches, examples, binaries), binary crate roots,
+/// and the vendored third-party stubs.
+fn is_exempt_from_println(rel_path: &str) -> bool {
+    is_exempt_from_panics(rel_path)
+        || rel_path.ends_with("src/main.rs")
+        || rel_path.starts_with("vendor/")
+}
+
+/// `no-println-in-lib`: forbids direct `println!`/`eprintln!`/`print!`/
+/// `eprint!`/`dbg!` in library runtime paths. Library diagnostics must flow
+/// through `ses_obs::info!`/`ses_obs::outln!` so they honour the telemetry
+/// sink and can be captured, filtered, or silenced uniformly. Binaries,
+/// examples, tests, benches and vendored stubs may print freely.
+pub fn no_println_in_lib(file: &LintFile, out: &mut Vec<Violation>) {
+    if is_exempt_from_println(&file.rel_path) {
+        return;
+    }
+    const PATTERNS: [&str; 5] = ["println!", "eprintln!", "print!", "eprint!", "dbg!"];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_region {
+            continue;
+        }
+        for pat in PATTERNS {
+            if contains_word(&line.code, pat) {
+                if file.is_allowed(idx, NO_PRINTLN_IN_LIB) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: NO_PRINTLN_IN_LIB,
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    msg: format!(
+                        "`{pat}` in library runtime path: route output through \
+                         `ses_obs::info!`/`ses_obs::outln!` or justify with \
+                         `// lint:allow(no-println-in-lib): <reason>`"
+                    ),
+                });
+                // one violation per line per rule is enough
+                break;
             }
         }
     }
@@ -430,6 +478,42 @@ mod tests {
         // identifiers containing the words must not trip
         let bare = "fn f() { let aliased_as_f32_name = 1.0f32; }";
         let v = run_single(&file("crates/tensor/src/par.rs", bare), no_narrowing_cast);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn println_flagged_in_lib_paths_only() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); dbg!(z); }";
+        let v = run_single(&file("crates/foo/src/lib.rs", src), no_println_in_lib);
+        assert_eq!(v.len(), 1, "one violation per line: {v:?}");
+        assert_eq!(v[0].rule, NO_PRINTLN_IN_LIB);
+        // binaries, examples, tests, vendored stubs: all clean
+        for path in [
+            "crates/foo/src/bin/tool.rs",
+            "crates/lint/src/main.rs",
+            "crates/foo/examples/demo.rs",
+            "crates/foo/tests/it.rs",
+            "crates/foo/benches/b.rs",
+            "vendor/rand/src/lib.rs",
+        ] {
+            let v = run_single(&file(path, src), no_println_in_lib);
+            assert!(v.is_empty(), "{path}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn println_rule_respects_tests_allow_and_words() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { println!(\"dbg\"); }\n}";
+        let v = run_single(&file("crates/foo/src/lib.rs", in_test), no_println_in_lib);
+        assert!(v.is_empty(), "{v:?}");
+        let allowed = "fn f() {\n    // lint:allow(no-println-in-lib): startup banner\n    \
+                       println!(\"hello\");\n}";
+        let v = run_single(&file("crates/foo/src/lib.rs", allowed), no_println_in_lib);
+        assert!(v.is_empty(), "{v:?}");
+        // macro wrappers that merely end in the same letters must not trip,
+        // and our own sanctioned macros stay clean
+        let ok = "fn f() { ses_obs::info!(\"x\"); my_println!(\"y\"); writeln!(w, \"z\"); }";
+        let v = run_single(&file("crates/foo/src/lib.rs", ok), no_println_in_lib);
         assert!(v.is_empty(), "{v:?}");
     }
 

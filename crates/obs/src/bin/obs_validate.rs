@@ -1,0 +1,134 @@
+//! `obs-validate` — schema validator for `ses-obs` JSONL telemetry files.
+//!
+//! Usage: `obs-validate <file.jsonl>`
+//!
+//! Checks, exiting non-zero with a message on the first violation:
+//!
+//! * every non-empty line parses as a JSON object with a string `event`
+//!   field and a numeric `t_ms`;
+//! * `epoch` records carry a string `phase`, a numeric `epoch ≥ 0` that is
+//!   strictly monotone within each phase, a finite `loss`, and a finite
+//!   `epoch_ms > 0`;
+//! * at least one `epoch` record exists (an instrumented run that logged
+//!   nothing is itself a failure).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use ses_obs::json::Json;
+
+fn validate(content: &str) -> Result<usize, String> {
+    let mut epochs = 0usize;
+    let mut last_epoch: BTreeMap<String, f64> = BTreeMap::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("line {lineno}: invalid JSON: {e}"))?;
+        let obj = v
+            .as_object()
+            .ok_or(format!("line {lineno}: not a JSON object"))?;
+        let event = obj
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {lineno}: missing string `event`"))?;
+        obj.get("t_ms")
+            .and_then(Json::as_f64)
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or(format!("line {lineno}: missing numeric `t_ms`"))?;
+
+        if event == "epoch" {
+            let phase = obj
+                .get("phase")
+                .and_then(Json::as_str)
+                .ok_or(format!("line {lineno}: epoch record missing `phase`"))?;
+            let epoch = obj
+                .get("epoch")
+                .and_then(Json::as_f64)
+                .filter(|e| e.is_finite() && *e >= 0.0)
+                .ok_or(format!("line {lineno}: epoch record missing `epoch`"))?;
+            if let Some(prev) = last_epoch.get(phase) {
+                if epoch <= *prev {
+                    return Err(format!(
+                        "line {lineno}: epoch not monotone in phase `{phase}`: {prev} -> {epoch}"
+                    ));
+                }
+            }
+            last_epoch.insert(phase.to_string(), epoch);
+            let loss = obj
+                .get("loss")
+                .and_then(Json::as_f64)
+                .ok_or(format!("line {lineno}: epoch record missing `loss`"))?;
+            if !loss.is_finite() {
+                return Err(format!("line {lineno}: non-finite loss"));
+            }
+            let epoch_ms = obj
+                .get("epoch_ms")
+                .and_then(Json::as_f64)
+                .ok_or(format!("line {lineno}: epoch record missing `epoch_ms`"))?;
+            if !(epoch_ms.is_finite() && epoch_ms >= 0.0) {
+                return Err(format!("line {lineno}: bad epoch_ms {epoch_ms}"));
+            }
+            epochs += 1;
+        }
+    }
+    if epochs == 0 {
+        return Err("no `epoch` records found".into());
+    }
+    Ok(epochs)
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: obs-validate <file.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let content = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("obs-validate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&content) {
+        Ok(epochs) => {
+            println!("obs-validate: OK ({path}: {epochs} epoch records)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs-validate: FAIL ({path}): {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+
+    #[test]
+    fn accepts_well_formed_telemetry() {
+        let good = concat!(
+            "{\"event\":\"log\",\"t_ms\":1,\"msg\":\"hi\"}\n",
+            "{\"event\":\"epoch\",\"t_ms\":2,\"phase\":\"explain\",\"epoch\":0,\"loss\":1.5,\"epoch_ms\":3.2}\n",
+            "{\"event\":\"epoch\",\"t_ms\":5,\"phase\":\"explain\",\"epoch\":1,\"loss\":1.2,\"epoch_ms\":3.0}\n",
+            "{\"event\":\"epoch\",\"t_ms\":8,\"phase\":\"epl\",\"epoch\":0,\"loss\":0.9,\"epoch_ms\":2.8}\n",
+        );
+        assert_eq!(validate(good), Ok(3));
+    }
+
+    #[test]
+    fn rejects_violations() {
+        assert!(validate("not json\n").is_err());
+        assert!(validate("{\"event\":\"log\",\"t_ms\":1}\n").is_err()); // no epochs
+        let non_monotone = concat!(
+            "{\"event\":\"epoch\",\"t_ms\":1,\"phase\":\"p\",\"epoch\":1,\"loss\":1.0,\"epoch_ms\":1.0}\n",
+            "{\"event\":\"epoch\",\"t_ms\":2,\"phase\":\"p\",\"epoch\":1,\"loss\":1.0,\"epoch_ms\":1.0}\n",
+        );
+        assert!(validate(non_monotone).is_err());
+        let nan_loss =
+            "{\"event\":\"epoch\",\"t_ms\":1,\"phase\":\"p\",\"epoch\":0,\"loss\":null,\"epoch_ms\":1.0}\n";
+        assert!(validate(nan_loss).is_err());
+    }
+}

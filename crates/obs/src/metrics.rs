@@ -1,0 +1,341 @@
+//! Typed metrics registry: counters, gauges, and power-of-two histograms
+//! over relaxed atomics, plus the workspace's well-known instruments.
+//!
+//! Every instrument checks [`crate::enabled`] before touching its atomic,
+//! so the disabled path is a load and a branch. The registry is static —
+//! instruments are `static` items registered in the fixed arrays at the
+//! bottom of this module so [`counters`]/[`histograms`] can enumerate them
+//! for the summary table and the sink.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Monotone event counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Test/bench helper: zeroes the counter.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-value / high-watermark gauge.
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            value: AtomicI64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if larger (high-watermark semantics).
+    #[inline]
+    pub fn record_max(&self, v: i64) {
+        if crate::enabled() {
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: bucket `b` counts values whose bit length
+/// is `b` (i.e. `v in [2^(b-1), 2^b)`), bucket 0 counts zero, the last
+/// bucket absorbs everything ≥ 2^62.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Power-of-two bucketed histogram (values are `u64`, e.g. nanoseconds).
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Bucket index for a value: 0 for 0, else its bit length clamped to the
+/// last bucket.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `b` (0 for bucket 0, else `2^(b-1)`).
+pub fn bucket_floor(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+impl Histogram {
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            // lint:allow(no-f64-in-kernels): summary arithmetic, not a kernel
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    pub fn bucket_count(&self, b: usize) -> u64 {
+        self.buckets[b].load(Ordering::Relaxed)
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Well-known instruments. Incremented from ses-tensor / ses-gnn / ses-core /
+// ses-explain; enumerated by the summary table via the registries below.
+// ---------------------------------------------------------------------------
+
+/// Autodiff tape nodes pushed (all ops, all tapes).
+pub static TAPE_NODES: Counter = Counter::new("tape.nodes");
+/// Backward sweeps executed.
+pub static TAPE_BACKWARDS: Counter = Counter::new("tape.backwards");
+/// Peak node count observed on any single tape.
+pub static TAPE_PEAK_NODES: Gauge = Gauge::new("tape.peak_nodes");
+
+/// Sparse×dense matmul kernel invocations (forward + adjoints).
+pub static SPMM_CALLS: Counter = Counter::new("kernel.spmm.calls");
+/// Nonzeros processed across all spmm-family calls.
+pub static SPMM_NNZ: Counter = Counter::new("kernel.spmm.nnz");
+/// Edge-softmax kernel invocations (forward + backward).
+pub static EDGE_SOFTMAX_CALLS: Counter = Counter::new("kernel.edge_softmax.calls");
+/// Dense matmul-family kernel invocations.
+pub static MATMUL_CALLS: Counter = Counter::new("kernel.matmul.calls");
+/// Fused multiply-adds across all dense matmul-family calls.
+pub static MATMUL_FLOPS: Counter = Counter::new("kernel.matmul.fmas");
+
+/// Dense matrices allocated (zeroed/filled constructors).
+pub static ALLOC_MATRICES: Counter = Counter::new("alloc.matrices");
+/// Bytes allocated for dense matrix storage.
+pub static ALLOC_BYTES: Counter = Counter::new("alloc.bytes");
+
+/// Non-finite values caught by the tape sanitizer (before panicking).
+pub static SAN_NONFINITE: Counter = Counter::new("sanitize.nonfinite");
+/// Leaked nodes classified `AfterLoss` by the sanitizer.
+pub static SAN_LEAK_AFTER_LOSS: Counter = Counter::new("sanitize.leak.after_loss");
+/// Leaked nodes classified `Unused` (parameter not consumed this epoch).
+pub static SAN_LEAK_UNUSED: Counter = Counter::new("sanitize.leak.unused");
+/// Leaked nodes classified `Pruned` (wired in, but cut off from the loss).
+pub static SAN_LEAK_PRUNED: Counter = Counter::new("sanitize.leak.pruned");
+
+/// Nodes explained via the `ses-explain` trait harness.
+pub static EXPLAIN_NODES: Counter = Counter::new("explain.nodes");
+/// Per-node explanation-generation latency (nanoseconds).
+pub static EXPLAIN_NODE_NS: Histogram = Histogram::new("explain.node_ns");
+
+static ALL_COUNTERS: [&Counter; 14] = [
+    &TAPE_NODES,
+    &TAPE_BACKWARDS,
+    &SPMM_CALLS,
+    &SPMM_NNZ,
+    &EDGE_SOFTMAX_CALLS,
+    &MATMUL_CALLS,
+    &MATMUL_FLOPS,
+    &ALLOC_MATRICES,
+    &ALLOC_BYTES,
+    &SAN_NONFINITE,
+    &SAN_LEAK_AFTER_LOSS,
+    &SAN_LEAK_UNUSED,
+    &SAN_LEAK_PRUNED,
+    &EXPLAIN_NODES,
+];
+static ALL_GAUGES: [&Gauge; 1] = [&TAPE_PEAK_NODES];
+static ALL_HISTOGRAMS: [&Histogram; 1] = [&EXPLAIN_NODE_NS];
+
+/// All well-known counters, for the summary table and end-of-run records.
+pub fn counters() -> &'static [&'static Counter] {
+    &ALL_COUNTERS
+}
+
+/// All well-known gauges.
+pub fn gauges() -> &'static [&'static Gauge] {
+    &ALL_GAUGES
+}
+
+/// All well-known histograms.
+pub fn histograms() -> &'static [&'static Histogram] {
+    &ALL_HISTOGRAMS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_power_of_two_log() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        // floors invert the index mapping
+        for b in 1..HIST_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_floor(b)), b);
+            assert_eq!(bucket_index(bucket_floor(b + 1) - 1), b);
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_summarises() {
+        crate::set_enabled_override(Some(true));
+        static H: Histogram = Histogram::new("test.hist");
+        H.reset();
+        for v in [0u64, 1, 3, 8, 8, 1000] {
+            H.record(v);
+        }
+        assert_eq!(H.count(), 6);
+        assert_eq!(H.sum(), 1020);
+        assert_eq!(H.max(), 1000);
+        assert_eq!(H.bucket_count(0), 1); // the zero
+        assert_eq!(H.bucket_count(1), 1); // 1
+        assert_eq!(H.bucket_count(2), 1); // 3
+        assert_eq!(H.bucket_count(4), 2); // 8, 8
+        assert_eq!(H.bucket_count(10), 1); // 1000
+        assert!((H.mean() - 170.0).abs() < 1e-9);
+        crate::set_enabled_override(None);
+    }
+
+    #[test]
+    fn disabled_instruments_stay_zero() {
+        crate::set_enabled_override(Some(false));
+        static C: Counter = Counter::new("test.counter");
+        static G: Gauge = Gauge::new("test.gauge");
+        static H: Histogram = Histogram::new("test.hist2");
+        C.reset();
+        C.add(5);
+        G.set(9);
+        H.record(42);
+        assert_eq!(C.get(), 0);
+        assert_eq!(G.get(), 0);
+        assert_eq!(H.count(), 0);
+        crate::set_enabled_override(None);
+    }
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        crate::set_enabled_override(Some(true));
+        static C: Counter = Counter::new("test.mt_counter");
+        C.reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        C.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(C.get(), 4000);
+        crate::set_enabled_override(None);
+    }
+}

@@ -1,0 +1,181 @@
+//! Record builder: assembles one JSONL object field-by-field and emits it
+//! to the [`crate::sink`].
+//!
+//! Every record carries an `event` discriminator and a `t_ms` timestamp
+//! (milliseconds since process start, monotonic). Non-finite numbers are
+//! serialised as `null` — JSON has no NaN/Inf, and a NaN loss must not
+//! corrupt the line for downstream parsers.
+
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Escapes `s` as JSON string contents (without surrounding quotes).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builder for one JSONL record. Field order is insertion order; `event`
+/// and `t_ms` always come first.
+pub struct Record {
+    body: String,
+}
+
+impl Record {
+    /// Starts a record with its `event` discriminator and process-relative
+    /// timestamp.
+    pub fn new(event: &str) -> Self {
+        let t_ms = process_start().elapsed().as_millis();
+        let mut body = String::with_capacity(128);
+        let _ = write!(
+            body,
+            "{{\"event\":\"{}\",\"t_ms\":{t_ms}",
+            escape_json(event)
+        );
+        Record { body }
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        let _ = write!(
+            self.body,
+            ",\"{}\":\"{}\"",
+            escape_json(key),
+            escape_json(value)
+        );
+        self
+    }
+
+    /// Adds a floating-point field; non-finite values serialise as `null`.
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        if value.is_finite() {
+            let _ = write!(self.body, ",\"{}\":{value}", escape_json(key));
+        } else {
+            let _ = write!(self.body, ",\"{}\":null", escape_json(key));
+        }
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: i64) -> Self {
+        let _ = write!(self.body, ",\"{}\":{value}", escape_json(key));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn uint(mut self, key: &str, value: u64) -> Self {
+        let _ = write!(self.body, ",\"{}\":{value}", escape_json(key));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        let _ = write!(self.body, ",\"{}\":{value}", escape_json(key));
+        self
+    }
+
+    /// Adds a nested object of `{name: total_ms}` pairs from span deltas —
+    /// the per-epoch kernel time breakdown.
+    pub fn span_breakdown(mut self, key: &str, deltas: &[crate::spans::SpanStat]) -> Self {
+        let _ = write!(self.body, ",\"{}\":{{", escape_json(key));
+        for (i, s) in deltas.iter().enumerate() {
+            if i > 0 {
+                self.body.push(',');
+            }
+            // lint:allow(no-f64-in-kernels): ns→ms conversion for reporting
+            let ms = s.total_ns as f64 / 1e6;
+            let _ = write!(self.body, "\"{}\":{ms:.3}", escape_json(s.name));
+        }
+        self.body.push('}');
+        self
+    }
+
+    /// Finishes the object and writes it to the sink as one line.
+    pub fn emit(mut self) {
+        self.body.push('}');
+        crate::sink::write_line(&self.body);
+    }
+
+    /// Finishes the object and returns it as a string (tests).
+    pub fn into_string(mut self) -> String {
+        self.body.push('}');
+        self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn record_serialises_and_parses() {
+        let line = Record::new("epoch")
+            .str("phase", "explain")
+            .int("epoch", 3)
+            .num("loss", 0.5)
+            .num("bad", f64::NAN)
+            .bool("ok", true)
+            .into_string();
+        let v = Json::parse(&line).expect("record must be valid JSON");
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("event").unwrap().as_str(), Some("epoch"));
+        assert_eq!(obj.get("epoch").unwrap().as_f64(), Some(3.0));
+        assert_eq!(obj.get("loss").unwrap().as_f64(), Some(0.5));
+        assert!(matches!(obj.get("bad").unwrap(), Json::Null));
+        assert!(obj.get("t_ms").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        let line = Record::new("log").str("msg", "said \"hi\"\n").into_string();
+        assert!(Json::parse(&line).is_ok());
+    }
+
+    #[test]
+    fn span_breakdown_nests_an_object() {
+        let deltas = vec![
+            crate::spans::SpanStat {
+                name: "kernel.spmm",
+                count: 4,
+                total_ns: 2_500_000,
+                max_ns: 1_000_000,
+            },
+            crate::spans::SpanStat {
+                name: "tape.backward",
+                count: 1,
+                total_ns: 1_000_000,
+                max_ns: 1_000_000,
+            },
+        ];
+        let line = Record::new("epoch")
+            .span_breakdown("kernels_ms", &deltas)
+            .into_string();
+        let v = Json::parse(&line).unwrap();
+        let kern = v.as_object().unwrap().get("kernels_ms").unwrap();
+        let kern = kern.as_object().unwrap();
+        assert_eq!(kern.get("kernel.spmm").unwrap().as_f64(), Some(2.5));
+        assert_eq!(kern.get("tape.backward").unwrap().as_f64(), Some(1.0));
+    }
+}

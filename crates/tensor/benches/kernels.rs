@@ -221,8 +221,46 @@ fn main() {
         failed |= !gate_against_baseline(&baseline_path, quick, hardware_threads, &entries);
     }
     failed |= !gate_speedup(hardware_threads, &entries);
+    failed |= !gate_obs_overhead(&entries);
     if failed {
         std::process::exit(1);
+    }
+}
+
+/// Asserts the *disabled* `ses-obs` instrumentation preamble (one span
+/// guard + two counter bumps, exactly what an spmm call pays) costs less
+/// than 2% of a serial spmm invocation at the smaller benchmark size.
+/// Measured directly rather than by differencing two noisy kernel runs, so
+/// the gate is stable on shared hardware.
+fn gate_obs_overhead(entries: &[Entry]) -> bool {
+    const MAX_FRACTION: f64 = 0.02;
+    let Some(spmm) = entries
+        .iter()
+        .find(|e| e.kernel == "spmm" && e.size == "ba_shapes" && e.threads == 1)
+    else {
+        eprintln!("bench gate: spmm/ba_shapes/t1 entry missing for the obs-overhead check");
+        return false;
+    };
+    let probe_ns = ses_obs::disabled_path_cost_ns(1_000_000);
+    let fraction = probe_ns / spmm.mean_ns;
+    if fraction < MAX_FRACTION {
+        println!(
+            "bench gate: disabled ses-obs preamble {probe_ns:.1}ns = {:.3}% of spmm/ba_shapes/t1 \
+             ({:.0}ns) — under the {:.0}% budget",
+            fraction * 100.0,
+            spmm.mean_ns,
+            MAX_FRACTION * 100.0
+        );
+        true
+    } else {
+        eprintln!(
+            "bench gate: disabled ses-obs preamble {probe_ns:.1}ns is {:.3}% of \
+             spmm/ba_shapes/t1 ({:.0}ns) — exceeds the {:.0}% budget",
+            fraction * 100.0,
+            spmm.mean_ns,
+            MAX_FRACTION * 100.0
+        );
+        false
     }
 }
 

@@ -10,12 +10,20 @@ use super::FEATURE_TILE;
 use crate::matrix::Matrix;
 use crate::par;
 
+/// Bumps the matmul-family telemetry counters for an `m×k × k×n` product.
+fn record_matmul(m: usize, k: usize, n: usize) {
+    ses_obs::metrics::MATMUL_CALLS.incr();
+    ses_obs::metrics::MATMUL_FLOPS.add((m as u64) * (k as u64) * (n as u64));
+}
+
 /// `a × b` with `i-k-j` loop order, feature-tiled over the output columns so
 /// the active output segment stays resident while rows of `b` stream.
 ///
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
 pub fn matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    let _span = ses_obs::span!("kernel.matmul");
+    record_matmul(a.rows(), a.cols(), b.cols());
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -67,6 +75,8 @@ fn matmul_rows(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
 /// # Panics
 /// Panics if `a.rows() != b.rows()`.
 pub fn t_matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    let _span = ses_obs::span!("kernel.t_matmul");
+    record_matmul(a.cols(), a.rows(), b.cols());
     assert_eq!(
         a.rows(),
         b.rows(),
@@ -108,6 +118,8 @@ pub fn t_matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
 /// # Panics
 /// Panics if `a.cols() != b.cols()`.
 pub fn matmul_t(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    let _span = ses_obs::span!("kernel.matmul_t");
+    record_matmul(a.rows(), a.cols(), b.rows());
     assert_eq!(
         a.cols(),
         b.cols(),

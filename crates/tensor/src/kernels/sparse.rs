@@ -29,6 +29,9 @@ const TRANSPOSE_MAX_BLOCKS: usize = 8;
 /// Panics if `structure.n_cols() != dense.rows()` or
 /// `values.len() != structure.nnz()`.
 pub fn spmm(structure: &CsrStructure, values: &[f32], dense: &Matrix, threads: usize) -> Matrix {
+    let _span = ses_obs::span!("kernel.spmm");
+    ses_obs::metrics::SPMM_CALLS.incr();
+    ses_obs::metrics::SPMM_NNZ.add(structure.nnz() as u64);
     assert_eq!(
         structure.n_cols(),
         dense.rows(),
@@ -99,6 +102,9 @@ pub fn spmm_transpose(
     dense: &Matrix,
     threads: usize,
 ) -> Matrix {
+    let _span = ses_obs::span!("kernel.spmm_transpose");
+    ses_obs::metrics::SPMM_CALLS.incr();
+    ses_obs::metrics::SPMM_NNZ.add(structure.nnz() as u64);
     assert_eq!(
         structure.n_rows(),
         dense.rows(),
@@ -154,6 +160,9 @@ pub fn spmm_values_grad(
     grad_out: &Matrix,
     threads: usize,
 ) -> Matrix {
+    let _span = ses_obs::span!("kernel.spmm_values_grad");
+    ses_obs::metrics::SPMM_CALLS.incr();
+    ses_obs::metrics::SPMM_NNZ.add(structure.nnz() as u64);
     assert_eq!(
         grad_out.rows(),
         structure.n_rows(),
@@ -191,6 +200,8 @@ pub fn spmm_values_grad(
 /// one value per entry; the result has the same layout. Rows are
 /// independent, so row-parallelism is trivially bit-identical.
 pub fn edge_softmax(structure: &CsrStructure, scores: &[f32], threads: usize) -> Vec<f32> {
+    let _span = ses_obs::span!("kernel.edge_softmax");
+    ses_obs::metrics::EDGE_SOFTMAX_CALLS.incr();
     assert_eq!(
         scores.len(),
         structure.nnz(),
@@ -240,6 +251,8 @@ pub fn edge_softmax_backward(
     grad: &Matrix,
     threads: usize,
 ) -> Matrix {
+    let _span = ses_obs::span!("kernel.edge_softmax_bwd");
+    ses_obs::metrics::EDGE_SOFTMAX_CALLS.incr();
     assert_eq!(
         softmax.rows(),
         structure.nnz(),

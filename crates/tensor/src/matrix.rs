@@ -15,9 +15,18 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+/// Telemetry hook for allocation churn: counts fresh dense buffers by the
+/// zeroed/filled constructors (`from_vec` reuses caller storage and is not
+/// counted).
+fn record_alloc(elems: usize) {
+    ses_obs::metrics::ALLOC_MATRICES.incr();
+    ses_obs::metrics::ALLOC_BYTES.add((elems as u64) * (std::mem::size_of::<f32>() as u64));
+}
+
 impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        record_alloc(rows * cols);
         Self {
             rows,
             cols,
@@ -27,6 +36,7 @@ impl Matrix {
 
     /// Creates a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        record_alloc(rows * cols);
         Self {
             rows,
             cols,

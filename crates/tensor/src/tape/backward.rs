@@ -14,6 +14,8 @@ impl Tape {
     /// # Panics
     /// Panics when `loss` is not `1 × 1`.
     pub fn backward(&mut self, loss: Var) {
+        let _span = ses_obs::span!("tape.backward");
+        ses_obs::metrics::TAPE_BACKWARDS.incr();
         assert_eq!(
             self.shape(loss),
             (1, 1),

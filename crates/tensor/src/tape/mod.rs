@@ -200,6 +200,8 @@ impl Tape {
             op,
             needs_grad,
         });
+        ses_obs::metrics::TAPE_NODES.incr();
+        ses_obs::metrics::TAPE_PEAK_NODES.record_max(self.nodes.len() as i64);
         Var(self.nodes.len() - 1)
     }
 

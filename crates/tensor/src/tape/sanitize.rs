@@ -93,6 +93,59 @@ impl Op {
             Op::Dropout { .. } => "dropout",
         }
     }
+
+    /// Visits every tape parent of this op (data-flow edges only — constant
+    /// payloads like label vectors and dropout masks are not parents).
+    pub(crate) fn for_each_parent(&self, mut f: impl FnMut(Var)) {
+        match self {
+            Op::Leaf => {}
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::MatMul(a, b)
+            | Op::ConcatCols(a, b)
+            | Op::ConcatRows(a, b) => {
+                f(*a);
+                f(*b);
+            }
+            Op::Scale(a, _)
+            | Op::AddScalar(a, _)
+            | Op::Transpose(a)
+            | Op::Sigmoid(a)
+            | Op::Relu(a)
+            | Op::LeakyRelu(a, _)
+            | Op::Elu(a, _)
+            | Op::Tanh(a)
+            | Op::Sqrt(a, _)
+            | Op::Log(a, _)
+            | Op::Exp(a)
+            | Op::Abs(a)
+            | Op::LogSoftmaxRows(a)
+            | Op::SumAll(a)
+            | Op::MeanAll(a)
+            | Op::RowSum(a) => f(*a),
+            Op::MulScalarVar { scalar, matrix } => {
+                f(*scalar);
+                f(*matrix);
+            }
+            Op::AddRowBroadcast { matrix, bias } => {
+                f(*matrix);
+                f(*bias);
+            }
+            Op::MulColBroadcast { matrix, scaler } => {
+                f(*matrix);
+                f(*scaler);
+            }
+            Op::Spmm { values, dense, .. } => {
+                f(*values);
+                f(*dense);
+            }
+            Op::NllMasked { logp, .. } => f(*logp),
+            Op::EdgeSoftmax { scores, .. } => f(*scores),
+            Op::GatherRows { src, .. } => f(*src),
+            Op::Dropout { src, .. } => f(*src),
+        }
+    }
 }
 
 /// One leaked tape node found by [`Tape::leaked_nodes`].
@@ -107,14 +160,25 @@ pub struct Leak {
 }
 
 /// Classification of a leaked tape node.
+///
+/// The gradient-requiring-but-gradient-less cases are split by a backward
+/// reachability sweep over the op graph (parent edges), so a leak report
+/// distinguishes a parameter that simply went unused this epoch from one
+/// that *was* wired into a computation whose path to the loss got cut.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LeakKind {
     /// Recorded after the loss node: the backward sweep can never reach it,
     /// so its forward computation was wasted work.
     AfterLoss,
-    /// Requires a gradient but received none: it never (transitively)
-    /// contributed to the loss, which usually means a wiring bug.
-    Disconnected,
+    /// Requires a gradient, received none, and **no other node consumes
+    /// it**: the parameter was unused this epoch (often benign — e.g. a head
+    /// that only participates in some phases).
+    Unused,
+    /// Requires a gradient, received none, but **is consumed** by other
+    /// nodes — it was wired into a computation that never reached the loss
+    /// (consumed only by post-loss evaluation work, or its path to the loss
+    /// was cut). Usually a wiring bug.
+    Pruned,
 }
 
 impl Tape {
@@ -207,8 +271,12 @@ impl Tape {
         if !sanitize_enabled() {
             return;
         }
+        let finite = value.all_finite();
+        if !finite {
+            ses_obs::metrics::SAN_NONFINITE.incr();
+        }
         assert!(
-            value.all_finite(),
+            finite,
             "SES_SANITIZE[{}]: non-finite forward value at node {} ({}x{})",
             op.name(),
             self.nodes.len(),
@@ -223,8 +291,12 @@ impl Tape {
         if !sanitize_enabled() {
             return;
         }
+        let finite = delta.all_finite();
+        if !finite {
+            ses_obs::metrics::SAN_NONFINITE.incr();
+        }
         assert!(
-            delta.all_finite(),
+            finite,
             "SES_SANITIZE[{}]: non-finite gradient from backward of node {producer} \
              into node {}",
             self.nodes[producer].op.name(),
@@ -234,18 +306,43 @@ impl Tape {
 
     /// Scans the tape after a backward pass from `loss` and returns the
     /// leaked nodes: work recorded after the loss (unreachable by the sweep)
-    /// and gradient-requiring nodes the sweep never reached.
+    /// and gradient-requiring nodes the sweep never reached — the latter
+    /// split into [`LeakKind::Unused`] vs [`LeakKind::Pruned`] by a backward
+    /// DFS over parent edges from the loss plus a consumer scan.
     ///
     /// This is a query, not an assertion — legitimate graphs can hold
     /// auxiliary read-only computations. [`Tape::backward`] prints a capped
     /// report only when `SES_SANITIZE` is explicitly set.
     pub fn leaked_nodes(&self, loss: Var) -> Vec<Leak> {
+        // Backward reachability from the loss via parent edges.
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack = vec![loss.0];
+        reachable[loss.0] = true;
+        while let Some(i) = stack.pop() {
+            self.nodes[i].op.for_each_parent(|p| {
+                if !reachable[p.0] {
+                    reachable[p.0] = true;
+                    stack.push(p.0);
+                }
+            });
+        }
+        // Which nodes are consumed as a parent by at least one other node
+        // (anywhere on the tape, including after the loss).
+        let mut consumed = vec![false; self.nodes.len()];
+        for node in &self.nodes {
+            node.op.for_each_parent(|p| consumed[p.0] = true);
+        }
+
         let mut leaks = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
             let kind = if i > loss.0 {
                 LeakKind::AfterLoss
             } else if node.needs_grad && node.grad.is_none() {
-                LeakKind::Disconnected
+                if reachable[i] || consumed[i] {
+                    LeakKind::Pruned
+                } else {
+                    LeakKind::Unused
+                }
             } else {
                 continue;
             };
@@ -258,30 +355,48 @@ impl Tape {
         leaks
     }
 
-    /// Prints the (capped) leak report for `loss`; called at the end of
-    /// [`Tape::backward`]. Advisory only, so it requires the explicit
-    /// `SES_SANITIZE=1` opt-in (debug builds alone don't print it).
+    /// Reports leaks for `loss`; called at the end of [`Tape::backward`].
+    ///
+    /// Two independent consumers share the scan: telemetry counters
+    /// (whenever `ses-obs` is enabled) and the advisory printed report
+    /// (which additionally requires the explicit `SES_SANITIZE=1` opt-in —
+    /// debug builds alone don't print it).
     pub(crate) fn san_report_leaks(&self, loss: Var) {
-        if !sanitize_explicit() {
+        let explicit = sanitize_explicit();
+        if !explicit && !ses_obs::enabled() {
             return;
         }
         let leaks = self.leaked_nodes(loss);
         if leaks.is_empty() {
             return;
         }
+        for leak in &leaks {
+            match leak.kind {
+                LeakKind::AfterLoss => ses_obs::metrics::SAN_LEAK_AFTER_LOSS.incr(),
+                LeakKind::Unused => ses_obs::metrics::SAN_LEAK_UNUSED.incr(),
+                LeakKind::Pruned => ses_obs::metrics::SAN_LEAK_PRUNED.incr(),
+            }
+        }
+        if !explicit {
+            return;
+        }
         const SHOWN: usize = 8;
         for leak in leaks.iter().take(SHOWN) {
             let what = match leak.kind {
                 LeakKind::AfterLoss => "recorded after the loss, unreachable by backward",
-                LeakKind::Disconnected => "requires a gradient but never received one",
+                LeakKind::Unused => "requires a gradient but nothing consumes it (unused)",
+                LeakKind::Pruned => {
+                    "requires a gradient and is consumed, but its path to the loss was cut (pruned)"
+                }
             };
-            eprintln!(
+            ses_obs::info!(
                 "SES_SANITIZE[leak]: node {} (op `{}`): {what}",
-                leak.node, leak.op
+                leak.node,
+                leak.op
             );
         }
         if leaks.len() > SHOWN {
-            eprintln!("SES_SANITIZE[leak]: … and {} more", leaks.len() - SHOWN);
+            ses_obs::info!("SES_SANITIZE[leak]: … and {} more", leaks.len() - SHOWN);
         }
     }
 }

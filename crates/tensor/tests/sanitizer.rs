@@ -142,7 +142,7 @@ fn parallel_matmul_shape_mismatch_names_the_op() {
 fn backward_leak_query_classifies_nodes() {
     let mut t = Tape::new();
     let a = t.leaf(Matrix::row_vec(&[1.0, 2.0]));
-    // a parameter that never feeds the loss
+    // a parameter nothing ever consumes: unused this epoch
     let orphan = t.leaf(Matrix::row_vec(&[3.0]));
     let m = t.mul(a, a);
     let loss = t.mean_all(m);
@@ -155,7 +155,7 @@ fn backward_leak_query_classifies_nodes() {
         .iter()
         .find(|l| l.node == orphan.index())
         .expect("orphan reported");
-    assert_eq!(orphan_leak.kind, LeakKind::Disconnected);
+    assert_eq!(orphan_leak.kind, LeakKind::Unused);
     assert_eq!(orphan_leak.op, "leaf");
     let after_leak = leaks
         .iter()
@@ -167,6 +167,34 @@ fn backward_leak_query_classifies_nodes() {
     assert!(leaks
         .iter()
         .all(|l| l.node != loss.index() && l.node != a.index()));
+}
+
+#[test]
+fn backward_leak_query_distinguishes_pruned_from_unused() {
+    let mut t = Tape::new();
+    let a = t.leaf(Matrix::row_vec(&[1.0, 2.0]));
+    // `wired` is consumed — but only by a node recorded after the loss, so
+    // its path to the loss is cut: the reachability sweep must call it
+    // Pruned, not Unused.
+    let wired = t.leaf(Matrix::row_vec(&[3.0, 4.0]));
+    // `unused` is never consumed by anything.
+    let unused = t.leaf(Matrix::row_vec(&[5.0]));
+    let m = t.mul(a, a);
+    let loss = t.mean_all(m);
+    let _eval = t.mul(wired, wired); // post-loss consumer of `wired`
+    t.backward(loss);
+
+    let leaks = t.leaked_nodes(loss);
+    let wired_leak = leaks
+        .iter()
+        .find(|l| l.node == wired.index())
+        .expect("wired-but-pruned reported");
+    assert_eq!(wired_leak.kind, LeakKind::Pruned);
+    let unused_leak = leaks
+        .iter()
+        .find(|l| l.node == unused.index())
+        .expect("unused reported");
+    assert_eq!(unused_leak.kind, LeakKind::Unused);
 }
 
 #[test]

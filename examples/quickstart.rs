@@ -4,6 +4,11 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Set `SES_OBS=1 SES_OBS_FILE=out.jsonl` for per-epoch JSONL telemetry and
+//! an end-of-run summary table, and `SES_QUICKSTART_EPOCHS=<n>` to shorten
+//! both training phases (used by `ci.sh` for the observability smoke test).
+//! See `docs/OBSERVABILITY.md`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,7 +36,14 @@ fn main() {
     let splits = Splits::classification(graph.n_nodes(), &mut rng);
     let encoder = Gcn::new(graph.n_features(), 64, graph.n_classes(), &mut rng);
     let mask_gen = MaskGenerator::new(encoder.hidden_dim(), graph.n_features(), &mut rng);
-    let config = SesConfig::default();
+    let mut config = SesConfig::default();
+    if let Some(epochs) = std::env::var("SES_QUICKSTART_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        config.epochs_explain = epochs;
+        config.epochs_epl = epochs.min(config.epochs_epl);
+    }
 
     // 3. Fit: explainable training then enhanced predictive learning.
     let trained = fit(encoder, mask_gen, graph, &splits, &config);
@@ -62,4 +74,8 @@ fn main() {
     for (j, w) in trained.explanations.top_features(node, graph.features(), 5) {
         println!("    feature {j:4}  weight {w:.3}");
     }
+
+    // 5. With SES_OBS enabled this prints the per-phase span timings, kernel
+    //    counters, and histogram digests collected during the run.
+    ses::obs::print_summary();
 }

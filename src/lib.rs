@@ -11,6 +11,7 @@
 //! * [`core`] — the SES model itself
 //! * [`explain`] — baseline explainers
 //! * [`metrics`] — evaluation metrics
+//! * [`obs`] — observability: span tracer, metrics registry, JSONL telemetry
 
 pub use ses_core as core;
 pub use ses_data as data;
@@ -18,4 +19,5 @@ pub use ses_explain as explain;
 pub use ses_gnn as gnn;
 pub use ses_graph as graph;
 pub use ses_metrics as metrics;
+pub use ses_obs as obs;
 pub use ses_tensor as tensor;
