@@ -13,6 +13,17 @@ cargo clippy --workspace -- -D warnings
 echo "== cargo run -p ses-lint"
 cargo run -q -p ses-lint
 
+echo "== cargo run -p ses-verify (static tape-IR + partition gate)"
+cargo run -q -p ses-verify
+# The verifier must also still *reject* known-bad inputs: each seeded
+# defect run is required to exit non-zero.
+for defect in shape-mismatch backward-gap broken-partitioner; do
+  if cargo run -q -p ses-verify -- --seed-defect "$defect" >/dev/null 2>&1; then
+    echo "ci: ses-verify failed to reject seeded defect '$defect'" >&2
+    exit 1
+  fi
+done
+
 echo "== cargo test -q"
 cargo test -q
 

@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use ses_data::Splits;
 use ses_graph::Graph;
 use ses_metrics::accuracy;
-use ses_tensor::{Adam, Matrix, Optimizer, Tape};
+use ses_tensor::{Adam, LeakBudget, Matrix, Optimizer, Tape};
 
 use crate::adjview::AdjView;
 use crate::encoder::{Encoder, ForwardCtx};
@@ -30,6 +30,12 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Print progress every `log_every` epochs (0 = silent).
     pub log_every: usize,
+    /// Per-epoch gradient-leak budget. When set, every epoch's tape is
+    /// checked after `backward`: more `Unused`/`AfterLoss` leaks than the
+    /// budget allows fails fast with the offending node ids instead of
+    /// letting a silently-disconnected parameter train as noise. Leak
+    /// counts flow to `ses_obs` (`trainer.leak.*`) either way.
+    pub leak_budget: Option<LeakBudget>,
 }
 
 impl Default for TrainConfig {
@@ -41,6 +47,7 @@ impl Default for TrainConfig {
             patience: 50,
             seed: 0,
             log_every: 0,
+            leak_budget: None,
         }
     }
 }
@@ -131,6 +138,21 @@ pub fn train_node_classifier(
         let loss = tape.cross_entropy_masked(out.logits, labels.clone(), train_idx.clone());
         let loss_val = tape.value(loss).scalar_value();
         tape.backward(loss);
+
+        if let Some(budget) = &config.leak_budget {
+            let checked = tape.check_leak_budget(loss, budget);
+            // Failing fast here beats training a model whose disconnected
+            // parameters silently stay at init.
+            assert!(
+                checked.is_ok(),
+                "epoch {epoch}: leak budget exceeded: {}",
+                checked.as_ref().err().cloned().unwrap_or_default()
+            );
+            if let Ok((unused, after_loss)) = checked {
+                ses_obs::metrics::TRAIN_LEAK_UNUSED.add(unused as u64);
+                ses_obs::metrics::TRAIN_LEAK_AFTER_LOSS.add(after_loss as u64);
+            }
+        }
 
         {
             let _span = ses_obs::span!("trainer.step");
@@ -255,6 +277,94 @@ mod tests {
         let (p2, e2) = predict(&gcn, g, &adj, 99); // seed only affects dropout, off in eval
         assert_eq!(p1, p2);
         assert!(e1.max_abs_diff(&e2) < 1e-9);
+    }
+
+    /// A GCN that records one extra trainable leaf per forward pass and
+    /// never consumes it — the exact silent-disconnection failure the leak
+    /// budget exists to catch.
+    struct LeakyGcn(Gcn);
+
+    impl Encoder for LeakyGcn {
+        fn forward(&self, ctx: &mut ForwardCtx<'_>) -> crate::encoder::EncoderOutput {
+            let out = self.0.forward(ctx);
+            let _orphan = ctx.tape.leaf(Matrix::zeros(3, 3));
+            out
+        }
+        fn params_mut(&mut self) -> Vec<&mut ses_tensor::Param> {
+            self.0.params_mut()
+        }
+        fn param_values(&self) -> Vec<Matrix> {
+            self.0.param_values()
+        }
+        fn restore(&mut self, snapshot: &[Matrix]) {
+            self.0.restore(snapshot);
+        }
+        fn hidden_dim(&self) -> usize {
+            self.0.hidden_dim()
+        }
+        fn out_dim(&self) -> usize {
+            self.0.out_dim()
+        }
+        fn name(&self) -> &'static str {
+            "LeakyGCN"
+        }
+    }
+
+    #[test]
+    fn zero_leak_budget_accepts_fully_wired_model() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let d = realworld::polblogs_like(Profile::Fast, &mut rng);
+        let g = &d.graph;
+        let adj = AdjView::of_graph(g);
+        let splits = Splits::classification(g.n_nodes(), &mut rng);
+        let mut gcn = Gcn::new(g.n_features(), 8, g.n_classes(), &mut rng);
+        let cfg = TrainConfig {
+            epochs: 2,
+            patience: 0,
+            leak_budget: Some(LeakBudget::zero()),
+            ..Default::default()
+        };
+        let report = train_node_classifier(&mut gcn, g, &adj, &splits, &cfg);
+        assert_eq!(report.epochs_run, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "leak budget exceeded")]
+    fn zero_leak_budget_fails_fast_on_disconnected_param() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let d = realworld::polblogs_like(Profile::Fast, &mut rng);
+        let g = &d.graph;
+        let adj = AdjView::of_graph(g);
+        let splits = Splits::classification(g.n_nodes(), &mut rng);
+        let mut leaky = LeakyGcn(Gcn::new(g.n_features(), 8, g.n_classes(), &mut rng));
+        let cfg = TrainConfig {
+            epochs: 2,
+            patience: 0,
+            leak_budget: Some(LeakBudget::zero()),
+            ..Default::default()
+        };
+        let _ = train_node_classifier(&mut leaky, g, &adj, &splits, &cfg);
+    }
+
+    #[test]
+    fn leaky_model_trains_when_budget_allows_it() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let d = realworld::polblogs_like(Profile::Fast, &mut rng);
+        let g = &d.graph;
+        let adj = AdjView::of_graph(g);
+        let splits = Splits::classification(g.n_nodes(), &mut rng);
+        let mut leaky = LeakyGcn(Gcn::new(g.n_features(), 8, g.n_classes(), &mut rng));
+        let cfg = TrainConfig {
+            epochs: 2,
+            patience: 0,
+            leak_budget: Some(LeakBudget {
+                max_unused: 1,
+                max_after_loss: 0,
+            }),
+            ..Default::default()
+        };
+        let report = train_node_classifier(&mut leaky, g, &adj, &splits, &cfg);
+        assert_eq!(report.epochs_run, 2);
     }
 
     #[test]

@@ -6,10 +6,18 @@
 //! | `no-unwrap` | no `.unwrap()` / `.expect(` / `panic!(` in library runtime paths |
 //! | `gradcheck-coverage` | every differentiable tape op has a finite-difference test |
 //! | `no-thread-rng` | no unseeded randomness anywhere in the workspace |
-//! | `no-f64-in-kernels` | the tensor engine stays `f32` end to end |
+//! | `no-f64-in-kernels` | the tensor engine stays `f32` end to end (gradcheck's f64 shadow excepted by path) |
 //! | `allow-syntax` | every escape hatch names a known rule and carries a reason |
 //! | `no-narrowing-cast` | no `as usize`/`as f32` in tensor kernel hot paths |
 //! | `no-println-in-lib` | library diagnostics go through `ses_obs`, not raw stdio macros |
+//! | `unsafe-needs-safety-comment` | every `unsafe` carries a `// SAFETY:` justification |
+//!
+//! Rules match **token sequences**, not line regexes: every file is lexed by
+//! `ses-verify`'s [`ses_verify::tokenizer`] into identifiers, punctuation,
+//! strings and numbers, so `.unwrap\n()` split across lines is caught, while
+//! `unwrap` inside a string literal, an identifier like `bf64x`, or `print`
+//! followed by `!=` are not. The scrubbed line view ([`scrub`]) is still used
+//! for `#[cfg(test)]` region tracking and `lint:allow` directives.
 //!
 //! Escape hatch: `// lint:allow(<rule>): <reason>` on the offending line, or
 //! alone on the line directly above it. Reasons are mandatory.
@@ -25,6 +33,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub use scrub::LineInfo;
+pub use ses_verify::tokenizer::{Tok, TokKind};
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone)]
@@ -58,7 +67,7 @@ pub struct Directive {
     pub has_reason: bool,
 }
 
-/// One scrubbed source file plus its allow directives.
+/// One scrubbed source file plus its allow directives and token stream.
 #[derive(Debug)]
 pub struct LintFile {
     /// Workspace-relative path, forward slashes.
@@ -67,6 +76,9 @@ pub struct LintFile {
     pub lines: Vec<LineInfo>,
     /// Per-line allow directive, if any.
     pub directives: Vec<Option<Directive>>,
+    /// Comment-free token stream (see [`ses_verify::tokenizer`]); token
+    /// `line` fields are 0-based indices into `lines`.
+    pub tokens: Vec<Tok>,
 }
 
 impl LintFile {
@@ -74,11 +86,18 @@ impl LintFile {
     pub fn from_source(rel_path: String, text: &str) -> Self {
         let lines = scrub::scrub(text);
         let directives = lines.iter().map(|l| parse_directive(&l.comments)).collect();
+        let tokens = ses_verify::tokenizer::code_tokens(text);
         Self {
             rel_path,
             lines,
             directives,
+            tokens,
         }
+    }
+
+    /// True when the token's line sits inside a `#[cfg(test)]` region.
+    pub fn tok_in_test_region(&self, tok: &Tok) -> bool {
+        self.lines.get(tok.line).is_some_and(|l| l.in_test_region)
     }
 
     /// True when `rule` is suppressed at `line_idx`: a reasoned directive on
@@ -185,6 +204,7 @@ pub fn run(ws: &Workspace) -> Vec<Violation> {
         rules::no_f64_in_kernels(f, &mut out);
         rules::no_narrowing_cast(f, &mut out);
         rules::no_println_in_lib(f, &mut out);
+        rules::unsafe_needs_safety_comment(f, &mut out);
         rules::allow_syntax(f, &mut out);
     }
     rules::gradcheck_coverage(&ws.files, &mut out);

@@ -1,8 +1,13 @@
-//! The individual lint rules. Each rule is a plain function from the scrubbed
-//! workspace view to a list of violations, so every rule is testable in
-//! isolation on synthetic sources.
+//! The individual lint rules. Each rule is a plain function from the lint
+//! view of a file (token stream + scrubbed lines) to a list of violations,
+//! so every rule is testable in isolation on synthetic sources.
+//!
+//! Matching is token-sequence based (see [`crate::Tok`]): `.unwrap(` is the
+//! three tokens `.` `unwrap` `(` wherever whitespace or newlines fall,
+//! string/char literal contents can never match, and identifier boundaries
+//! are exact by construction (`bf64x` is one token, not a home for `f64`).
 
-use crate::{LintFile, Violation};
+use crate::{LintFile, Tok, TokKind, Violation};
 
 /// Rule names, in one place so the allow parser and docs stay in sync.
 pub const NO_UNWRAP: &str = "no-unwrap";
@@ -18,6 +23,8 @@ pub const ALLOW_SYNTAX: &str = "allow-syntax";
 pub const NO_NARROWING_CAST: &str = "no-narrowing-cast";
 /// See [`NO_UNWRAP`].
 pub const NO_PRINTLN_IN_LIB: &str = "no-println-in-lib";
+/// See [`NO_UNWRAP`].
+pub const UNSAFE_NEEDS_SAFETY_COMMENT: &str = "unsafe-needs-safety-comment";
 
 /// All rule names, for validating `lint:allow(..)` directives.
 pub const ALL_RULES: &[&str] = &[
@@ -28,6 +35,7 @@ pub const ALL_RULES: &[&str] = &[
     ALLOW_SYNTAX,
     NO_NARROWING_CAST,
     NO_PRINTLN_IN_LIB,
+    UNSAFE_NEEDS_SAFETY_COMMENT,
 ];
 
 /// True for paths whose panics are acceptable: test code, benchmarks,
@@ -41,6 +49,46 @@ pub fn is_exempt_from_panics(rel_path: &str) -> bool {
         || rel_path.contains("/src/bin/")
 }
 
+/// Emits one violation for the token at `tok` unless it sits in a test
+/// region or under a reasoned allow.
+fn flag(
+    file: &LintFile,
+    tok: &Tok,
+    rule: &'static str,
+    skip_tests: bool,
+    msg: String,
+    out: &mut Vec<Violation>,
+) {
+    if skip_tests && file.tok_in_test_region(tok) {
+        return;
+    }
+    if file.is_allowed(tok.line, rule) {
+        return;
+    }
+    out.push(Violation {
+        rule,
+        file: file.rel_path.clone(),
+        line: tok.line + 1,
+        msg,
+    });
+}
+
+/// True when the token at `i` starts the sequence `.` `name` `(`.
+fn is_method_call(toks: &[Tok], i: usize, name: &str) -> bool {
+    toks[i].is_punct('.')
+        && toks.get(i + 1).is_some_and(|t| t.is_ident(name))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+}
+
+/// True when the token at `i` starts a macro invocation `name` `!` `(`/`[`/`{`.
+fn is_macro_call(toks: &[Tok], i: usize, name: &str) -> bool {
+    toks[i].is_ident(name)
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        && toks
+            .get(i + 2)
+            .is_some_and(|t| t.is_punct('(') || t.is_punct('[') || t.is_punct('{'))
+}
+
 /// `no-unwrap`: forbids `.unwrap()`, `.expect(` and `panic!(` in library
 /// runtime paths. `assert!`/`debug_assert!` stay allowed — stating invariants
 /// is encouraged; swallowing `Result`s is not.
@@ -48,29 +96,25 @@ pub fn no_unwrap(file: &LintFile, out: &mut Vec<Violation>) {
     if is_exempt_from_panics(&file.rel_path) {
         return;
     }
-    const PATTERNS: [&str; 3] = [".unwrap()", ".expect(", "panic!("];
-    for (idx, line) in file.lines.iter().enumerate() {
-        if line.in_test_region {
-            continue;
-        }
-        for pat in PATTERNS {
-            if let Some(col) = find_token(&line.code, pat) {
-                // `panic!(` also matches inside `core::panic!(` or a macro
-                // re-export; all are equally banned, no need to distinguish.
-                if file.is_allowed(idx, NO_UNWRAP) {
-                    continue;
-                }
-                out.push(Violation {
-                    rule: NO_UNWRAP,
-                    file: file.rel_path.clone(),
-                    line: idx + 1,
-                    msg: format!(
-                        "`{pat}` in library runtime path (col {}): return a Result or add \
-                         `// lint:allow(no-unwrap): <reason>`",
-                        col + 1
-                    ),
-                });
-            }
+    for i in 0..file.tokens.len() {
+        let hit = if is_method_call(&file.tokens, i, "unwrap") {
+            Some((".unwrap()", &file.tokens[i + 1]))
+        } else if is_method_call(&file.tokens, i, "expect") {
+            Some((".expect(", &file.tokens[i + 1]))
+        } else if is_macro_call(&file.tokens, i, "panic") {
+            // `core::panic!(` matches too — equally banned, no need to
+            // distinguish the path-qualified form.
+            Some(("panic!(", &file.tokens[i]))
+        } else {
+            None
+        };
+        if let Some((pat, tok)) = hit {
+            let msg = format!(
+                "`{pat}` in library runtime path (col {}): return a Result or add \
+                 `// lint:allow(no-unwrap): <reason>`",
+                tok.col + 1
+            );
+            flag(file, tok, NO_UNWRAP, true, msg, out);
         }
     }
 }
@@ -79,50 +123,60 @@ pub fn no_unwrap(file: &LintFile, out: &mut Vec<Violation>) {
 /// flaky tests are still flaky). The vendored `rand` stub does not even
 /// provide these entry points; the lint keeps it that way at the source level.
 pub fn no_thread_rng(file: &LintFile, out: &mut Vec<Violation>) {
-    const PATTERNS: [&str; 3] = ["thread_rng", "from_entropy", "rand::random"];
-    for (idx, line) in file.lines.iter().enumerate() {
-        for pat in PATTERNS {
-            if contains_word(&line.code, pat) {
-                if file.is_allowed(idx, NO_THREAD_RNG) {
-                    continue;
-                }
-                out.push(Violation {
-                    rule: NO_THREAD_RNG,
-                    file: file.rel_path.clone(),
-                    line: idx + 1,
-                    msg: format!(
-                        "`{pat}`: all randomness must flow from an explicit \
-                         `StdRng::seed_from_u64` seed for reproducibility"
-                    ),
-                });
-            }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let pat = if toks[i].is_ident("thread_rng") {
+            Some("thread_rng")
+        } else if toks[i].is_ident("from_entropy") {
+            Some("from_entropy")
+        } else if toks[i].is_ident("rand")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("random"))
+        {
+            Some("rand::random")
+        } else {
+            None
+        };
+        if let Some(pat) = pat {
+            let msg = format!(
+                "`{pat}`: all randomness must flow from an explicit \
+                 `StdRng::seed_from_u64` seed for reproducibility"
+            );
+            flag(file, &toks[i], NO_THREAD_RNG, false, msg, out);
         }
     }
+}
+
+/// Paths inside the tensor crate that are *not* kernels and legitimately use
+/// `f64`: the gradcheck module's shadow evaluation widens f32 losses to f64
+/// on purpose (verification infrastructure, never on a training path).
+fn is_f64_exempt(rel_path: &str) -> bool {
+    rel_path == "crates/tensor/src/gradcheck.rs"
 }
 
 /// `no-f64-in-kernels`: the tensor engine is `f32` end to end; a stray `f64`
 /// literal or cast inside a kernel silently doubles bandwidth and diverges
 /// from the accumulation order the gradcheck tolerances were tuned for.
+/// `gradcheck.rs` is exempt by path — its f64 shadow arithmetic exists to
+/// *verify* the f32 kernels, not to run in them.
 pub fn no_f64_in_kernels(file: &LintFile, out: &mut Vec<Violation>) {
-    if !file.rel_path.starts_with("crates/tensor/src") {
+    if !file.rel_path.starts_with("crates/tensor/src") || is_f64_exempt(&file.rel_path) {
         return;
     }
-    for (idx, line) in file.lines.iter().enumerate() {
-        if line.in_test_region {
-            continue;
-        }
-        if contains_word(&line.code, "f64") {
-            if file.is_allowed(idx, NO_F64_IN_KERNELS) {
-                continue;
-            }
-            out.push(Violation {
-                rule: NO_F64_IN_KERNELS,
-                file: file.rel_path.clone(),
-                line: idx + 1,
-                msg: "`f64` in an f32 tensor kernel: use f32, or justify with \
-                      `// lint:allow(no-f64-in-kernels): <reason>`"
+    for tok in &file.tokens {
+        let hit = tok.is_ident("f64") || (tok.kind == TokKind::Number && tok.text.ends_with("f64"));
+        if hit {
+            flag(
+                file,
+                tok,
+                NO_F64_IN_KERNELS,
+                true,
+                "`f64` in an f32 tensor kernel: use f32, or justify with \
+                 `// lint:allow(no-f64-in-kernels): <reason>`"
                     .to_string(),
-            });
+                out,
+            );
         }
     }
 }
@@ -146,27 +200,21 @@ pub fn no_narrowing_cast(file: &LintFile, out: &mut Vec<Violation>) {
     if !is_kernel_hot_path(&file.rel_path) {
         return;
     }
-    const PATTERNS: [&str; 2] = ["as usize", "as f32"];
-    for (idx, line) in file.lines.iter().enumerate() {
-        if line.in_test_region {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("as") {
             continue;
         }
-        for pat in PATTERNS {
-            if contains_word(&line.code, pat) {
-                if file.is_allowed(idx, NO_NARROWING_CAST) {
-                    continue;
-                }
-                out.push(Violation {
-                    rule: NO_NARROWING_CAST,
-                    file: file.rel_path.clone(),
-                    line: idx + 1,
-                    msg: format!(
-                        "`{pat}` narrowing cast in a kernel hot path: use `try_into`/explicit \
-                         widening or justify with `// lint:allow(no-narrowing-cast): <reason>`"
-                    ),
-                });
-            }
-        }
+        let target = match toks.get(i + 1) {
+            Some(t) if t.is_ident("usize") => "as usize",
+            Some(t) if t.is_ident("f32") => "as f32",
+            _ => continue,
+        };
+        let msg = format!(
+            "`{target}` narrowing cast in a kernel hot path: use `try_into`/explicit \
+             widening or justify with `// lint:allow(no-narrowing-cast): <reason>`"
+        );
+        flag(file, &toks[i], NO_NARROWING_CAST, true, msg, out);
     }
 }
 
@@ -188,30 +236,76 @@ pub fn no_println_in_lib(file: &LintFile, out: &mut Vec<Violation>) {
     if is_exempt_from_println(&file.rel_path) {
         return;
     }
-    const PATTERNS: [&str; 5] = ["println!", "eprintln!", "print!", "eprint!", "dbg!"];
-    for (idx, line) in file.lines.iter().enumerate() {
-        if line.in_test_region {
+    const MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+    let mut last_line = usize::MAX;
+    for i in 0..file.tokens.len() {
+        let Some(name) = MACROS.iter().find(|m| is_macro_call(&file.tokens, i, m)) else {
+            continue;
+        };
+        let tok = &file.tokens[i];
+        // one violation per line per rule is enough
+        if tok.line == last_line {
             continue;
         }
-        for pat in PATTERNS {
-            if contains_word(&line.code, pat) {
-                if file.is_allowed(idx, NO_PRINTLN_IN_LIB) {
-                    continue;
-                }
-                out.push(Violation {
-                    rule: NO_PRINTLN_IN_LIB,
-                    file: file.rel_path.clone(),
-                    line: idx + 1,
-                    msg: format!(
-                        "`{pat}` in library runtime path: route output through \
-                         `ses_obs::info!`/`ses_obs::outln!` or justify with \
-                         `// lint:allow(no-println-in-lib): <reason>`"
-                    ),
-                });
-                // one violation per line per rule is enough
-                break;
-            }
+        let before = out.len();
+        let msg = format!(
+            "`{name}!` in library runtime path: route output through \
+             `ses_obs::info!`/`ses_obs::outln!` or justify with \
+             `// lint:allow(no-println-in-lib): <reason>`"
+        );
+        flag(file, tok, NO_PRINTLN_IN_LIB, true, msg, out);
+        if out.len() > before {
+            last_line = tok.line;
         }
+    }
+}
+
+/// True when the line at `idx` (or a directly preceding comment-only run)
+/// carries a `SAFETY:` comment.
+fn has_safety_comment(file: &LintFile, idx: usize) -> bool {
+    if file.lines[idx].comments.contains("SAFETY:") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let code_empty = file.lines[i].code.trim().is_empty();
+        if !code_empty {
+            return false;
+        }
+        if file.lines[i].comments.contains("SAFETY:") {
+            return true;
+        }
+    }
+    false
+}
+
+/// `unsafe-needs-safety-comment`: every `unsafe` keyword — blocks, fns,
+/// impls, **including test code** (an unsound test is still unsound) — must
+/// carry a `// SAFETY: <invariant>` comment on its line or the comment run
+/// directly above. Vendored stubs are exempt (third-party idiom is not ours
+/// to annotate).
+pub fn unsafe_needs_safety_comment(file: &LintFile, out: &mut Vec<Violation>) {
+    if file.rel_path.starts_with("vendor/") {
+        return;
+    }
+    for tok in &file.tokens {
+        if tok.kind != TokKind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        if has_safety_comment(file, tok.line) {
+            continue;
+        }
+        flag(
+            file,
+            tok,
+            UNSAFE_NEEDS_SAFETY_COMMENT,
+            false,
+            "`unsafe` without a `// SAFETY:` comment: state the invariant that \
+             makes this sound on the same line or directly above"
+                .to_string(),
+            out,
+        );
     }
 }
 
@@ -330,36 +424,6 @@ fn tape_op_decls(file: &LintFile) -> Vec<(usize, String)> {
     decls
 }
 
-/// Finds `pat` in `code` as a raw substring, returning the byte column.
-fn find_token(code: &str, pat: &str) -> Option<usize> {
-    code.find(pat)
-}
-
-/// True when `word` appears delimited by non-identifier characters (boundary
-/// checks apply at the pattern's ends, so `word` may itself contain `::`).
-fn contains_word(code: &str, word: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(word) {
-        let abs = start + pos;
-        let before_ok = abs == 0
-            || !code[..abs]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = abs + word.len();
-        let after_ok = after >= code.len()
-            || !code[after..]
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        start = abs + word.len();
-    }
-    false
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +452,16 @@ mod tests {
         // …or a binary
         let v = run_single(&file("crates/foo/src/bin/main.rs", src), no_unwrap);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn no_unwrap_catches_calls_split_across_lines() {
+        // The line-regex version missed `.unwrap\n()`; the token scanner
+        // must not.
+        let src = "fn f() {\n    x\n        .unwrap\n        ();\n}";
+        let v = run_single(&file("crates/foo/src/lib.rs", src), no_unwrap);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3, "reported at the `unwrap` token");
     }
 
     #[test]
@@ -425,6 +499,19 @@ mod tests {
     }
 
     #[test]
+    fn rand_random_matches_even_with_spacing() {
+        let src = "fn f() { let x: u8 = rand :: random(); }";
+        let v = run_single(&file("crates/foo/src/lib.rs", src), no_thread_rng);
+        assert_eq!(v.len(), 1, "{v:?}");
+        // but an unrelated `random` ident is fine
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", "fn f() { my::random(); }"),
+            no_thread_rng,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
     fn f64_flagged_only_in_tensor_kernels() {
         let src = "fn k(x: f32) -> f32 { (x as f64) as f32 }";
         let v = run_single(&file("crates/tensor/src/matrix.rs", src), no_f64_in_kernels);
@@ -438,6 +525,29 @@ mod tests {
             no_f64_in_kernels,
         );
         assert!(v2.is_empty(), "{v2:?}");
+        // but an f64-suffixed literal does
+        let src3 = "fn k() { let w = 1.0f64; }";
+        let v3 = run_single(
+            &file("crates/tensor/src/matrix.rs", src3),
+            no_f64_in_kernels,
+        );
+        assert_eq!(v3.len(), 1, "{v3:?}");
+    }
+
+    #[test]
+    fn gradcheck_shadow_module_is_exempt_from_f64_rule() {
+        let src = "pub fn q(h: f32) -> f64 { f64::from(h) * 2.0f64 }";
+        let v = run_single(
+            &file("crates/tensor/src/gradcheck.rs", src),
+            no_f64_in_kernels,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // the exemption is that one path, not a prefix wildcard
+        let v = run_single(
+            &file("crates/tensor/src/gradcheck_extra.rs", src),
+            no_f64_in_kernels,
+        );
+        assert!(!v.is_empty());
     }
 
     #[test]
@@ -479,6 +589,10 @@ mod tests {
         let bare = "fn f() { let aliased_as_f32_name = 1.0f32; }";
         let v = run_single(&file("crates/tensor/src/par.rs", bare), no_narrowing_cast);
         assert!(v.is_empty(), "{v:?}");
+        // a widening cast is not a narrowing cast
+        let widen = "fn f(n: usize) -> u128 { n as u128 }";
+        let v = run_single(&file("crates/tensor/src/par.rs", widen), no_narrowing_cast);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
@@ -514,6 +628,60 @@ mod tests {
         // and our own sanctioned macros stay clean
         let ok = "fn f() { ses_obs::info!(\"x\"); my_println!(\"y\"); writeln!(w, \"z\"); }";
         let v = run_single(&file("crates/foo/src/lib.rs", ok), no_println_in_lib);
+        assert!(v.is_empty(), "{v:?}");
+        // `print` as a variable compared with != is not a macro call
+        let neq = "fn f(print: u32) -> bool { print != 0 }";
+        let v = run_single(&file("crates/foo/src/lib.rs", neq), no_println_in_lib);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bare = "fn f() { unsafe { do_it() } }";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", bare),
+            unsafe_needs_safety_comment,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, UNSAFE_NEEDS_SAFETY_COMMENT);
+
+        let same_line = "fn f() { unsafe { do_it() } } // SAFETY: ptr is valid for 'scope";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", same_line),
+            unsafe_needs_safety_comment,
+        );
+        assert!(v.is_empty(), "{v:?}");
+
+        let above = "fn f() {\n    // SAFETY: slice bounds checked by split_at\n    \
+                     unsafe { do_it() }\n}";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", above),
+            unsafe_needs_safety_comment,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unsafe_rule_covers_tests_but_not_vendor() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { unsafe { do_it() } }\n}";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", in_test),
+            unsafe_needs_safety_comment,
+        );
+        assert_eq!(v.len(), 1, "test code is NOT exempt: {v:?}");
+
+        let v = run_single(
+            &file("vendor/rand/src/lib.rs", "fn f() { unsafe { do_it() } }"),
+            unsafe_needs_safety_comment,
+        );
+        assert!(v.is_empty(), "vendored stubs are exempt: {v:?}");
+
+        // the word inside a string or comment is not the keyword
+        let quoted = "fn f() { let s = \"unsafe\"; } // unsafe mentioned in prose";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", quoted),
+            unsafe_needs_safety_comment,
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 

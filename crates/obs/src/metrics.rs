@@ -228,7 +228,18 @@ pub static EXPLAIN_NODES: Counter = Counter::new("explain.nodes");
 /// Per-node explanation-generation latency (nanoseconds).
 pub static EXPLAIN_NODE_NS: Histogram = Histogram::new("explain.node_ns");
 
-static ALL_COUNTERS: [&Counter; 14] = [
+/// Static checks evaluated by `ses-verify` (tape-IR nodes + partition cases).
+pub static VERIFY_CHECKS: Counter = Counter::new("verify.checks");
+/// Errors raised by `ses-verify` engines.
+pub static VERIFY_ERRORS: Counter = Counter::new("verify.errors");
+/// Warnings raised by `ses-verify` engines.
+pub static VERIFY_WARNINGS: Counter = Counter::new("verify.warnings");
+/// `Unused` leaks observed by the trainer's per-epoch leak-budget check.
+pub static TRAIN_LEAK_UNUSED: Counter = Counter::new("trainer.leak.unused");
+/// `AfterLoss` leaks observed by the trainer's per-epoch leak-budget check.
+pub static TRAIN_LEAK_AFTER_LOSS: Counter = Counter::new("trainer.leak.after_loss");
+
+static ALL_COUNTERS: [&Counter; 19] = [
     &TAPE_NODES,
     &TAPE_BACKWARDS,
     &SPMM_CALLS,
@@ -243,6 +254,11 @@ static ALL_COUNTERS: [&Counter; 14] = [
     &SAN_LEAK_UNUSED,
     &SAN_LEAK_PRUNED,
     &EXPLAIN_NODES,
+    &VERIFY_CHECKS,
+    &VERIFY_ERRORS,
+    &VERIFY_WARNINGS,
+    &TRAIN_LEAK_UNUSED,
+    &TRAIN_LEAK_AFTER_LOSS,
 ];
 static ALL_GAUGES: [&Gauge; 1] = [&TAPE_PEAK_NODES];
 static ALL_HISTOGRAMS: [&Histogram; 1] = [&EXPLAIN_NODE_NS];

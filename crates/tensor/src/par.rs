@@ -156,7 +156,11 @@ pub fn nnz_balanced_ranges(indptr: &[usize], parts: usize) -> Vec<Range<usize>> 
     let mut start = 0;
     for p in 1..=parts {
         // Row index whose cumulative nnz first reaches the p-th quantile.
-        let target = total * p / parts;
+        // The product runs in u128 so the quantile stays exact even when
+        // `total` approaches usize::MAX (verified by ses-verify's
+        // beyond-the-bound partition sweep).
+        // lint:allow(no-narrowing-cast): quotient ≤ total, which is a usize
+        let target = ((total as u128 * p as u128) / parts as u128) as usize;
         let mut end = indptr.partition_point(|&x| x < target).max(start);
         if p == parts {
             end = n_rows;

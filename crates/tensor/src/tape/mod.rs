@@ -17,13 +17,15 @@
 mod backward;
 mod elementwise;
 mod graph_ops;
+mod ir;
 mod linalg;
 mod loss;
 mod reduce;
 mod sanitize;
 
 pub use elementwise::dropout_mask;
-pub use sanitize::{sanitize_enabled, Leak, LeakKind};
+pub use ir::{IrMeta, IrNode, TapeIr};
+pub use sanitize::{sanitize_enabled, Leak, LeakBudget, LeakKind};
 
 use std::sync::Arc;
 

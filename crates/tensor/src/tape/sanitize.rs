@@ -181,7 +181,65 @@ pub enum LeakKind {
     Pruned,
 }
 
+/// Per-epoch leak tolerance for training loops: how many `Unused` and
+/// `AfterLoss` leaks a single backward pass may report before the trainer
+/// fails fast. `Pruned` leaks are always tolerated here — they are surfaced
+/// by the leak report and the static verifier instead, because a pruned
+/// path can be a legitimate phase-dependent head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LeakBudget {
+    /// Maximum tolerated [`LeakKind::Unused`] leaks per backward pass.
+    pub max_unused: usize,
+    /// Maximum tolerated [`LeakKind::AfterLoss`] leaks per backward pass.
+    pub max_after_loss: usize,
+}
+
+impl LeakBudget {
+    /// The strictest budget: any unused parameter or post-loss node fails.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+}
+
 impl Tape {
+    /// Checks this tape's leaks against `budget` after a backward pass from
+    /// `loss`. Returns `Ok((unused, after_loss))` counts when within budget,
+    /// or `Err` with a diagnostic naming the first offending nodes.
+    pub fn check_leak_budget(
+        &self,
+        loss: Var,
+        budget: &LeakBudget,
+    ) -> Result<(usize, usize), String> {
+        let leaks = self.leaked_nodes(loss);
+        let unused: Vec<&Leak> = leaks
+            .iter()
+            .filter(|l| l.kind == LeakKind::Unused)
+            .collect();
+        let after_loss: Vec<&Leak> = leaks
+            .iter()
+            .filter(|l| l.kind == LeakKind::AfterLoss)
+            .collect();
+        if unused.len() <= budget.max_unused && after_loss.len() <= budget.max_after_loss {
+            return Ok((unused.len(), after_loss.len()));
+        }
+        let describe = |ls: &[&Leak]| -> String {
+            ls.iter()
+                .take(4)
+                .map(|l| format!("node {} (op `{}`)", l.node, l.op))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        Err(format!(
+            "leak budget exceeded: {} unused (max {}) [{}], {} after-loss (max {}) [{}]",
+            unused.len(),
+            budget.max_unused,
+            describe(&unused),
+            after_loss.len(),
+            budget.max_after_loss,
+            describe(&after_loss),
+        ))
+    }
+
     /// Shape-mismatch check for element-wise binary ops.
     pub(crate) fn san_same_shape(&self, op: &'static str, a: Var, b: Var) {
         if !sanitize_enabled() {

@@ -1,0 +1,69 @@
+//! `ses-verify` CLI — runs the static verifier self-check and exits
+//! non-zero when any engine reports an error.
+//!
+//! ```text
+//! ses-verify                              # CI gate: real artefacts, expect clean
+//! ses-verify --seed-defect shape-mismatch # feed a known-bad input, expect errors
+//! ```
+//!
+//! Seeded-defect runs exist so CI can prove the verifier still rejects what
+//! it must reject: `ci.sh` asserts they exit non-zero.
+
+use std::process::ExitCode;
+
+use ses_verify::selfcheck::{run, SeededDefect};
+use ses_verify::Severity;
+
+fn usage() {
+    eprintln!("usage: ses-verify [--seed-defect <kind>]");
+    eprintln!("  kinds: {}", SeededDefect::SPELLINGS.join(", "));
+}
+
+fn parse_args(args: &[String]) -> Result<Option<SeededDefect>, String> {
+    match args {
+        [] => Ok(None),
+        [flag, kind] if flag == "--seed-defect" => SeededDefect::parse(kind)
+            .map(Some)
+            .ok_or_else(|| format!("unknown defect kind `{kind}`")),
+        [flag] if flag == "--help" || flag == "-h" => Err(String::new()),
+        other => Err(format!("unrecognised arguments: {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let defect = match parse_args(&args) {
+        Ok(d) => d,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("ses-verify: {msg}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(d) = defect {
+        println!("ses-verify: seeded defect {d:?} — errors below are expected");
+    }
+    let report = run(defect);
+    for d in &report.diags {
+        match d.severity {
+            Severity::Error => eprintln!("{d}"),
+            Severity::Warning => println!("{d}"),
+        }
+    }
+    println!(
+        "ses-verify: {} tape node(s) verified, {} partition case(s) model-checked, \
+         {} error(s), {} warning(s)",
+        report.tape_nodes,
+        report.partition_cases,
+        report.error_count(),
+        report.diags.len() - report.error_count()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

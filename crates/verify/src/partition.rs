@@ -1,0 +1,493 @@
+//! Engine 2: the parallel-partition safety checker.
+//!
+//! The deterministic parallel layer (`ses_tensor::par`) promises that its
+//! partitions are contiguous, disjoint, fully covering, monotone and (for
+//! [`even_ranges`]) balanced, and that the `split_*_mut` carvings hand every
+//! buffer element to exactly one worker. Those invariants are what make the
+//! kernels bit-identical at any thread count — so this module proves them,
+//! three ways:
+//!
+//! * [`check_row_partition`] / [`check_entry_partition`] — invariant checks
+//!   over any partitioner output, usable against third-party or deliberately
+//!   broken partitioners (see `selfcheck`);
+//! * [`check_split_rows`] / [`check_split_entries`] — observational proofs:
+//!   write a distinct marker through every carved `&mut` slice, then verify
+//!   each buffer element holds exactly its owner's marker (coverage and
+//!   disjointness witnessed in memory, not just in range arithmetic);
+//! * [`exhaustive_small_model`] / [`exhaustive_csr_model`] — run the real
+//!   partitioners over **every** shape up to a bound (all `n × parts` grids,
+//!   all degree sequences), [`edge_case_suite`] for the known-nasty inputs,
+//!   and [`beyond_bound_spotchecks`] for shapes near `usize::MAX` where the
+//!   arithmetic itself (quantile products, `div_ceil`) is the risk.
+//!
+//! Property tests in `tests/` extend the exhaustive bound with randomised
+//! shapes via the vendored proptest stub.
+
+use std::ops::Range;
+
+use ses_tensor::par::{even_ranges, nnz_balanced_ranges, split_entries_mut, split_rows_mut};
+
+use crate::{record_diags, Diag};
+
+/// Outcome of a model-checking sweep: how many partitioner invocations were
+/// checked, and every finding.
+#[derive(Debug, Default)]
+pub struct PartitionReport {
+    /// Partitioner invocations checked.
+    pub cases: u64,
+    /// All findings (empty on a clean sweep).
+    pub diags: Vec<Diag>,
+}
+
+impl PartitionReport {
+    fn absorb(&mut self, diags: Vec<Diag>) {
+        self.cases += 1;
+        self.diags.extend(diags);
+    }
+
+    pub(crate) fn merge(&mut self, other: PartitionReport) {
+        self.cases += other.cases;
+        self.diags.extend(other.diags);
+    }
+
+    fn finish(self) -> Self {
+        ses_obs::metrics::VERIFY_CHECKS.add(self.cases);
+        record_diags(&self.diags);
+        self
+    }
+}
+
+fn err(check: &'static str, subject: &str, msg: String) -> Diag {
+    Diag::error("partition", check, subject.to_string(), msg)
+}
+
+/// Checks the structural invariants of a row partition of `0..n` into at
+/// most `parts` ranges: non-empty ranges, coverage of exactly `0..n`,
+/// contiguity (which implies disjointness and monotonicity for ranges),
+/// range count bounded by `min(parts, n)`, and — when `require_balance` —
+/// sizes differing by at most one.
+pub fn check_row_partition(
+    subject: &str,
+    n: usize,
+    parts: usize,
+    ranges: &[Range<usize>],
+    require_balance: bool,
+) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    if n == 0 {
+        if !ranges.is_empty() {
+            diags.push(err(
+                "coverage",
+                subject,
+                format!("empty input must yield no ranges, got {}", ranges.len()),
+            ));
+        }
+        return diags;
+    }
+    if ranges.is_empty() {
+        diags.push(err(
+            "coverage",
+            subject,
+            format!("no ranges returned for {n} rows"),
+        ));
+        return diags;
+    }
+    if ranges.len() > parts.max(1).min(n) {
+        diags.push(err(
+            "coverage",
+            subject,
+            format!(
+                "{} ranges exceed the cap min(parts, n) = {}",
+                ranges.len(),
+                parts.max(1).min(n)
+            ),
+        ));
+    }
+    for r in ranges {
+        if r.start >= r.end {
+            diags.push(err(
+                "monotonicity",
+                subject,
+                format!("empty or reversed range {}..{}", r.start, r.end),
+            ));
+        }
+    }
+    if let Some(first) = ranges.first() {
+        if first.start != 0 {
+            diags.push(err(
+                "coverage",
+                subject,
+                format!("first range starts at {} instead of 0", first.start),
+            ));
+        }
+    }
+    if let Some(last) = ranges.last() {
+        if last.end != n {
+            diags.push(err(
+                "coverage",
+                subject,
+                format!("last range ends at {} instead of {n}", last.end),
+            ));
+        }
+    }
+    for w in ranges.windows(2) {
+        if w[0].end != w[1].start {
+            let check = if w[0].end > w[1].start {
+                "disjointness"
+            } else {
+                "coverage"
+            };
+            diags.push(err(
+                check,
+                subject,
+                format!(
+                    "adjacent ranges ..{} and {}.. {}",
+                    w[0].end,
+                    w[1].start,
+                    if w[0].end > w[1].start {
+                        "overlap"
+                    } else {
+                        "leave a gap"
+                    }
+                ),
+            ));
+        }
+    }
+    if require_balance && diags.is_empty() {
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.end - r.start).collect();
+        let mn = sizes.iter().copied().min().unwrap_or(0);
+        let mx = sizes.iter().copied().max().unwrap_or(0);
+        if mx - mn > 1 {
+            diags.push(err(
+                "balance",
+                subject,
+                format!("range sizes vary from {mn} to {mx}; promised max spread is 1"),
+            ));
+        }
+    }
+    diags
+}
+
+/// Checks a CSR row partition produced by [`nnz_balanced_ranges`]: the input
+/// `indptr` must be a valid (non-empty, monotone) CSR index array, and the
+/// ranges must satisfy every structural invariant of [`check_row_partition`]
+/// over its `indptr.len() - 1` rows (balance is *not* required — a single
+/// massive row legitimately unbalances entry counts).
+pub fn check_entry_partition(
+    subject: &str,
+    indptr: &[usize],
+    parts: usize,
+    ranges: &[Range<usize>],
+) -> Vec<Diag> {
+    let Some((&last, _)) = indptr.split_last() else {
+        return vec![err(
+            "input",
+            subject,
+            "indptr must be non-empty".to_string(),
+        )];
+    };
+    if indptr.windows(2).any(|w| w[0] > w[1]) {
+        return vec![err(
+            "input",
+            subject,
+            "indptr must be non-decreasing".to_string(),
+        )];
+    }
+    let _ = last;
+    check_row_partition(subject, indptr.len() - 1, parts, ranges, false)
+}
+
+/// Observational proof for [`split_rows_mut`]: carve a marker buffer, write
+/// each slice's index through it, then verify every element of every row
+/// holds exactly its owner's marker.
+///
+/// Precondition: `ranges` already passed [`check_row_partition`]
+/// (`split_rows_mut` asserts on structurally invalid ranges).
+pub fn check_split_rows(
+    subject: &str,
+    n: usize,
+    cols: usize,
+    ranges: &[Range<usize>],
+) -> Vec<Diag> {
+    let mut buf = vec![0.0f32; n * cols];
+    {
+        let slices = split_rows_mut(&mut buf, cols, ranges);
+        for (k, slice) in slices.into_iter().enumerate() {
+            let marker = (k + 1) as f32;
+            for v in slice.iter_mut() {
+                *v = marker;
+            }
+        }
+    }
+    for (k, r) in ranges.iter().enumerate() {
+        let marker = (k + 1) as f32;
+        for row in r.clone() {
+            for c in 0..cols {
+                if buf[row * cols + c] != marker {
+                    return vec![err(
+                        "disjointness",
+                        subject,
+                        format!(
+                            "element ({row}, {c}) holds marker {} instead of its \
+                             owner block {k}'s marker {marker}",
+                            buf[row * cols + c]
+                        ),
+                    )];
+                }
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// Observational proof for [`split_entries_mut`], analogous to
+/// [`check_split_rows`] but over the per-entry buffer addressed by `indptr`.
+pub fn check_split_entries(subject: &str, indptr: &[usize], ranges: &[Range<usize>]) -> Vec<Diag> {
+    let n_rows = indptr.len() - 1;
+    let mut buf = vec![0.0f32; indptr[n_rows]];
+    {
+        let slices = split_entries_mut(&mut buf, indptr, ranges);
+        for (k, slice) in slices.into_iter().enumerate() {
+            let marker = (k + 1) as f32;
+            for v in slice.iter_mut() {
+                *v = marker;
+            }
+        }
+    }
+    for (k, r) in ranges.iter().enumerate() {
+        let marker = (k + 1) as f32;
+        let (lo, hi) = (indptr[r.start], indptr[r.end]);
+        for (off, &got) in buf[lo..hi].iter().enumerate() {
+            if got != marker {
+                return vec![err(
+                    "disjointness",
+                    subject,
+                    format!(
+                        "entry {} holds marker {got} instead of its owner block \
+                         {k}'s marker {marker}",
+                        lo + off
+                    ),
+                )];
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// Exhaustively model-checks [`even_ranges`] (plus the [`split_rows_mut`]
+/// carving) over every `(n, parts)` in `0..=max_n × 1..=max_parts`.
+pub fn exhaustive_small_model(max_n: usize, max_parts: usize) -> PartitionReport {
+    let mut report = PartitionReport::default();
+    for n in 0..=max_n {
+        for parts in 1..=max_parts {
+            let subject = format!("even_ranges(n={n}, parts={parts})");
+            let ranges = even_ranges(n, parts);
+            let diags = check_row_partition(&subject, n, parts, &ranges, true);
+            let clean = diags.is_empty();
+            report.absorb(diags);
+            if clean && n > 0 {
+                report
+                    .diags
+                    .extend(check_split_rows(&subject, n, 3, &ranges));
+            }
+        }
+    }
+    report.finish()
+}
+
+/// Exhaustively model-checks [`nnz_balanced_ranges`] (plus the
+/// [`split_entries_mut`] carving) over **every** degree sequence of length
+/// `0..=max_rows` with per-row degree `0..=max_deg`, for every
+/// `parts in 1..=max_parts`.
+pub fn exhaustive_csr_model(max_rows: usize, max_deg: usize, max_parts: usize) -> PartitionReport {
+    let mut report = PartitionReport::default();
+    let base = max_deg + 1;
+    for rows in 0..=max_rows {
+        let seqs = base.pow(rows as u32);
+        for code in 0..seqs {
+            let mut indptr = Vec::with_capacity(rows + 1);
+            indptr.push(0usize);
+            let mut c = code;
+            for _ in 0..rows {
+                let deg = c % base;
+                c /= base;
+                let last = *indptr.last().unwrap_or(&0);
+                indptr.push(last + deg);
+            }
+            for parts in 1..=max_parts {
+                let subject = format!("nnz_balanced_ranges(indptr={indptr:?}, parts={parts})");
+                let ranges = nnz_balanced_ranges(&indptr, parts);
+                let diags = check_entry_partition(&subject, &indptr, parts, &ranges);
+                let clean = diags.is_empty();
+                report.absorb(diags);
+                if clean && rows > 0 {
+                    report
+                        .diags
+                        .extend(check_split_entries(&subject, &indptr, &ranges));
+                }
+            }
+        }
+    }
+    report.finish()
+}
+
+/// The known-nasty partitioner inputs, checked directly: the empty matrix,
+/// all-empty rows, more parts than rows, zero stored entries, and a single
+/// massive row that absorbs the whole entry budget.
+pub fn edge_case_suite() -> PartitionReport {
+    let mut report = PartitionReport::default();
+
+    // Empty matrix: indptr = [0], zero rows.
+    let empty = vec![0usize];
+    let r = nnz_balanced_ranges(&empty, 4);
+    report.absorb(check_entry_partition(
+        "nnz_balanced_ranges(indptr=[0], parts=4)",
+        &empty,
+        4,
+        &r,
+    ));
+    report.absorb(check_row_partition(
+        "even_ranges(n=0, parts=4)",
+        0,
+        4,
+        &even_ranges(0, 4),
+        true,
+    ));
+
+    // All-empty rows / nnz = 0 with rows present.
+    let all_empty = vec![0usize; 7];
+    for parts in [1, 3, 6, 9] {
+        let subject = format!("nnz_balanced_ranges(indptr=[0; 7], parts={parts})");
+        let ranges = nnz_balanced_ranges(&all_empty, parts);
+        let diags = check_entry_partition(&subject, &all_empty, parts, &ranges);
+        let clean = diags.is_empty();
+        report.absorb(diags);
+        if clean {
+            report
+                .diags
+                .extend(check_split_entries(&subject, &all_empty, &ranges));
+        }
+    }
+
+    // More parts than rows.
+    for (n, parts) in [(1usize, 8usize), (3, 64), (5, 6)] {
+        let subject = format!("even_ranges(n={n}, parts={parts})");
+        let ranges = even_ranges(n, parts);
+        let diags = check_row_partition(&subject, n, parts, &ranges, true);
+        let clean = diags.is_empty();
+        report.absorb(diags);
+        if clean {
+            report
+                .diags
+                .extend(check_split_rows(&subject, n, 2, &ranges));
+        }
+    }
+
+    // Single massive row dominating the entry count (with and without
+    // trailing empties), at a size where the marker proof still fits in
+    // memory...
+    let massive = vec![0usize, 10_000, 10_000, 10_000, 10_001];
+    for parts in [1, 2, 4] {
+        let subject = format!("nnz_balanced_ranges(indptr={massive:?}, parts={parts})");
+        let ranges = nnz_balanced_ranges(&massive, parts);
+        let diags = check_entry_partition(&subject, &massive, parts, &ranges);
+        let clean = diags.is_empty();
+        report.absorb(diags);
+        if clean {
+            report
+                .diags
+                .extend(check_split_entries(&subject, &massive, &ranges));
+        }
+    }
+    // ...and at a size where only the range arithmetic can be checked.
+    let colossal = vec![0usize, 1 << 50, 1 << 50, (1 << 50) + 3];
+    for parts in [1, 2, 3, 5] {
+        let subject = format!("nnz_balanced_ranges(indptr={colossal:?}, parts={parts})");
+        let ranges = nnz_balanced_ranges(&colossal, parts);
+        report.absorb(check_entry_partition(&subject, &colossal, parts, &ranges));
+    }
+
+    report.finish()
+}
+
+/// Spot checks beyond any feasible exhaustive bound: shapes near
+/// `usize::MAX`, where the quantile products and `div_ceil` arithmetic
+/// inside the partitioners — not the partition logic — are the risk. (The
+/// `nnz_balanced_ranges` quantile runs in `u128` precisely because this
+/// sweep overflows a `usize` product.)
+pub fn beyond_bound_spotchecks() -> PartitionReport {
+    let mut report = PartitionReport::default();
+    let huge = usize::MAX;
+    for n in [u32::MAX as usize, huge / 2, huge - 1, huge] {
+        for parts in [1usize, 2, 3, 7, 64, 1023] {
+            let subject = format!("even_ranges(n={n}, parts={parts})");
+            let ranges = even_ranges(n, parts);
+            report.absorb(check_row_partition(&subject, n, parts, &ranges, true));
+        }
+    }
+    let third = huge / 3;
+    let indptrs: Vec<Vec<usize>> = vec![
+        vec![0, third, 2 * third, huge - 4],
+        vec![0, huge / 2, huge / 2, huge / 2, huge - 1],
+        vec![0, 1, huge / 2, huge / 2 + 1, huge - 7],
+    ];
+    for indptr in &indptrs {
+        for parts in [1usize, 2, 3, 4] {
+            let subject = format!(
+                "nnz_balanced_ranges(indptr=~usize::MAX scale ({} rows), parts={parts})",
+                indptr.len() - 1
+            );
+            let ranges = nnz_balanced_ranges(indptr, parts);
+            report.absorb(check_entry_partition(&subject, indptr, parts, &ranges));
+        }
+    }
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    #[test]
+    fn checker_accepts_real_partitioner_output() {
+        let r = exhaustive_small_model(12, 8);
+        assert!(r.cases >= 96);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+    }
+
+    #[test]
+    fn checker_rejects_overlap_gap_and_short_coverage() {
+        let overlap = vec![0..3, 2..5];
+        let ds = check_row_partition("fixture", 5, 2, &overlap, false);
+        assert!(ds.iter().any(|d| d.check == "disjointness"), "{ds:?}");
+
+        let gap = vec![0..2, 3..5];
+        let ds = check_row_partition("fixture", 5, 2, &gap, false);
+        assert!(ds.iter().any(|d| d.check == "coverage"), "{ds:?}");
+
+        let ds = check_row_partition("fixture", 5, 2, std::slice::from_ref(&(0..4)), false);
+        assert!(ds.iter().any(|d| d.check == "coverage"), "{ds:?}");
+
+        let empty_range = vec![0..0, 0..5];
+        let ds = check_row_partition("fixture", 5, 2, &empty_range, false);
+        assert!(ds.iter().any(|d| d.check == "monotonicity"), "{ds:?}");
+
+        assert!(ds.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn checker_rejects_imbalanced_even_split() {
+        let lopsided = vec![0..4, 4..5];
+        let ds = check_row_partition("fixture", 5, 2, &lopsided, true);
+        assert!(ds.iter().any(|d| d.check == "balance"), "{ds:?}");
+    }
+
+    #[test]
+    fn entry_checker_validates_its_input() {
+        let ds = check_entry_partition("fixture", &[], 2, &[]);
+        assert!(ds.iter().any(|d| d.check == "input"));
+        let ds = check_entry_partition("fixture", &[0, 5, 3], 2, std::slice::from_ref(&(0..2)));
+        assert!(ds.iter().any(|d| d.check == "input"));
+    }
+}

@@ -1,0 +1,414 @@
+//! A small token-level scanner for Rust source.
+//!
+//! `ses-lint`'s rules originally matched line regexes, which miss split
+//! constructs (`.unwrap\n()`), false-positive inside identifiers, and can't
+//! distinguish a lifetime from a char literal. This module lexes source into
+//! a flat token stream — identifiers, lifetimes, numbers, strings, chars,
+//! punctuation, comments — with line positions, so rules can match token
+//! *sequences* instead of text.
+//!
+//! Deliberately not a full Rust lexer: no keyword table (keywords are
+//! `Ident` tokens), single-character punctuation (rules match `!` `(` `.`
+//! individually), and no token for whitespace. It does handle the lexical
+//! constructs that break naive scanners: nested block comments, raw strings
+//! (`r#"…"#`), byte/raw-byte strings, char escapes, lifetimes vs char
+//! literals, and numeric literals with type suffixes (`1.0f64`, `0xFFu32`),
+//! which is exactly what the lint rules need.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `as`, `unsafe`, `f64`).
+    Ident,
+    /// Lifetime (`'a`, `'static`), without the quote in `text`.
+    Lifetime,
+    /// Numeric literal, including any type suffix (`1.0e-3f64`).
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`.`, `!`, `(`, `:` …).
+    Punct,
+    /// Line or block comment, entire text including delimiters.
+    Comment,
+}
+
+/// One lexed token with its position (0-based line, 0-based column of the
+/// first character).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text (for `Lifetime`, without the leading `'`).
+    pub text: String,
+    /// 0-based source line of the token's first character.
+    pub line: usize,
+    /// 0-based column of the token's first character.
+    pub col: usize,
+}
+
+impl Tok {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: usize,
+    col: usize,
+    out: Vec<Tok>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 0;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, line: usize, col: usize) {
+        let text = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+        self.out.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn take_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line, col) = (self.i, self.line, self.col);
+        self.take_while(|b| b != b'\n');
+        self.emit(TokKind::Comment, start, line, col);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line, col) = (self.i, self.line, self.col);
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.emit(TokKind::Comment, start, line, col);
+    }
+
+    /// Consumes a quoted string body (opening quote already consumed),
+    /// honouring backslash escapes.
+    fn string_body(&mut self) {
+        loop {
+            match self.bump() {
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(b'"') | None => break,
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body starting at the `#`s or quote (the `r`
+    /// prefix is already consumed). Returns false if it wasn't a raw string
+    /// after all (e.g. a raw identifier `r#match`).
+    fn raw_string_body(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some(b'"') {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump(); // the hashes and the opening quote
+        }
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return true;
+                    }
+                }
+                None => return true,
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let (start, line, col) = (self.i, self.line, self.col);
+        self.bump();
+        loop {
+            match self.peek(0) {
+                Some(b) if is_ident_continue(b) => {
+                    let at_exponent = (b == b'e' || b == b'E')
+                        && self
+                            .peek(1)
+                            .is_some_and(|s| s == b'+' || s == b'-' || s.is_ascii_digit());
+                    self.bump();
+                    if at_exponent && self.peek(0).is_some_and(|s| s == b'+' || s == b'-') {
+                        self.bump();
+                    }
+                }
+                // A dot continues the number only when followed by a digit
+                // (so `0..n` stays three tokens and `1.5` stays one).
+                Some(b'.') if self.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.emit(TokKind::Number, start, line, col);
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(b) = self.peek(0) {
+            let (start, line, col) = (self.i, self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => {
+                    self.bump();
+                    self.string_body();
+                    self.emit(TokKind::Str, start, line, col);
+                }
+                b'r' if matches!(self.peek(1), Some(b'"') | Some(b'#')) => {
+                    self.bump(); // 'r'
+                    if self.raw_string_body() {
+                        self.emit(TokKind::Str, start, line, col);
+                    } else {
+                        // raw identifier: r#ident
+                        if self.peek(0) == Some(b'#') {
+                            self.bump();
+                        }
+                        self.take_while(is_ident_continue);
+                        self.emit(TokKind::Ident, start, line, col);
+                    }
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.bump();
+                    self.bump();
+                    self.string_body();
+                    self.emit(TokKind::Str, start, line, col);
+                }
+                b'b' if self.peek(1) == Some(b'r')
+                    && matches!(self.peek(2), Some(b'"') | Some(b'#')) =>
+                {
+                    self.bump();
+                    self.bump();
+                    if self.raw_string_body() {
+                        self.emit(TokKind::Str, start, line, col);
+                    } else {
+                        self.take_while(is_ident_continue);
+                        self.emit(TokKind::Ident, start, line, col);
+                    }
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.bump();
+                    self.bump();
+                    if self.peek(0) == Some(b'\\') {
+                        self.bump();
+                    }
+                    self.bump(); // the char
+                    if self.peek(0) == Some(b'\'') {
+                        self.bump();
+                    }
+                    self.emit(TokKind::Char, start, line, col);
+                }
+                b'\'' => {
+                    // Lifetime (`'a` not followed by a closing quote) or
+                    // char literal (`'a'`, `'\n'`).
+                    let is_lifetime = self.peek(1).is_some_and(is_ident_start) && {
+                        let mut j = 2;
+                        while self.peek(j).is_some_and(is_ident_continue) {
+                            j += 1;
+                        }
+                        self.peek(j) != Some(b'\'')
+                    };
+                    if is_lifetime {
+                        self.bump(); // quote, excluded from text
+                        let (s2, l2, c2) = (self.i, line, col);
+                        self.take_while(is_ident_continue);
+                        self.emit(TokKind::Lifetime, s2, l2, c2);
+                    } else {
+                        self.bump();
+                        if self.peek(0) == Some(b'\\') {
+                            self.bump();
+                            self.bump();
+                        } else {
+                            self.bump();
+                        }
+                        // Unicode chars span several bytes; eat to the quote.
+                        while let Some(nb) = self.peek(0) {
+                            if nb == b'\'' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                        self.bump(); // closing quote
+                        self.emit(TokKind::Char, start, line, col);
+                    }
+                }
+                _ if is_ident_start(b) => {
+                    self.take_while(is_ident_continue);
+                    self.emit(TokKind::Ident, start, line, col);
+                }
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    self.bump();
+                    self.emit(TokKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+}
+
+/// Lexes `src` into a flat token stream. Never fails: unrecognised bytes
+/// become single-character [`TokKind::Punct`] tokens.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        i: 0,
+        line: 0,
+        col: 0,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+/// Lexes `src` and drops comment tokens — the stream lint rules match on.
+pub fn code_tokens(src: &str) -> Vec<Tok> {
+    tokenize(src)
+        .into_iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let ts = kinds("let x2 = 1.5e-3f64 + 0xFFu32;");
+        assert_eq!(ts[0], (TokKind::Ident, "let".to_string()));
+        assert_eq!(ts[1], (TokKind::Ident, "x2".to_string()));
+        assert_eq!(ts[2], (TokKind::Punct, "=".to_string()));
+        assert_eq!(ts[3], (TokKind::Number, "1.5e-3f64".to_string()));
+        assert_eq!(ts[5], (TokKind::Number, "0xFFu32".to_string()));
+    }
+
+    #[test]
+    fn range_dots_do_not_join_numbers() {
+        let ts = kinds("0..n");
+        assert_eq!(ts[0], (TokKind::Number, "0".to_string()));
+        assert_eq!(ts[1], (TokKind::Punct, ".".to_string()));
+        assert_eq!(ts[2], (TokKind::Punct, ".".to_string()));
+        assert_eq!(ts[3], (TokKind::Ident, "n".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert!(ts.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+        assert!(ts.iter().any(|(k, t)| *k == TokKind::Char && t == "'x'"));
+        assert!(ts.iter().any(|(k, t)| *k == TokKind::Char && t == "'\\n'"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_matching() {
+        // ".unwrap(" inside a string must lex as one Str token.
+        let ts = kinds(r#"let msg = "call .unwrap() later";"#);
+        assert!(ts
+            .iter()
+            .all(|(k, t)| *k == TokKind::Str || !t.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let ts = kinds("r#\"a \"quoted\" b\"# /* outer /* inner */ still */ x");
+        assert_eq!(ts[0].0, TokKind::Str);
+        assert_eq!(ts[1].0, TokKind::Comment);
+        assert_eq!(ts[2], (TokKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn split_unwrap_still_matches_as_token_sequence() {
+        let src = "v\n  .unwrap\n  ()";
+        let ts = code_tokens(src);
+        let seq: Vec<&str> = ts.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(seq, vec!["v", ".", "unwrap", "(", ")"]);
+        assert_eq!(ts[2].line, 1); // `unwrap` sits on line 1 (0-based)
+    }
+
+    #[test]
+    fn line_positions_are_zero_based() {
+        let ts = tokenize("a\nbb ccc");
+        assert_eq!((ts[0].line, ts[0].col), (0, 0));
+        assert_eq!((ts[1].line, ts[1].col), (1, 0));
+        assert_eq!((ts[2].line, ts[2].col), (1, 3));
+    }
+}

@@ -1,0 +1,74 @@
+//! The named partitioner edge cases from the verifier issue, asserted
+//! directly against the real `ses_tensor::par` partitioners: empty matrix,
+//! all-empty rows, more parts than rows, zero stored entries, and a single
+//! massive row. Each case must satisfy every verifier invariant — and the
+//! packaged [`edge_case_suite`] sweep must stay clean.
+
+use ses_tensor::par::{even_ranges, nnz_balanced_ranges};
+use ses_verify::partition::{
+    check_entry_partition, check_row_partition, check_split_entries, check_split_rows,
+    edge_case_suite,
+};
+
+#[test]
+fn empty_matrix_yields_no_ranges() {
+    let indptr = vec![0usize];
+    for parts in [1, 2, 8] {
+        let ranges = nnz_balanced_ranges(&indptr, parts);
+        assert!(ranges.is_empty(), "parts={parts}: {ranges:?}");
+        assert!(check_entry_partition("empty", &indptr, parts, &ranges).is_empty());
+    }
+    assert!(even_ranges(0, 4).is_empty());
+    assert!(check_row_partition("empty", 0, 4, &even_ranges(0, 4), true).is_empty());
+}
+
+#[test]
+fn all_empty_rows_still_cover_every_row() {
+    // 6 rows, nnz = 0: entry balancing has nothing to balance, but every row
+    // must still be owned by exactly one range.
+    let indptr = vec![0usize; 7];
+    for parts in [1, 3, 6, 9] {
+        let ranges = nnz_balanced_ranges(&indptr, parts);
+        let diags = check_entry_partition("all-empty", &indptr, parts, &ranges);
+        assert!(diags.is_empty(), "parts={parts}: {diags:?}");
+        assert!(check_split_entries("all-empty", &indptr, &ranges).is_empty());
+        assert_eq!(ranges.first().map(|r| r.start), Some(0));
+        assert_eq!(ranges.last().map(|r| r.end), Some(6));
+    }
+}
+
+#[test]
+fn more_parts_than_rows_never_produces_empty_ranges() {
+    for (n, parts) in [(1usize, 8usize), (2, 100), (3, 64), (5, 6)] {
+        let ranges = even_ranges(n, parts);
+        assert!(ranges.len() <= n, "n={n} parts={parts}: {ranges:?}");
+        let diags = check_row_partition("parts>rows", n, parts, &ranges, true);
+        assert!(diags.is_empty(), "n={n} parts={parts}: {diags:?}");
+        assert!(check_split_rows("parts>rows", n, 2, &ranges).is_empty());
+    }
+}
+
+#[test]
+fn single_massive_row_is_isolated_not_split() {
+    // One row holds 10_000 of 10_001 entries. Entry balancing cannot split a
+    // row, so the best it can do is isolate it — and the verifier only
+    // demands structural invariants, not balance.
+    let indptr = vec![0usize, 10_000, 10_000, 10_000, 10_001];
+    for parts in [1, 2, 4] {
+        let ranges = nnz_balanced_ranges(&indptr, parts);
+        let diags = check_entry_partition("massive-row", &indptr, parts, &ranges);
+        assert!(diags.is_empty(), "parts={parts}: {diags:?}");
+        assert!(check_split_entries("massive-row", &indptr, &ranges).is_empty());
+    }
+    // With 2+ parts the massive row's range must not also absorb the tail
+    // row that carries the remaining entry.
+    let ranges = nnz_balanced_ranges(&indptr, 2);
+    assert!(ranges.len() >= 2, "{ranges:?}");
+}
+
+#[test]
+fn packaged_edge_case_suite_is_clean() {
+    let report = edge_case_suite();
+    assert!(report.cases >= 15, "suite shrank: {} cases", report.cases);
+    assert!(report.diags.is_empty(), "{:?}", report.diags);
+}
