@@ -34,6 +34,22 @@ SES_QUICKSTART_EPOCHS=3 \
 cargo run -q --example quickstart >/dev/null
 cargo run -q -p ses-obs --bin obs-validate -- "$PWD/target/obs_ci.jsonl"
 
+echo "== fault-injection drills (seeded faults recover; fatal with recovery off)"
+# Each fault mode must be absorbed by the recovery layer under the standard
+# policy (exit 0, recovery counters non-zero — the drill binary checks them),
+# and the *same* fault must be fatal when recovery is disabled, proving the
+# recovery path is what saved the run.
+for fault in "nan-grad@3,seed=7" "worker-panic@3,seed=7" "ckpt-io@3,seed=7"; do
+  echo "   -- $fault (recovery on: must recover)"
+  SES_FAULT="$fault" cargo run -q -p ses-gnn --bin fault-drill
+  echo "   -- $fault (recovery off: must be fatal)"
+  if SES_FAULT="$fault" SES_RECOVERY=off cargo run -q -p ses-gnn --bin fault-drill \
+      >/dev/null 2>&1; then
+    echo "ci: fault '$fault' was survived with recovery disabled" >&2
+    exit 1
+  fi
+done
+
 echo "== bench smoke (quick mode, regression gate)"
 # Absolute paths: cargo runs the bench binary from the package root.
 SES_BENCH_QUICK=1 \

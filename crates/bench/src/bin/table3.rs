@@ -19,7 +19,9 @@ fn run_backbone(make: impl Fn(&mut StdRng) -> Box<dyn Encoder>, d: &Dataset, see
     let adj = AdjView::of_graph(&d.graph);
     let splits = classification_splits(d, seed);
     let cfg = backbone_config(seed);
-    train_node_classifier(enc.as_mut(), &d.graph, &adj, &splits, &cfg).test_acc
+    train_node_classifier(enc.as_mut(), &d.graph, &adj, &splits, &cfg)
+        .expect("backbone training failed")
+        .test_acc
 }
 
 fn run_ses(backbone: &str, d: &Dataset, profile: Profile, seed: u64) -> f64 {
@@ -109,7 +111,9 @@ fn main() {
                             enc.set_label_context(g.labels(), &splits.train);
                             let adj = AdjView::of_graph(g);
                             let cfg = backbone_config(seed);
-                            train_node_classifier(&mut enc, g, &adj, &splits, &cfg).test_acc
+                            train_node_classifier(&mut enc, g, &adj, &splits, &cfg)
+                                .expect("UniMP training failed")
+                                .test_acc
                         }
                         "SEGNN" => {
                             let splits = classification_splits(&d, seed);

@@ -61,6 +61,14 @@ pub struct SesConfig {
     /// off samples uniformly from the k-hop complement (Algorithm 1's
     /// caption reads this way).
     pub label_filtered_negatives: bool,
+    /// Divergence detection / checkpoint / rollback policy for the enhanced
+    /// predictive learning phase. The default
+    /// ([`ses_resilience::RecoveryPolicy::disabled`]) keeps `fit` bit-exact
+    /// with its pre-resilience behaviour; see `docs/ROBUSTNESS.md`.
+    pub recovery: ses_resilience::RecoveryPolicy,
+    /// Explicit fault to inject into the EPL phase (tests/drills). `None`
+    /// falls back to the ambient `SES_FAULT` environment spec.
+    pub fault: Option<ses_resilience::FaultSpec>,
     /// Ablation switches (all-on for full SES).
     pub variant: SesVariant,
 }
@@ -84,6 +92,8 @@ impl Default for SesConfig {
             max_khop_neighbors: None,
             mask_size_weight: 0.0,
             label_filtered_negatives: true,
+            recovery: ses_resilience::RecoveryPolicy::disabled(),
+            fault: None,
             variant: SesVariant::default(),
         }
     }

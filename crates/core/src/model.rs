@@ -10,6 +10,7 @@ use ses_data::Splits;
 use ses_gnn::{AdjView, Encoder, ForwardCtx};
 use ses_graph::{khop_structure, khop_structure_capped, Graph, NegativeSets};
 use ses_metrics::accuracy;
+use ses_resilience::{fault, FaultKind, RecoveryManager, TrainCheckpoint, Verdict};
 use ses_tensor::{Adam, CsrStructure, Matrix, Optimizer, Tape, Var};
 
 use crate::config::SesConfig;
@@ -170,6 +171,162 @@ fn lift_mask(tape: &mut Tape, ms: Var, n_nodes: usize, map: &Arc<Vec<usize>>) ->
     tape.gather_rows(extended, map.clone())
 }
 
+/// Everything one explainable-training step leaves on its tape, before
+/// `backward` and the optimiser touch it.
+struct ExplainStep {
+    tape: Tape,
+    out: ses_gnn::EncoderOutput,
+    masks: crate::mask::MaskOutput,
+    l_xent: Var,
+    l_sub: Var,
+    l_m_val: Option<f32>,
+    loss: Var,
+}
+
+/// Records one explainable-training step (Eqs. 2 and 7–9) on a fresh tape:
+/// plain forward, mask-generator forward, subgraph loss, masked re-encoding
+/// consistency loss, and the combined objective. This is the single source
+/// of the phase-1 architecture — `fit`'s epoch loop runs it, and
+/// [`explain_step_ir`] exports its IR for the `ses-verify` clean-run gate,
+/// so the verifier always checks exactly what training records.
+fn record_explain_step<E: Encoder + ?Sized>(
+    encoder: &mut E,
+    mask_gen: &mut MaskGenerator,
+    graph: &Graph,
+    ctx: &SesContext,
+    config: &SesConfig,
+    rng: &mut StdRng,
+) -> ExplainStep {
+    let mut tape = Tape::new();
+    let x = tape.constant(graph.features().clone());
+
+    // plain forward: Z, H  (Eq. 2)
+    let out = {
+        let mut fctx = ForwardCtx {
+            tape: &mut tape,
+            adj: &ctx.adj,
+            x,
+            edge_mask: None,
+            train: true,
+            rng,
+        };
+        encoder.forward(&mut fctx)
+    };
+    let l_xent = tape.cross_entropy_masked(out.logits, ctx.labels.clone(), ctx.train_idx.clone());
+
+    // negative pair endpoints, re-sampled each epoch
+    let (neg_a, neg_b) = sample_negative_endpoints(ctx, rng);
+    let masks = mask_gen.forward(
+        &mut tape,
+        out.hidden,
+        &ctx.khop,
+        &ctx.khop_rows,
+        &ctx.khop_cols,
+        &neg_a,
+        &neg_b,
+    );
+
+    // Eq. (7): subgraph loss against stacked labels [1 ; 0]
+    let stacked = tape.concat_rows(masks.structure, masks.structure_neg);
+    let nnz = ctx.khop.nnz();
+    let mut targets = Matrix::ones(2 * nnz, 1);
+    for i in nnz..2 * nnz {
+        targets[(i, 0)] = 0.0;
+    }
+    let l_sub = tape.l1_to_constant(stacked, &targets);
+
+    // Eq. (8): masked re-encoding consistency loss
+    let mut l_m_val = None;
+    let mask_obj = if config.variant.use_masked_xent {
+        let xm = tape.mul(masks.feature, x);
+        let (view, map) = match config.masked_graph {
+            crate::config::MaskedGraph::OneHop => (&ctx.adj, &ctx.onehop_lift),
+            crate::config::MaskedGraph::KHop => (&ctx.khop_view, &ctx.khop_lift),
+        };
+        let lifted = lift_mask(&mut tape, masks.structure, graph.n_nodes(), map);
+        let out_m = {
+            let mut fctx = ForwardCtx {
+                tape: &mut tape,
+                adj: view,
+                x: xm,
+                edge_mask: Some(lifted),
+                train: true,
+                rng,
+            };
+            encoder.forward(&mut fctx)
+        };
+        let l_m =
+            tape.cross_entropy_masked(out_m.logits, ctx.labels.clone(), ctx.train_idx.clone());
+        l_m_val = Some(tape.value(l_m).scalar_value());
+        let weighted_sub = tape.scale(l_sub, config.sub_loss_weight);
+        let mut obj = tape.add(weighted_sub, l_m);
+        if config.mask_size_weight > 0.0 {
+            let s_size = tape.mean_all(masks.structure);
+            let f_size = tape.mean_all(masks.feature);
+            let sizes = tape.add(s_size, f_size);
+            let pen = tape.scale(sizes, config.mask_size_weight);
+            obj = tape.add(obj, pen);
+        }
+        obj
+    } else {
+        tape.scale(l_sub, config.sub_loss_weight)
+    };
+
+    // Eq. (9): α (L_sub + L^m_xent) + (1 − α) L_xent
+    let weighted_mask = tape.scale(mask_obj, config.alpha);
+    let weighted_xent = tape.scale(l_xent, 1.0 - config.alpha);
+    let loss = tape.add(weighted_mask, weighted_xent);
+    ExplainStep {
+        tape,
+        out,
+        masks,
+        l_xent,
+        l_sub,
+        l_m_val,
+        loss,
+    }
+}
+
+/// Records one explainable-training step of the **real** SES architecture —
+/// GCN encoder plus mask generator over a small fixed graph, full Eq. 9
+/// objective — through the production recording path
+/// ([`record_explain_step`], the same function `fit`'s phase-1 loop calls)
+/// and exports `(tape IR, loss node id)`.
+///
+/// This is the fixture behind `ses-verify`'s clean-run gate: a false
+/// positive on this trace means the static verifier disagrees with what SES
+/// training actually records, not with a hand-written imitation of it.
+pub fn explain_step_ir() -> (ses_tensor::TapeIr, usize) {
+    let mut rng = StdRng::seed_from_u64(7);
+    // Two feature-separable triangles joined by a bridge — 6 nodes, 2
+    // classes, small enough that the 2-hop structure stays readable in
+    // verifier diagnostics.
+    let n = 6;
+    let edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)];
+    let features = Matrix::from_vec(
+        n,
+        4,
+        (0..n * 4).map(|i| ((i % 7) as f32) * 0.3 - 0.9).collect(),
+    );
+    let labels = vec![0, 0, 0, 1, 1, 1];
+    let graph = Graph::new(n, &edges, features, labels);
+    let splits = Splits {
+        train: vec![0, 1, 3, 4],
+        val: vec![2],
+        test: vec![5],
+    };
+    let config = SesConfig {
+        k: 2,
+        mask_size_weight: 0.1,
+        ..SesConfig::default()
+    };
+    let ctx = SesContext::build(&graph, &splits, &config, &mut rng);
+    let mut encoder = ses_gnn::Gcn::new(graph.n_features(), 5, graph.n_classes(), &mut rng);
+    let mut mask_gen = MaskGenerator::new(encoder.hidden_dim(), graph.n_features(), &mut rng);
+    let step = record_explain_step(&mut encoder, &mut mask_gen, &graph, &ctx, &config, &mut rng);
+    (step.tape.export_ir(), step.loss.index())
+}
+
 /// Fits SES on a graph: Algorithm 2 end to end.
 pub fn fit<E: Encoder>(
     mut encoder: E,
@@ -202,86 +359,16 @@ pub fn fit<E: Encoder>(
     for epoch in 0..config.epochs_explain {
         let epoch_start = Instant::now();
         let spans_before = ses_obs::spans::snapshot();
-        let mut tape = Tape::new();
-        let x = tape.constant(graph.features().clone());
-
-        // plain forward: Z, H  (Eq. 2)
-        let out = {
-            let mut fctx = ForwardCtx {
-                tape: &mut tape,
-                adj: &ctx.adj,
-                x,
-                edge_mask: None,
-                train: true,
-                rng: &mut rng,
-            };
-            encoder.forward(&mut fctx)
-        };
-        let l_xent =
-            tape.cross_entropy_masked(out.logits, ctx.labels.clone(), ctx.train_idx.clone());
-
-        // negative pair endpoints, re-sampled each epoch
-        let (neg_a, neg_b) = sample_negative_endpoints(&ctx, &mut rng);
-        let masks = mask_gen.forward(
-            &mut tape,
-            out.hidden,
-            &ctx.khop,
-            &ctx.khop_rows,
-            &ctx.khop_cols,
-            &neg_a,
-            &neg_b,
-        );
-
-        // Eq. (7): subgraph loss against stacked labels [1 ; 0]
-        let stacked = tape.concat_rows(masks.structure, masks.structure_neg);
-        let nnz = ctx.khop.nnz();
-        let mut targets = Matrix::ones(2 * nnz, 1);
-        for i in nnz..2 * nnz {
-            targets[(i, 0)] = 0.0;
-        }
-        let l_sub = tape.l1_to_constant(stacked, &targets);
-
-        // Eq. (8): masked re-encoding consistency loss
-        let mut l_m_val = None;
-        let mask_obj = if config.variant.use_masked_xent {
-            let xm = tape.mul(masks.feature, x);
-            let (view, map) = match config.masked_graph {
-                crate::config::MaskedGraph::OneHop => (&ctx.adj, &ctx.onehop_lift),
-                crate::config::MaskedGraph::KHop => (&ctx.khop_view, &ctx.khop_lift),
-            };
-            let lifted = lift_mask(&mut tape, masks.structure, graph.n_nodes(), map);
-            let out_m = {
-                let mut fctx = ForwardCtx {
-                    tape: &mut tape,
-                    adj: view,
-                    x: xm,
-                    edge_mask: Some(lifted),
-                    train: true,
-                    rng: &mut rng,
-                };
-                encoder.forward(&mut fctx)
-            };
-            let l_m =
-                tape.cross_entropy_masked(out_m.logits, ctx.labels.clone(), ctx.train_idx.clone());
-            l_m_val = Some(tape.value(l_m).scalar_value());
-            let weighted_sub = tape.scale(l_sub, config.sub_loss_weight);
-            let mut obj = tape.add(weighted_sub, l_m);
-            if config.mask_size_weight > 0.0 {
-                let s_size = tape.mean_all(masks.structure);
-                let f_size = tape.mean_all(masks.feature);
-                let sizes = tape.add(s_size, f_size);
-                let pen = tape.scale(sizes, config.mask_size_weight);
-                obj = tape.add(obj, pen);
-            }
-            obj
-        } else {
-            tape.scale(l_sub, config.sub_loss_weight)
-        };
-
-        // Eq. (9): α (L_sub + L^m_xent) + (1 − α) L_xent
-        let weighted_mask = tape.scale(mask_obj, config.alpha);
-        let weighted_xent = tape.scale(l_xent, 1.0 - config.alpha);
-        let loss = tape.add(weighted_mask, weighted_xent);
+        let step = record_explain_step(&mut encoder, &mut mask_gen, graph, &ctx, config, &mut rng);
+        let ExplainStep {
+            mut tape,
+            out,
+            masks,
+            l_xent,
+            l_sub,
+            l_m_val,
+            loss,
+        } = step;
         let loss_val = tape.value(loss).scalar_value();
         tape.backward(loss);
 
@@ -448,6 +535,14 @@ pub fn run_epl<E: Encoder + ?Sized>(
     run_epl_phase(encoder, graph, &ctx, explanations, &pairs, config, &mut rng)
 }
 
+/// The enhanced-predictive-learning loop (Eq. 13), with the same opt-in
+/// divergence sentinel as `ses_gnn::train_node_classifier`: under a
+/// detect-enabled [`SesConfig::recovery`] policy, a NaN/Inf loss,
+/// non-finite gradient, or loss spike rolls the phase back to its last
+/// good checkpoint with LR backoff. Because this phase returns a loss
+/// curve rather than a `Result` (it refines an already-trained model), an
+/// *unrecoverable* divergence stops the phase gracefully at the last good
+/// state instead of erroring.
 fn run_epl_phase<E: Encoder + ?Sized>(
     encoder: &mut E,
     graph: &Graph,
@@ -481,9 +576,21 @@ fn run_epl_phase<E: Encoder + ?Sized>(
         None
     };
 
-    for epoch in 0..config.epochs_epl {
+    let mut manager = RecoveryManager::new(config.recovery.clone());
+    let fault_spec = config.fault.or_else(fault::from_env);
+    let mut fault_fired = false;
+
+    let mut epoch = 0usize;
+    while epoch < config.epochs_epl {
         let epoch_start = Instant::now();
         let spans_before = ses_obs::spans::snapshot();
+        let fires = |fired: bool, kind: FaultKind| -> bool {
+            !fired && fault_spec.is_some_and(|s| s.kind == kind && s.fires_at(epoch as u64))
+        };
+        if fires(fault_fired, FaultKind::WorkerPanic) {
+            fault_fired = true;
+            ses_tensor::par::arm_worker_panic(0);
+        }
         let mut tape = Tape::new();
         let x = tape.constant(masked_x.clone());
         let edge_mask = onehop_mask_values
@@ -533,9 +640,82 @@ fn run_epl_phase<E: Encoder + ?Sized>(
         // than spin through no-op epochs.
         let Some(loss) = loss else { break };
         let loss_val = tape.value(loss).scalar_value();
-        curve.push(loss_val);
         tape.backward(loss);
-        apply_step(&mut opt, &tape, encoder, None, &out.param_vars, &[]);
+        // A worker-panic fault armed above is consumed during forward/backward
+        // kernels; disarm so an unfired countdown (serial run) cannot leak.
+        ses_tensor::par::disarm_worker_panic();
+
+        let mut enc_grads: Vec<Option<Matrix>> = out
+            .param_vars
+            .iter()
+            .map(|&v| tape.grad(v).cloned())
+            .collect();
+        if fires(fault_fired, FaultKind::NanGrad) {
+            fault_fired = true;
+            fault::corrupt_one_grad(&mut enc_grads, fault_spec.map_or(0, |s| s.seed));
+        }
+        let grads_finite = enc_grads
+            .iter()
+            .flatten()
+            .all(|g| g.as_slice().iter().all(|x| x.is_finite()));
+
+        if let Verdict::Diverged(reason) = manager.observe(loss_val, grads_finite) {
+            let rolled_back = {
+                let mut params = encoder.params_mut();
+                manager.try_rollback(&reason, &mut opt, rng, &mut params)
+            };
+            match rolled_back {
+                Ok(resume) => {
+                    curve.truncate(resume as usize + 1);
+                    epoch = resume as usize + 1;
+                    continue;
+                }
+                Err(err) => {
+                    // This phase refines an already-trained model and returns
+                    // a curve, not a Result: on an unrecoverable divergence,
+                    // restore the last good state (if any) and stop early.
+                    if let Some(ckpt) = manager.last_good().cloned() {
+                        let mut params = encoder.params_mut();
+                        if ckpt.restore_into(&mut opt, rng, &mut params).is_ok() {
+                            curve.truncate(ckpt.epoch as usize + 1);
+                        }
+                    }
+                    ses_obs::info!(
+                        "epl: stopping at epoch {epoch} after unrecoverable divergence ({reason}): {err}"
+                    );
+                    break;
+                }
+            }
+        }
+        curve.push(loss_val);
+
+        {
+            let mut params = encoder.params_mut();
+            let mut all: Vec<(&mut ses_tensor::Param, &Matrix)> = Vec::new();
+            for (p, g) in params.iter_mut().zip(enc_grads.iter()) {
+                if let Some(g) = g {
+                    all.push((&mut **p, g));
+                }
+            }
+            opt.step(&mut all);
+        }
+
+        if manager.checkpoint_due(epoch as u64) {
+            let ckpt = {
+                let params = encoder.params_mut();
+                TrainCheckpoint::capture(epoch as u64, &opt, rng, &params)
+            };
+            let inject_io = fires(fault_fired, FaultKind::CkptIo);
+            if inject_io {
+                fault_fired = true;
+            }
+            if let Err(e) = manager.record_checkpoint(ckpt, inject_io) {
+                // Strict checkpointing demands durability this phase cannot
+                // provide; stop at the last consistent state.
+                ses_obs::info!("epl: stopping at epoch {epoch}: checkpoint write failed: {e}");
+                break;
+            }
+        }
 
         if ses_obs::sink::active() {
             let mut rec = ses_obs::Record::new("epoch")
@@ -552,6 +732,7 @@ fn run_epl_phase<E: Encoder + ?Sized>(
                 .span_breakdown("kernels_ms", &ses_obs::spans::delta_since(&spans_before))
                 .emit();
         }
+        epoch += 1;
     }
     curve
 }
@@ -895,5 +1076,77 @@ mod tests {
             first.max_abs_diff(last) > 1e-5,
             "mask should change during training"
         );
+    }
+
+    #[test]
+    fn epl_nan_grad_fault_recovers_and_finishes_the_phase() {
+        ses_obs::set_enabled_override(Some(true));
+        let rollbacks_before = ses_obs::metrics::TRAIN_RECOVER_ROLLBACKS.get();
+        let detected_before = ses_obs::metrics::TRAIN_RECOVER_DETECTED.get();
+        let mut rng = StdRng::seed_from_u64(26);
+        let d = realworld::polblogs_like(Profile::Fast, &mut rng);
+        let g = &d.graph;
+        let splits = Splits::classification(g.n_nodes(), &mut rng);
+        let enc = Gcn::new(g.n_features(), 8, g.n_classes(), &mut rng);
+        let mg = MaskGenerator::new(8, g.n_features(), &mut rng);
+        let cfg = SesConfig {
+            epochs_explain: 10,
+            epochs_epl: 6,
+            recovery: ses_resilience::RecoveryPolicy::standard(),
+            fault: Some(ses_resilience::FaultSpec {
+                kind: FaultKind::NanGrad,
+                epoch: 3,
+                seed: 11,
+            }),
+            ..Default::default()
+        };
+        let trained = fit(enc, mg, g, &splits, &cfg);
+        ses_obs::set_enabled_override(None);
+        assert_eq!(
+            trained.report.epl_loss_curve.len(),
+            6,
+            "EPL must complete its full schedule despite the injected fault"
+        );
+        assert!(trained.report.epl_loss_curve.iter().all(|l| l.is_finite()));
+        assert!(ses_obs::metrics::TRAIN_RECOVER_DETECTED.get() > detected_before);
+        assert!(ses_obs::metrics::TRAIN_RECOVER_ROLLBACKS.get() > rollbacks_before);
+    }
+
+    #[test]
+    fn epl_stops_gracefully_when_retry_budget_is_zero() {
+        // detect on, zero retries: the sentinel sees the NaN but has no
+        // budget to roll back, so the phase stops at the last good state
+        // instead of stepping the encoder onto garbage. The fault fires at
+        // epoch 3, so exactly epochs 0..=2 survive in the curve.
+        let mut rng = StdRng::seed_from_u64(27);
+        let d = realworld::polblogs_like(Profile::Fast, &mut rng);
+        let g = &d.graph;
+        let splits = Splits::classification(g.n_nodes(), &mut rng);
+        let enc = Gcn::new(g.n_features(), 8, g.n_classes(), &mut rng);
+        let mg = MaskGenerator::new(8, g.n_features(), &mut rng);
+        let cfg = SesConfig {
+            epochs_explain: 10,
+            epochs_epl: 6,
+            recovery: ses_resilience::RecoveryPolicy {
+                max_retries: 0,
+                ..ses_resilience::RecoveryPolicy::standard()
+            },
+            fault: Some(ses_resilience::FaultSpec {
+                kind: FaultKind::NanGrad,
+                epoch: 3,
+                seed: 11,
+            }),
+            ..Default::default()
+        };
+        let trained = fit(enc, mg, g, &splits, &cfg);
+        assert_eq!(
+            trained.report.epl_loss_curve.len(),
+            3,
+            "the phase must stop at the checkpointed state before the fault"
+        );
+        assert!(trained.report.epl_loss_curve.iter().all(|l| l.is_finite()));
+        // The encoder is restored to the last good checkpoint, so the model
+        // must still classify — the aborted phase degrades, not destroys.
+        assert!(trained.report.test_acc > 0.5);
     }
 }

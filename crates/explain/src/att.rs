@@ -23,7 +23,9 @@ impl AttExplainer {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut gat = Gat::new(graph.n_features(), 64, graph.n_classes(), 4, &mut rng);
         let adj = AdjView::of_graph(graph);
-        ses_gnn::train_node_classifier(&mut gat, graph, &adj, splits, config);
+        ses_gnn::train_node_classifier(&mut gat, graph, &adj, splits, config)
+            // lint:allow(no-unwrap): the explainer is meaningless without its trained GAT; a training abort is fatal here
+            .expect("ATT backbone training failed");
         let attention = gat.attention_weights(&adj, graph.features());
         Self {
             graph: graph.clone(),

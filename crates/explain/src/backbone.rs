@@ -50,7 +50,9 @@ impl Backbone {
         config: &TrainConfig,
     ) -> Self {
         let adj = AdjView::of_graph(graph);
-        let report = train_node_classifier(encoder.as_mut(), graph, &adj, splits, config);
+        let report = train_node_classifier(encoder.as_mut(), graph, &adj, splits, config)
+            // lint:allow(no-unwrap): explainers need a trained backbone; a training abort (leak budget / unrecoverable divergence) is fatal here
+            .expect("backbone training failed");
         let (predictions, embeddings) = predict(encoder.as_ref(), graph, &adj, config.seed);
         Self {
             encoder,

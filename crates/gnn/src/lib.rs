@@ -30,5 +30,5 @@ pub use gat::Gat;
 pub use gcn::Gcn;
 pub use gin::Gin;
 pub use sage::Sage;
-pub use trainer::{predict, train_node_classifier, TrainConfig, TrainReport};
+pub use trainer::{predict, train_node_classifier, TrainConfig, TrainError, TrainReport};
 pub use unimp::UniMp;

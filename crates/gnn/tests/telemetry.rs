@@ -28,7 +28,7 @@ fn short_gcn_run_emits_well_formed_jsonl() {
         patience: 0,
         ..Default::default()
     };
-    train_node_classifier(&mut gcn, g, &adj, &splits, &cfg);
+    train_node_classifier(&mut gcn, g, &adj, &splits, &cfg).expect("training failed");
 
     let captured = ses_obs::sink::take_capture();
     ses_obs::set_enabled_override(None);

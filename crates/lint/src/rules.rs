@@ -25,6 +25,8 @@ pub const NO_NARROWING_CAST: &str = "no-narrowing-cast";
 pub const NO_PRINTLN_IN_LIB: &str = "no-println-in-lib";
 /// See [`NO_UNWRAP`].
 pub const UNSAFE_NEEDS_SAFETY_COMMENT: &str = "unsafe-needs-safety-comment";
+/// See [`NO_UNWRAP`].
+pub const NO_CATCH_UNWIND_OUTSIDE_RESILIENCE: &str = "no-catch-unwind-outside-resilience";
 
 /// All rule names, for validating `lint:allow(..)` directives.
 pub const ALL_RULES: &[&str] = &[
@@ -36,6 +38,7 @@ pub const ALL_RULES: &[&str] = &[
     NO_NARROWING_CAST,
     NO_PRINTLN_IN_LIB,
     UNSAFE_NEEDS_SAFETY_COMMENT,
+    NO_CATCH_UNWIND_OUTSIDE_RESILIENCE,
 ];
 
 /// True for paths whose panics are acceptable: test code, benchmarks,
@@ -303,6 +306,44 @@ pub fn unsafe_needs_safety_comment(file: &LintFile, out: &mut Vec<Violation>) {
             false,
             "`unsafe` without a `// SAFETY:` comment: state the invariant that \
              makes this sound on the same line or directly above"
+                .to_string(),
+            out,
+        );
+    }
+}
+
+/// Paths sanctioned to call `catch_unwind`: the resilience crate (fault
+/// isolation is its job), `ses_tensor::par`'s `run_isolated` (the one
+/// kernel-side isolation boundary, which resilience documents and tests),
+/// and vendored stubs (upstream idiom).
+fn may_catch_unwind(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/resilience/")
+        || rel_path == "crates/tensor/src/par.rs"
+        || rel_path.starts_with("vendor/")
+}
+
+/// `no-catch-unwind-outside-resilience`: forbids `catch_unwind` outside the
+/// sanctioned fault-isolation boundaries. A stray `catch_unwind` swallows a
+/// panic without the degradation counters, one-shot warnings, and
+/// bit-identical serial fallback the resilience layer guarantees — recovery
+/// semantics must stay in one auditable place. Test code is exempt
+/// (asserting that something panics is fine).
+pub fn no_catch_unwind(file: &LintFile, out: &mut Vec<Violation>) {
+    if may_catch_unwind(&file.rel_path) || is_exempt_from_panics(&file.rel_path) {
+        return;
+    }
+    for tok in &file.tokens {
+        if !tok.is_ident("catch_unwind") {
+            continue;
+        }
+        flag(
+            file,
+            tok,
+            NO_CATCH_UNWIND_OUTSIDE_RESILIENCE,
+            true,
+            "`catch_unwind` outside the resilience layer: route panic isolation \
+             through `ses_tensor::par::run_isolated` / `ses-resilience`, or justify \
+             with `// lint:allow(no-catch-unwind-outside-resilience): <reason>`"
                 .to_string(),
             out,
         );
@@ -682,6 +723,52 @@ mod tests {
             &file("crates/foo/src/lib.rs", quoted),
             unsafe_needs_safety_comment,
         );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn catch_unwind_flagged_outside_sanctioned_paths() {
+        let src = "fn f() { let r = std::panic::catch_unwind(|| work()); }";
+        let v = run_single(&file("crates/gnn/src/trainer.rs", src), no_catch_unwind);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, NO_CATCH_UNWIND_OUTSIDE_RESILIENCE);
+        // sanctioned homes: resilience, the par isolation layer, vendor
+        for path in [
+            "crates/resilience/src/recovery.rs",
+            "crates/tensor/src/par.rs",
+            "vendor/proptest/src/lib.rs",
+        ] {
+            let v = run_single(&file(path, src), no_catch_unwind);
+            assert!(v.is_empty(), "{path}: {v:?}");
+        }
+        // the par exemption is that one file, not the whole tensor crate
+        let v = run_single(
+            &file("crates/tensor/src/kernels/dense.rs", src),
+            no_catch_unwind,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn catch_unwind_rule_respects_tests_allow_and_words() {
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn f() { std::panic::catch_unwind(|| x()); }\n}";
+        let v = run_single(&file("crates/gnn/src/lib.rs", in_test), no_catch_unwind);
+        assert!(v.is_empty(), "{v:?}");
+        let in_test_file = "fn f() { std::panic::catch_unwind(|| x()); }";
+        let v = run_single(
+            &file("crates/gnn/tests/it.rs", in_test_file),
+            no_catch_unwind,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let allowed = "fn f() {\n    \
+            // lint:allow(no-catch-unwind-outside-resilience): FFI boundary must not unwind\n    \
+            std::panic::catch_unwind(|| x());\n}";
+        let v = run_single(&file("crates/gnn/src/lib.rs", allowed), no_catch_unwind);
+        assert!(v.is_empty(), "{v:?}");
+        // prose/strings and longer identifiers must not trip
+        let words = "fn f() { let s = \"catch_unwind\"; my_catch_unwind_helper(); } // catch_unwind in prose";
+        let v = run_single(&file("crates/gnn/src/lib.rs", words), no_catch_unwind);
         assert!(v.is_empty(), "{v:?}");
     }
 

@@ -238,8 +238,22 @@ pub static VERIFY_WARNINGS: Counter = Counter::new("verify.warnings");
 pub static TRAIN_LEAK_UNUSED: Counter = Counter::new("trainer.leak.unused");
 /// `AfterLoss` leaks observed by the trainer's per-epoch leak-budget check.
 pub static TRAIN_LEAK_AFTER_LOSS: Counter = Counter::new("trainer.leak.after_loss");
+/// Divergence detections (non-finite loss/grads or loss spike) by the
+/// training sentinel, whether or not recovery was attempted.
+pub static TRAIN_RECOVER_DETECTED: Counter = Counter::new("trainer.recover.detected");
+/// Rollbacks to the last-good checkpoint performed by the sentinel.
+pub static TRAIN_RECOVER_ROLLBACKS: Counter = Counter::new("trainer.recover.rollbacks");
+/// Checkpoints captured (in memory or on disk) by the recovery manager.
+pub static TRAIN_RECOVER_CHECKPOINTS: Counter = Counter::new("trainer.recover.checkpoints");
+/// Divergences the sentinel could *not* recover from (retry budget
+/// exhausted, recovery disabled, or no checkpoint yet).
+pub static TRAIN_RECOVER_GIVEUPS: Counter = Counter::new("trainer.recover.giveups");
+/// Checkpoint disk writes that failed and fell back to the in-memory copy.
+pub static TRAIN_RECOVER_CKPT_IO_ERRORS: Counter = Counter::new("trainer.recover.ckpt_io_errors");
+/// Parallel ops degraded to the serial path after a worker panic.
+pub static KERNEL_PANIC_DEGRADED: Counter = Counter::new("kernel.panic_degraded");
 
-static ALL_COUNTERS: [&Counter; 19] = [
+static ALL_COUNTERS: [&Counter; 25] = [
     &TAPE_NODES,
     &TAPE_BACKWARDS,
     &SPMM_CALLS,
@@ -259,6 +273,12 @@ static ALL_COUNTERS: [&Counter; 19] = [
     &VERIFY_WARNINGS,
     &TRAIN_LEAK_UNUSED,
     &TRAIN_LEAK_AFTER_LOSS,
+    &TRAIN_RECOVER_DETECTED,
+    &TRAIN_RECOVER_ROLLBACKS,
+    &TRAIN_RECOVER_CHECKPOINTS,
+    &TRAIN_RECOVER_GIVEUPS,
+    &TRAIN_RECOVER_CKPT_IO_ERRORS,
+    &KERNEL_PANIC_DEGRADED,
 ];
 static ALL_GAUGES: [&Gauge; 1] = [&TAPE_PEAK_NODES];
 static ALL_HISTOGRAMS: [&Histogram; 1] = [&EXPLAIN_NODE_NS];

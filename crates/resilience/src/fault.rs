@@ -1,0 +1,264 @@
+//! Seeded fault injection for recovery-path testing.
+//!
+//! A [`FaultSpec`] names one deterministic fault: *what* goes wrong
+//! ([`FaultKind`]), *when* (the epoch), and a seed that pins any remaining
+//! choice (e.g. which gradient element turns NaN). Specs parse from the
+//! `SES_FAULT` environment variable with the grammar
+//!
+//! ```text
+//! SES_FAULT = <kind> "@" <epoch> [ "," "seed=" <n> ]
+//! <kind>    = "nan-grad" | "worker-panic" | "ckpt-io"
+//! ```
+//!
+//! e.g. `SES_FAULT=nan-grad@3,seed=7`. The harness is test/drill
+//! infrastructure: nothing fires unless a spec is explicitly configured (or
+//! exported in the environment), and the training loops consult the spec
+//! exactly once per epoch, so a given run sees the fault deterministically.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use ses_tensor::Matrix;
+
+/// What kind of failure to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Overwrite one element of one gradient with `NaN` after backward.
+    NanGrad,
+    /// Panic the first parallel-kernel worker spawned in the target epoch.
+    WorkerPanic,
+    /// Fail the checkpoint write for the target epoch with an IO error.
+    CkptIo,
+}
+
+impl FaultKind {
+    /// The spelling used in `SES_FAULT` and ci.sh.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::NanGrad => "nan-grad",
+            FaultKind::WorkerPanic => "worker-panic",
+            FaultKind::CkptIo => "ckpt-io",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One deterministic injected fault: kind, trigger epoch, and seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Epoch (0-based) at which the fault fires.
+    pub epoch: u64,
+    /// Seed pinning any remaining choice inside the fault.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// Parses `<kind>@<epoch>[,seed=<n>]`. Returns a human-readable error
+    /// for anything else — a mistyped fault spec must never silently run a
+    /// clean experiment.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        let (head, seed) = match s.split_once(',') {
+            None => (s, 0u64),
+            Some((head, tail)) => {
+                let n = tail
+                    .trim()
+                    .strip_prefix("seed=")
+                    .ok_or_else(|| format!("expected `seed=<n>` after comma, got `{tail}`"))?;
+                let seed = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid seed `{n}`"))?;
+                (head, seed)
+            }
+        };
+        let (kind, epoch) = head
+            .split_once('@')
+            .ok_or_else(|| format!("expected `<kind>@<epoch>`, got `{head}`"))?;
+        let kind = match kind.trim() {
+            "nan-grad" => FaultKind::NanGrad,
+            "worker-panic" => FaultKind::WorkerPanic,
+            "ckpt-io" => FaultKind::CkptIo,
+            other => {
+                return Err(format!(
+                    "unknown fault kind `{other}` (expected nan-grad, worker-panic, or ckpt-io)"
+                ))
+            }
+        };
+        let epoch = epoch
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("invalid epoch `{}`", epoch.trim()))?;
+        Ok(Self { kind, epoch, seed })
+    }
+
+    /// Does this spec fire at `epoch`?
+    pub fn fires_at(&self, epoch: u64) -> bool {
+        self.epoch == epoch
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{},seed={}", self.kind, self.epoch, self.seed)
+    }
+}
+
+/// The ambient `SES_FAULT` spec, read once per process.
+///
+/// # Panics
+/// Panics on a malformed `SES_FAULT` value: a mistyped fault drill must die
+/// loudly rather than measure nothing.
+pub fn from_env() -> Option<FaultSpec> {
+    static CACHE: OnceLock<Option<FaultSpec>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let raw = std::env::var("SES_FAULT").ok()?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        match FaultSpec::parse(&raw) {
+            Ok(spec) => Some(spec),
+            // lint:allow(no-unwrap): a mistyped fault drill must die loudly, not run clean
+            Err(e) => panic!("SES_FAULT=`{raw}`: {e}"),
+        }
+    })
+}
+
+/// Injects one `NaN` into one gradient, chosen deterministically from
+/// `seed`. `grads` is the per-parameter gradient list (absent entries are
+/// parameters the loss never reached). Returns `false` when there is
+/// nothing to corrupt.
+pub fn corrupt_one_grad(grads: &mut [Option<Matrix>], seed: u64) -> bool {
+    let present: Vec<usize> = grads
+        .iter()
+        .enumerate()
+        .filter_map(|(i, g)| g.as_ref().map(|_| i))
+        .collect();
+    if present.is_empty() {
+        return false;
+    }
+    // lint:allow(no-narrowing-cast): indices are tiny by construction
+    let which = present[(seed as usize) % present.len()];
+    let Some(g) = grads[which].as_mut() else {
+        return false;
+    };
+    let len = g.as_slice().len();
+    if len == 0 {
+        return false;
+    }
+    let elem = (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize) % len;
+    g.as_mut_slice()[elem] = f32::NAN;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let spec = FaultSpec::parse("nan-grad@3,seed=7").expect("valid");
+        assert_eq!(
+            spec,
+            FaultSpec {
+                kind: FaultKind::NanGrad,
+                epoch: 3,
+                seed: 7
+            }
+        );
+        assert!(spec.fires_at(3));
+        assert!(!spec.fires_at(4));
+    }
+
+    #[test]
+    fn seed_defaults_to_zero() {
+        let spec = FaultSpec::parse("worker-panic@0").expect("valid");
+        assert_eq!(spec.kind, FaultKind::WorkerPanic);
+        assert_eq!(spec.seed, 0);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for raw in [
+            "nan-grad@3,seed=7",
+            "worker-panic@0,seed=0",
+            "ckpt-io@12,seed=99",
+        ] {
+            let spec = FaultSpec::parse(raw).expect("valid");
+            assert_eq!(FaultSpec::parse(&spec.to_string()), Ok(spec));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "nan-grad",
+            "nan-grad@",
+            "nan-grad@x",
+            "typo@3",
+            "nan-grad@3,seed=",
+            "nan-grad@3,sead=1",
+            "nan-grad@3,seed=abc",
+        ] {
+            assert!(FaultSpec::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn corrupt_one_grad_is_deterministic_and_skips_absent() {
+        let mk = || {
+            vec![
+                None,
+                Some(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])),
+                Some(Matrix::from_vec(1, 3, vec![5.0, 6.0, 7.0])),
+            ]
+        };
+        let mut a = mk();
+        let mut b = mk();
+        assert!(corrupt_one_grad(&mut a, 42));
+        assert!(corrupt_one_grad(&mut b, 42));
+        for (ga, gb) in a.iter().zip(&b) {
+            match (ga, gb) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    let nan_x: Vec<usize> = x
+                        .as_slice()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| v.is_nan())
+                        .map(|(i, _)| i)
+                        .collect();
+                    let nan_y: Vec<usize> = y
+                        .as_slice()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| v.is_nan())
+                        .map(|(i, _)| i)
+                        .collect();
+                    assert_eq!(nan_x, nan_y, "same seed must hit the same element");
+                }
+                _ => panic!("presence pattern changed"),
+            }
+        }
+        let total_nans: usize = a
+            .iter()
+            .flatten()
+            .map(|g| g.as_slice().iter().filter(|v| v.is_nan()).count())
+            .sum();
+        assert_eq!(total_nans, 1, "exactly one element corrupted");
+        assert!(a[0].is_none(), "absent grads stay absent");
+    }
+
+    #[test]
+    fn corrupt_one_grad_handles_empty() {
+        assert!(!corrupt_one_grad(&mut [], 0));
+        assert!(!corrupt_one_grad(&mut [None, None], 0));
+    }
+}

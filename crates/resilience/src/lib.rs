@@ -1,0 +1,31 @@
+//! Fault tolerance for SES training.
+//!
+//! Three cooperating pieces, all opt-in and all deterministic:
+//!
+//! * [`checkpoint`] — a zero-dependency binary snapshot of everything a
+//!   full-batch training loop needs to resume bit-identically (parameters,
+//!   Adam moments and step counter, learning rate, RNG state, epoch),
+//!   written via temp-file + atomic rename and guarded by a checksum.
+//! * [`recovery`] — a divergence sentinel (NaN/Inf loss, non-finite
+//!   gradients, loss spikes) that rolls back to the last good checkpoint
+//!   with LR backoff under a bounded retry budget, exporting
+//!   `trainer.recover.*` counters through `ses-obs`.
+//! * [`fault`] — a seeded fault-injection harness (`SES_FAULT=<spec>`)
+//!   that deterministically produces NaN gradients, parallel-worker panics,
+//!   and checkpoint IO errors at chosen epochs, so tests and ci.sh can
+//!   prove every recovery path actually fires.
+//!
+//! The fourth leg — panic-isolated parallel kernels — lives in
+//! `ses_tensor::par::run_isolated`, because the degradation decision has to
+//! sit where the threads are spawned; this crate's fault harness drives it.
+//!
+//! See `docs/ROBUSTNESS.md` for the checkpoint format, the fault-spec
+//! grammar, recovery semantics, and the degradation matrix.
+
+pub mod checkpoint;
+pub mod fault;
+pub mod recovery;
+
+pub use checkpoint::{CheckpointError, ParamState, TrainCheckpoint};
+pub use fault::{FaultKind, FaultSpec};
+pub use recovery::{RecoveryError, RecoveryManager, RecoveryPolicy, Verdict};

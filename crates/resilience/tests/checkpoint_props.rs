@@ -1,0 +1,146 @@
+//! Property tests for the checkpoint wire format: arbitrary model shapes
+//! and values (including NaN/±inf/−0.0 payloads) round-trip bit-exactly,
+//! and *any* truncation, single-bit corruption, or trailing garbage on a
+//! valid file is detected — a damaged checkpoint is never silently loaded.
+
+use proptest::prelude::*;
+use ses_resilience::{CheckpointError, ParamState, TrainCheckpoint};
+
+/// Assembles a checkpoint from flat fuzz inputs: `dims` pairs become
+/// parameter shapes, `raw` feeds values cyclically, and a deterministic
+/// sprinkle of IEEE specials (NaN, ±inf, −0.0, subnormal) exercises the
+/// payloads `==` can't compare.
+fn build_ckpt(
+    epoch: u64,
+    adam_steps: u64,
+    lr: f32,
+    rng_state: &[u64],
+    dims: &[usize],
+    raw: &[f32],
+) -> TrainCheckpoint {
+    let specials = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, 1e-40];
+    let mut cursor = 0usize;
+    let mut next = |cursor: &mut usize| -> f32 {
+        let i = *cursor;
+        *cursor += 1;
+        if i % 11 == 7 {
+            specials[i % specials.len()]
+        } else {
+            raw[i % raw.len()]
+        }
+    };
+    let params = dims
+        .chunks_exact(2)
+        .map(|pair| {
+            let (rows, cols) = (pair[0], pair[1]);
+            let len = rows * cols;
+            ParamState {
+                rows,
+                cols,
+                value: (0..len).map(|_| next(&mut cursor)).collect(),
+                m: (0..len).map(|_| next(&mut cursor)).collect(),
+                v: (0..len).map(|_| next(&mut cursor)).collect(),
+            }
+        })
+        .collect();
+    TrainCheckpoint {
+        epoch,
+        adam_steps,
+        lr,
+        rng_state: [rng_state[0], rng_state[1], rng_state[2], rng_state[3]],
+        params,
+    }
+}
+
+/// f32 slices compared by bit pattern so NaN payloads count as equal to
+/// themselves (the format must preserve them even though `==` won't).
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn is_typed_rejection(err: &CheckpointError) -> bool {
+    matches!(
+        err,
+        CheckpointError::BadMagic
+            | CheckpointError::ChecksumMismatch
+            | CheckpointError::Truncated { .. }
+            | CheckpointError::Malformed(_)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_checkpoints_round_trip_bit_exactly(
+        epoch in 0u64..1_000_000_000_000,
+        adam_steps in 0u64..1_000_000_000_000,
+        lr in -10.0f32..10.0,
+        rng_state in proptest::collection::vec(0u64..u64::MAX, 4),
+        dims in proptest::collection::vec(1usize..6, 0..12),
+        raw in proptest::collection::vec(-1e6f32..1e6, 1..64),
+    ) {
+        let ckpt = build_ckpt(epoch, adam_steps, lr, &rng_state, &dims, &raw);
+        let encoded = ckpt.to_bytes();
+        let decoded = TrainCheckpoint::from_bytes(&encoded).expect("valid bytes must decode");
+        prop_assert_eq!(decoded.epoch, ckpt.epoch);
+        prop_assert_eq!(decoded.adam_steps, ckpt.adam_steps);
+        prop_assert_eq!(decoded.lr.to_bits(), ckpt.lr.to_bits());
+        prop_assert_eq!(decoded.rng_state, ckpt.rng_state);
+        prop_assert_eq!(decoded.params.len(), ckpt.params.len());
+        for (d, o) in decoded.params.iter().zip(ckpt.params.iter()) {
+            prop_assert_eq!((d.rows, d.cols), (o.rows, o.cols));
+            prop_assert_eq!(bits(&d.value), bits(&o.value));
+            prop_assert_eq!(bits(&d.m), bits(&o.m));
+            prop_assert_eq!(bits(&d.v), bits(&o.v));
+        }
+    }
+
+    #[test]
+    fn any_truncation_is_detected(
+        rng_state in proptest::collection::vec(0u64..u64::MAX, 4),
+        dims in proptest::collection::vec(1usize..6, 2..10),
+        raw in proptest::collection::vec(-100.0f32..100.0, 1..16),
+        cut in 0usize..1_000_000,
+    ) {
+        let ckpt = build_ckpt(3, 4, 0.01, &rng_state, &dims, &raw);
+        let encoded = ckpt.to_bytes();
+        let cut = cut % encoded.len(); // strictly shorter than the original
+        let err = TrainCheckpoint::from_bytes(&encoded[..cut])
+            .expect_err("truncated checkpoint must not load");
+        prop_assert!(is_typed_rejection(&err), "unexpected error class: {err}");
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        rng_state in proptest::collection::vec(0u64..u64::MAX, 4),
+        dims in proptest::collection::vec(1usize..6, 0..10),
+        raw in proptest::collection::vec(-100.0f32..100.0, 1..16),
+        byte in 0usize..1_000_000,
+        bit in 0u32..8,
+    ) {
+        let ckpt = build_ckpt(7, 9, 3e-3, &rng_state, &dims, &raw);
+        let mut encoded = ckpt.to_bytes();
+        let byte = byte % encoded.len();
+        encoded[byte] ^= 1u8 << bit;
+        // A flip anywhere — magic, payload, or checksum trailer — must
+        // surface as *some* typed error; silently loading wrong state is
+        // the one unacceptable outcome.
+        let err = TrainCheckpoint::from_bytes(&encoded)
+            .expect_err("corrupted checkpoint must not load");
+        prop_assert!(is_typed_rejection(&err), "unexpected error class: {err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected(
+        rng_state in proptest::collection::vec(0u64..u64::MAX, 4),
+        dims in proptest::collection::vec(1usize..6, 0..6),
+        raw in proptest::collection::vec(-100.0f32..100.0, 1..16),
+        extra in 1usize..32,
+    ) {
+        let ckpt = build_ckpt(1, 2, 0.5, &rng_state, &dims, &raw);
+        let mut encoded = ckpt.to_bytes();
+        encoded.extend(std::iter::repeat(0xAAu8).take(extra));
+        prop_assert!(TrainCheckpoint::from_bytes(&encoded).is_err());
+    }
+}

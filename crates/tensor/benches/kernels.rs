@@ -222,8 +222,81 @@ fn main() {
     }
     failed |= !gate_speedup(hardware_threads, &entries);
     failed |= !gate_obs_overhead(&entries);
+    failed |= !gate_resilience_overhead(&entries);
     if failed {
         std::process::exit(1);
+    }
+}
+
+/// Asserts the per-epoch resilience tax — one divergence-sentinel `observe`
+/// plus one full `TrainCheckpoint::capture` (the standard policy checkpoints
+/// every epoch) — costs less than 2% of a conservative epoch-time lower
+/// bound: the sum of the serial ba_shapes kernel timings, i.e. a single
+/// invocation of each hot kernel, where a real epoch runs each several times
+/// across layers and backward. The probe model is sized to the same case
+/// (a 32-wide GCN, matching the ba_shapes operands) so both sides of the
+/// ratio scale together. Measured directly, like [`gate_obs_overhead`], so
+/// the gate is stable on shared hardware.
+fn gate_resilience_overhead(entries: &[Entry]) -> bool {
+    use ses_resilience::{RecoveryManager, RecoveryPolicy, TrainCheckpoint};
+    use ses_tensor::{Adam, Param};
+
+    const MAX_FRACTION: f64 = 0.02;
+    let epoch_lb_ns: f64 = entries
+        .iter()
+        .filter(|e| e.size == "ba_shapes" && e.threads == 1)
+        .map(|e| e.mean_ns)
+        .sum();
+    if epoch_lb_ns <= 0.0 {
+        eprintln!("bench gate: no serial ba_shapes entries for the resilience-overhead check");
+        return false;
+    }
+
+    // 2-layer GCN at the ba_shapes bench width: 32 -> 32 -> 4, weights plus
+    // bias rows — the model whose epoch the serial timings lower-bound.
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut dense = |rows: usize, cols: usize| {
+        Param::new(Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|_| rng.gen_range(-0.1f32..0.1))
+                .collect(),
+        ))
+    };
+    let mut params = vec![dense(32, 32), dense(1, 32), dense(32, 4), dense(1, 4)];
+    let opt = Adam::new(3e-3);
+    let mut manager = RecoveryManager::new(RecoveryPolicy::standard());
+    let probe_rng = StdRng::seed_from_u64(17);
+
+    const ITERS: u32 = 32;
+    let start = Instant::now();
+    for i in 0..ITERS {
+        let verdict = manager.observe(0.7 - 1e-4 * i as f32, true);
+        black_box(verdict);
+        let views: Vec<&mut Param> = params.iter_mut().collect();
+        let ckpt = TrainCheckpoint::capture(u64::from(i), &opt, &probe_rng, &views);
+        black_box(ckpt);
+    }
+    let probe_ns = start.elapsed().as_nanos() as f64 / f64::from(ITERS);
+
+    let fraction = probe_ns / epoch_lb_ns;
+    if fraction < MAX_FRACTION {
+        println!(
+            "bench gate: sentinel+checkpoint probe {probe_ns:.0}ns = {:.3}% of the serial \
+             ba_shapes epoch lower bound ({epoch_lb_ns:.0}ns) — under the {:.0}% budget",
+            fraction * 100.0,
+            MAX_FRACTION * 100.0
+        );
+        true
+    } else {
+        eprintln!(
+            "bench gate: sentinel+checkpoint probe {probe_ns:.0}ns is {:.3}% of the serial \
+             ba_shapes epoch lower bound ({epoch_lb_ns:.0}ns) — exceeds the {:.0}% budget",
+            fraction * 100.0,
+            MAX_FRACTION * 100.0
+        );
+        false
     }
 }
 

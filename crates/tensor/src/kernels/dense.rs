@@ -3,6 +3,11 @@
 //! All three variants partition the *output* rows across threads, so each
 //! output element is produced by exactly one task accumulating over `k` in
 //! ascending order — bit-identical at any thread count.
+//!
+//! Each public wrapper validates shapes up front, then runs its compute body
+//! through [`par::run_isolated`]: a worker panic discards the parallel
+//! attempt and recomputes serially (same bits), instead of killing the
+//! process.
 
 use std::ops::Range;
 
@@ -33,6 +38,16 @@ pub fn matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
         b.rows(),
         b.cols()
     );
+    par::run_isolated(
+        "matmul",
+        threads,
+        || matmul_impl(a, b, threads),
+        || matmul_impl(a, b, 1),
+    )
+}
+
+/// Compute body of [`matmul`] at an explicit thread count.
+fn matmul_impl(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     let n = b.cols();
     let mut out = Matrix::zeros(a.rows(), n);
     let ranges = par::even_ranges(a.rows(), threads);
@@ -86,6 +101,16 @@ pub fn t_matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
         b.rows(),
         b.cols()
     );
+    par::run_isolated(
+        "t_matmul",
+        threads,
+        || t_matmul_impl(a, b, threads),
+        || t_matmul_impl(a, b, 1),
+    )
+}
+
+/// Compute body of [`t_matmul`] at an explicit thread count.
+fn t_matmul_impl(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     let n = b.cols();
     let mut out = Matrix::zeros(a.cols(), n);
     let ranges = par::even_ranges(a.cols(), threads);
@@ -129,6 +154,16 @@ pub fn matmul_t(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
         b.rows(),
         b.cols()
     );
+    par::run_isolated(
+        "matmul_t",
+        threads,
+        || matmul_t_impl(a, b, threads),
+        || matmul_t_impl(a, b, 1),
+    )
+}
+
+/// Compute body of [`matmul_t`] at an explicit thread count.
+fn matmul_t_impl(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     let n = b.rows();
     let mut out = Matrix::zeros(a.rows(), n);
     let ranges = par::even_ranges(a.rows(), threads);
@@ -217,6 +252,17 @@ mod tests {
         let fast = matmul_t(&c, &d, 4);
         let slow = matmul(&c, &d.transpose(), 1);
         assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_worker_panic_degrades_to_identical_serial_result() {
+        let a = mat(17, 9, 21);
+        let b = mat(9, 13, 22);
+        let reference = matmul(&a, &b, 1);
+        par::arm_worker_panic(0);
+        let degraded = matmul(&a, &b, 4);
+        par::disarm_worker_panic();
+        assert_eq!(degraded.as_slice(), reference.as_slice());
     }
 
     #[test]

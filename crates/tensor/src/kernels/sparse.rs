@@ -1,5 +1,10 @@
 //! Sparse kernels: CSR × dense products (forward, transpose, value-gradient)
 //! and the per-row edge softmax, all row-parallel and deterministic.
+//!
+//! Each public wrapper validates shapes up front, then runs its compute body
+//! through [`par::run_isolated`]: a worker panic discards the parallel
+//! attempt and recomputes serially (same bits), instead of killing the
+//! process.
 
 use std::ops::Range;
 
@@ -40,6 +45,16 @@ pub fn spmm(structure: &CsrStructure, values: &[f32], dense: &Matrix, threads: u
         dense.rows()
     );
     assert_eq!(values.len(), structure.nnz(), "spmm: values len != nnz");
+    par::run_isolated(
+        "spmm",
+        threads,
+        || spmm_impl(structure, values, dense, threads),
+        || spmm_impl(structure, values, dense, 1),
+    )
+}
+
+/// Compute body of [`spmm`] at an explicit thread count.
+fn spmm_impl(structure: &CsrStructure, values: &[f32], dense: &Matrix, threads: usize) -> Matrix {
     let f = dense.cols();
     let mut out = Matrix::zeros(structure.n_rows(), f);
     let ranges = par::nnz_balanced_ranges(structure.indptr(), threads);
@@ -117,6 +132,23 @@ pub fn spmm_transpose(
         structure.nnz(),
         "spmm_transpose: values len != nnz"
     );
+    par::run_isolated(
+        "spmm_transpose",
+        threads,
+        || spmm_transpose_impl(structure, values, dense, threads),
+        || spmm_transpose_impl(structure, values, dense, 1),
+    )
+}
+
+/// Compute body of [`spmm_transpose`] at an explicit thread count. Block
+/// geometry depends only on `nnz`, so the serial fallback merges the exact
+/// same partials in the exact same order.
+fn spmm_transpose_impl(
+    structure: &CsrStructure,
+    values: &[f32],
+    dense: &Matrix,
+    threads: usize,
+) -> Matrix {
     let f = dense.cols();
     let n_blocks = (structure.nnz() / TRANSPOSE_BLOCK_NNZ + 1).min(TRANSPOSE_MAX_BLOCKS);
     let ranges = par::nnz_balanced_ranges(structure.indptr(), n_blocks);
@@ -168,6 +200,21 @@ pub fn spmm_values_grad(
         structure.n_rows(),
         "spmm_values_grad: grad rows != sparse rows"
     );
+    par::run_isolated(
+        "spmm_values_grad",
+        threads,
+        || spmm_values_grad_impl(structure, dense, grad_out, threads),
+        || spmm_values_grad_impl(structure, dense, grad_out, 1),
+    )
+}
+
+/// Compute body of [`spmm_values_grad`] at an explicit thread count.
+fn spmm_values_grad_impl(
+    structure: &CsrStructure,
+    dense: &Matrix,
+    grad_out: &Matrix,
+    threads: usize,
+) -> Matrix {
     let mut dv = Matrix::zeros(structure.nnz(), 1);
     let ranges = par::nnz_balanced_ranges(structure.indptr(), threads);
     let slices = par::split_entries_mut(dv.as_mut_slice(), structure.indptr(), &ranges);
@@ -207,6 +254,16 @@ pub fn edge_softmax(structure: &CsrStructure, scores: &[f32], threads: usize) ->
         structure.nnz(),
         "edge_softmax: scores len != nnz"
     );
+    par::run_isolated(
+        "edge_softmax",
+        threads,
+        || edge_softmax_impl(structure, scores, threads),
+        || edge_softmax_impl(structure, scores, 1),
+    )
+}
+
+/// Compute body of [`edge_softmax`] at an explicit thread count.
+fn edge_softmax_impl(structure: &CsrStructure, scores: &[f32], threads: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; scores.len()];
     let ranges = par::nnz_balanced_ranges(structure.indptr(), threads);
     let slices = par::split_entries_mut(&mut out, structure.indptr(), &ranges);
@@ -258,6 +315,21 @@ pub fn edge_softmax_backward(
         structure.nnz(),
         "edge_softmax_backward: softmax len != nnz"
     );
+    par::run_isolated(
+        "edge_softmax_backward",
+        threads,
+        || edge_softmax_backward_impl(structure, softmax, grad, threads),
+        || edge_softmax_backward_impl(structure, softmax, grad, 1),
+    )
+}
+
+/// Compute body of [`edge_softmax_backward`] at an explicit thread count.
+fn edge_softmax_backward_impl(
+    structure: &CsrStructure,
+    softmax: &Matrix,
+    grad: &Matrix,
+    threads: usize,
+) -> Matrix {
     let mut d = Matrix::zeros(softmax.rows(), 1);
     let ranges = par::nnz_balanced_ranges(structure.indptr(), threads);
     let slices = par::split_entries_mut(d.as_mut_slice(), structure.indptr(), &ranges);
@@ -345,6 +417,16 @@ mod tests {
             let r3: f32 = out[4..7].iter().sum();
             assert!((r0 - 1.0).abs() < 1e-6 && (r3 - 1.0).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn spmm_worker_panic_degrades_to_identical_serial_result() {
+        let (s, vals, dense) = sample();
+        let reference = spmm(&s, &vals, &dense, 1);
+        par::arm_worker_panic(0);
+        let degraded = spmm(&s, &vals, &dense, 4);
+        par::disarm_worker_panic();
+        assert_eq!(degraded.as_slice(), reference.as_slice());
     }
 
     #[test]

@@ -38,6 +38,28 @@ impl Param {
     pub fn shape(&self) -> (usize, usize) {
         self.value.shape()
     }
+
+    /// Adam moment buffers `(m, v)`, exposed read-only for checkpointing.
+    pub fn moments(&self) -> (&Matrix, &Matrix) {
+        (&self.m, &self.v)
+    }
+
+    /// Restores previously captured Adam moment buffers (checkpoint
+    /// restore). Shapes must match the parameter value.
+    pub fn set_moments(&mut self, m: Matrix, v: Matrix) {
+        assert_eq!(
+            m.shape(),
+            self.value.shape(),
+            "Param::set_moments: m shape mismatch"
+        );
+        assert_eq!(
+            v.shape(),
+            self.value.shape(),
+            "Param::set_moments: v shape mismatch"
+        );
+        self.m = m;
+        self.v = v;
+    }
 }
 
 /// A set of parameters registered with an optimiser step.
@@ -129,6 +151,12 @@ impl Adam {
     /// Number of steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Restores the step counter (and with it the bias-correction schedule)
+    /// from a checkpoint.
+    pub fn set_steps(&mut self, t: u64) {
+        self.t = t;
     }
 }
 

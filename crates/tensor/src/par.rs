@@ -10,7 +10,13 @@
 //! * [`even_ranges`] / [`nnz_balanced_ranges`] — contiguous, disjoint
 //!   partitions of row spaces (uniform, or balanced by CSR entry counts);
 //! * [`split_rows_mut`] — carve one flat output buffer into per-partition
-//!   mutable slices so workers write disjoint memory without locks.
+//!   mutable slices so workers write disjoint memory without locks;
+//! * [`run_isolated`] — fault containment for the kernel wrappers: the
+//!   parallel attempt runs under `catch_unwind`, and a poisoned worker
+//!   degrades the op to a fresh serial computation (bit-identical by the
+//!   determinism contract below) instead of aborting the process. This is
+//!   the only sanctioned `catch_unwind` outside `crates/resilience` (the
+//!   `no-catch-unwind-outside-resilience` lint rule enforces it).
 //!
 //! # Determinism contract
 //!
@@ -34,9 +40,10 @@
 //! or unset means "auto"), then [`std::thread::available_parallelism`].
 //! The environment lookup is cached once per process.
 
+use std::cell::Cell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Once, OnceLock};
 
 /// Process-local thread-count override; 0 means "no override". Written by
 /// [`set_thread_override`] (tests/benches), read by [`configured_threads`].
@@ -70,6 +77,56 @@ pub fn configured_threads() -> usize {
     })
 }
 
+/// When `false`, [`run_isolated`] stops catching worker panics and lets them
+/// propagate (and abort the process). Only the fault-injection drill should
+/// ever flip this — it is how CI proves an injected worker panic is fatal
+/// without the isolation layer.
+static ISOLATION_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enables (default) or disables the panic-isolation layer in
+/// [`run_isolated`].
+pub fn set_isolation_enabled(on: bool) {
+    ISOLATION_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when [`run_isolated`] degrades panicking parallel ops to serial.
+pub fn isolation_enabled() -> bool {
+    ISOLATION_ENABLED.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Fault-injection countdown: `-1` disarmed; `n ≥ 0` means the `n`-th
+    /// subsequent *spawning* [`run_tasks`] call on this thread poisons one
+    /// worker. Thread-local so concurrent tests (and unrelated training
+    /// threads) cannot consume each other's armed faults.
+    static WORKER_PANIC_COUNTDOWN: Cell<isize> = const { Cell::new(-1) };
+}
+
+/// Arms the seeded worker-panic fault: the `nth` (0-based) subsequent
+/// parallel op on this thread panics one spawned worker. Used by the
+/// `SES_FAULT=worker-panic@…` harness; see `docs/ROBUSTNESS.md`.
+pub fn arm_worker_panic(nth: usize) {
+    // lint:allow(no-narrowing-cast): fault ordinals are tiny by construction
+    WORKER_PANIC_COUNTDOWN.with(|c| c.set(nth as isize));
+}
+
+/// Disarms a pending worker-panic fault on this thread.
+pub fn disarm_worker_panic() {
+    WORKER_PANIC_COUNTDOWN.with(|c| c.set(-1));
+}
+
+/// Ticks the countdown; true when this parallel op should poison a worker.
+fn take_worker_panic() -> bool {
+    WORKER_PANIC_COUNTDOWN.with(|c| {
+        let v = c.get();
+        if v < 0 {
+            return false;
+        }
+        c.set(v - 1);
+        v == 0
+    })
+}
+
 /// Runs `tasks` on up to `threads` OS threads (scoped; borrows allowed) and
 /// returns the results **in task order**.
 ///
@@ -86,6 +143,7 @@ where
     if threads <= 1 || n <= 1 {
         return tasks.into_iter().map(|f| f()).collect();
     }
+    let inject_panic = take_worker_panic();
     let workers = threads.min(n);
     // Contiguous chunks, sizes differing by at most one.
     let mut chunks: Vec<Vec<F>> = Vec::with_capacity(workers);
@@ -104,7 +162,14 @@ where
         let mut iter = chunks.into_iter();
         let first = iter.next();
         let handles: Vec<_> = iter
-            .map(|chunk| s.spawn(move || chunk.into_iter().map(|f| f()).collect::<Vec<T>>()))
+            .enumerate()
+            .map(|(w, chunk)| {
+                let poison = inject_panic && w == 0;
+                s.spawn(move || {
+                    assert!(!poison, "ses-fault: injected worker panic");
+                    chunk.into_iter().map(|f| f()).collect::<Vec<T>>()
+                })
+            })
             .collect();
         if let Some(chunk) = first {
             chunk_results.push(chunk.into_iter().map(|f| f()).collect());
@@ -117,6 +182,58 @@ where
         }
     });
     chunk_results.into_iter().flatten().collect()
+}
+
+/// Runs a parallel op under panic isolation: the `parallel` attempt executes
+/// under `catch_unwind`, and if any worker panics the whole attempt — its
+/// partially written buffers included — is discarded and `serial` recomputes
+/// the result from the untouched inputs. Because every kernel is
+/// bit-identical at any thread count, the degraded result is exactly the one
+/// the parallel attempt would have produced.
+///
+/// `serial` runs outside the catch: deterministic failures (shape asserts,
+/// index panics) must still fail loudly rather than loop. With `threads <= 1`
+/// the parallel attempt is skipped outright; with isolation disabled
+/// ([`set_isolation_enabled`]) worker panics propagate and abort.
+pub fn run_isolated<T>(
+    op: &'static str,
+    threads: usize,
+    parallel: impl FnOnce() -> T,
+    serial: impl FnOnce() -> T,
+) -> T {
+    if threads <= 1 {
+        return serial();
+    }
+    if !isolation_enabled() {
+        return parallel();
+    }
+    // AssertUnwindSafe is sound here: on panic the closure's partial outputs
+    // are owned by the closure and dropped wholesale; the fallback recomputes
+    // from inputs the attempt never mutated.
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(parallel)) {
+        Ok(v) => v,
+        Err(payload) => {
+            ses_obs::metrics::KERNEL_PANIC_DEGRADED.incr();
+            warn_degraded_once(op, &payload);
+            serial()
+        }
+    }
+}
+
+/// One-shot warning the first time any parallel op degrades to serial.
+fn warn_degraded_once(op: &'static str, payload: &(dyn std::any::Any + Send)) {
+    static WARNED: Once = Once::new();
+    WARNED.call_once(|| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("non-string panic payload");
+        ses_obs::info!(
+            "ses-tensor: worker panic in `{op}` ({msg}); op degraded to the serial path \
+             (bit-identical). Further degradations are counted, not logged."
+        );
+    });
 }
 
 /// Splits `0..n` into at most `parts` contiguous non-empty ranges with sizes
@@ -307,5 +424,65 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn run_isolated_degrades_to_serial_on_worker_panic() {
+        let expect: Vec<i32> = (0..8).map(|i| i * 2).collect();
+        arm_worker_panic(0);
+        let out = run_isolated(
+            "test-op",
+            4,
+            || run_tasks(4, (0..8).map(|i| move || i * 2).collect::<Vec<_>>()),
+            || (0..8).map(|i| i * 2).collect::<Vec<_>>(),
+        );
+        disarm_worker_panic();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn run_isolated_counts_degradations() {
+        ses_obs::set_enabled_override(Some(true));
+        let before = ses_obs::metrics::KERNEL_PANIC_DEGRADED.get();
+        arm_worker_panic(0);
+        let out = run_isolated(
+            "test-op-counted",
+            4,
+            || run_tasks(4, (0..8).map(|i| move || i + 1).collect::<Vec<_>>()),
+            || (0..8).map(|i| i + 1).collect::<Vec<_>>(),
+        );
+        disarm_worker_panic();
+        ses_obs::set_enabled_override(None);
+        assert_eq!(out.len(), 8);
+        assert!(ses_obs::metrics::KERNEL_PANIC_DEGRADED.get() > before);
+    }
+
+    #[test]
+    fn run_isolated_serial_failures_still_propagate() {
+        let r = std::panic::catch_unwind(|| {
+            run_isolated("test-op-serial", 1, || 1, || -> i32 { panic!("shape") })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn disarmed_countdown_never_fires() {
+        disarm_worker_panic();
+        let tasks: Vec<_> = (0..6).map(|i| move || i).collect();
+        assert_eq!(run_tasks(3, tasks), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn armed_countdown_fires_on_the_nth_parallel_op() {
+        arm_worker_panic(1);
+        // op 0: survives (countdown ticks 1 -> 0)
+        let ok = run_tasks(2, (0..4).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(ok, (0..4).collect::<Vec<_>>());
+        // op 1: fires
+        let r = std::panic::catch_unwind(|| {
+            run_tasks(2, (0..4).map(|i| move || i).collect::<Vec<_>>())
+        });
+        assert!(r.is_err());
+        disarm_worker_panic();
     }
 }

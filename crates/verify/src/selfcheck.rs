@@ -182,6 +182,18 @@ pub fn run(defect: Option<SeededDefect>) -> SelfCheckReport {
                     leak_budget: Some(LeakBudget::zero()),
                 },
             );
+            // The production architecture itself: one explainable-training
+            // step (GCN + mask generator, full Eq. 9 objective) recorded by
+            // the same ses-core code `fit` runs, not a hand-built imitation.
+            let (ir, loss) = ses_core::explain_step_ir();
+            verify_ir(
+                &mut report,
+                &ir,
+                &TapeCheckConfig {
+                    loss: Some(loss),
+                    leak_budget: Some(LeakBudget::zero()),
+                },
+            );
             match dry_run_ses_trace() {
                 Ok((ir, loss)) => verify_ir(
                     &mut report,
@@ -253,11 +265,37 @@ mod tests {
     fn clean_run_is_clean() {
         let r = run(None);
         assert!(r.is_clean(), "clean run found errors: {:?}", r.diags);
-        assert!(r.tape_nodes >= 20, "both traces verified: {}", r.tape_nodes);
+        assert!(r.tape_nodes >= 20, "all traces verified: {}", r.tape_nodes);
         assert!(
             r.partition_cases > 1000,
             "sweeps ran: {}",
             r.partition_cases
+        );
+    }
+
+    #[test]
+    fn real_core_trace_verifies_clean_with_zero_leak_budget() {
+        // The IR exported from one production explainable-training step
+        // must pass every static check: shapes, backward coverage,
+        // determinism registry, and full reachability of all trainable
+        // leaves (encoder + mask generator) from the Eq. 9 loss.
+        let (ir, loss) = ses_core::explain_step_ir();
+        assert!(
+            ir.len() > 50,
+            "a real explain step is a substantial tape: {} nodes",
+            ir.len()
+        );
+        let diags = verify_tape(
+            &ir,
+            &TapeCheckConfig {
+                loss: Some(loss),
+                leak_budget: Some(LeakBudget::zero()),
+            },
+        );
+        assert_eq!(
+            error_count(&diags),
+            0,
+            "core trace must be clean: {diags:?}"
         );
     }
 

@@ -30,7 +30,8 @@ fn main() {
 
     // --- plain GCN baseline ---
     let mut gcn = Gcn::new(graph.n_features(), 64, graph.n_classes(), &mut rng);
-    let report = train_node_classifier(&mut gcn, graph, &adj, &splits, &TrainConfig::default());
+    let report = train_node_classifier(&mut gcn, graph, &adj, &splits, &TrainConfig::default())
+        .expect("GCN training failed");
     println!("\nGCN      test accuracy: {:.2}%", 100.0 * report.test_acc);
 
     // --- SES on the same split ---

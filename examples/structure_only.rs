@@ -29,11 +29,13 @@ fn main() {
 
     let cfg = TrainConfig::default();
     let mut gcn = Gcn::new(graph.n_features(), 32, graph.n_classes(), &mut rng);
-    let r1 = train_node_classifier(&mut gcn, graph, &adj, &splits, &cfg);
+    let r1 =
+        train_node_classifier(&mut gcn, graph, &adj, &splits, &cfg).expect("GCN training failed");
     println!("GCN  test accuracy: {:.2}%", 100.0 * r1.test_acc);
 
     let mut gat = Gat::new(graph.n_features(), 32, graph.n_classes(), 4, &mut rng);
-    let r2 = train_node_classifier(&mut gat, graph, &adj, &splits, &cfg);
+    let r2 =
+        train_node_classifier(&mut gat, graph, &adj, &splits, &cfg).expect("GAT training failed");
     println!("GAT  test accuracy: {:.2}%", 100.0 * r2.test_acc);
 
     let encoder = Gcn::new(graph.n_features(), 32, graph.n_classes(), &mut rng);

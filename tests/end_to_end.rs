@@ -24,7 +24,7 @@ fn ses_matches_or_beats_backbone_on_polblogs_like() {
         patience: 0,
         ..Default::default()
     };
-    let base = train_node_classifier(&mut gcn, g, &adj, &splits, &cfg);
+    let base = train_node_classifier(&mut gcn, g, &adj, &splits, &cfg).expect("training failed");
 
     let enc = Gcn::new(g.n_features(), 16, g.n_classes(), &mut rng);
     let mg = MaskGenerator::new(enc.hidden_dim(), g.n_features(), &mut rng);
