@@ -17,7 +17,7 @@ echo "== cargo run -p ses-verify (static tape-IR + partition gate)"
 cargo run -q -p ses-verify
 # The verifier must also still *reject* known-bad inputs: each seeded
 # defect run is required to exit non-zero.
-for defect in shape-mismatch backward-gap broken-partitioner; do
+for defect in shape-mismatch backward-gap broken-partitioner bad-rewrite; do
   if cargo run -q -p ses-verify -- --seed-defect "$defect" >/dev/null 2>&1; then
     echo "ci: ses-verify failed to reject seeded defect '$defect'" >&2
     exit 1
@@ -26,6 +26,15 @@ done
 
 echo "== cargo test -q"
 cargo test -q
+
+echo "== ses-ir compile gate (verified inference plans + telemetry)"
+# Compiles both explain-step tapes into inference plans. The binary itself
+# enforces the >=20% node-count reduction floor and a strict peak-buffer
+# shrink, and every rewrite pass is translation-validated on the way.
+SES_OBS=1 \
+SES_OBS_FILE="$PWD/target/ir_ci.jsonl" \
+cargo run -q -p ses-ir --bin ses-ir
+cargo run -q -p ses-obs --bin obs-validate -- "$PWD/target/ir_ci.jsonl" --require bench_row
 
 echo "== observability smoke (instrumented quickstart + JSONL validation)"
 SES_OBS=1 \

@@ -49,7 +49,7 @@ impl Explanations {
     /// weight restricted to non-zero input features.
     pub fn top_features(&self, node: usize, features: &Matrix, k: usize) -> Vec<(usize, f32)> {
         let mut dims: Vec<(usize, f32)> = (0..features.cols())
-            .filter(|&j| features[(node, j)] != 0.0)
+            .filter(|&j| features[(node, j)].abs().to_bits() != 0)
             .map(|j| (j, self.feature_mask[(node, j)]))
             .collect();
         dims.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -92,7 +92,7 @@ impl Explanations {
     pub fn features_to_csv(&self, node: usize, features: &Matrix) -> String {
         let mut out = String::from("feature,weight\n");
         for j in 0..features.cols() {
-            if features[(node, j)] != 0.0 {
+            if features[(node, j)].abs().to_bits() != 0 {
                 out.push_str(&format!("{j},{}\n", self.feature_mask[(node, j)]));
             }
         }

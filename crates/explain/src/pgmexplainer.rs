@@ -57,7 +57,7 @@ impl<'a> PgmExplainer<'a> {
     /// (perturbed × prediction-changed).
     fn chi_square(table: [[f64; 2]; 2]) -> f64 {
         let total: f64 = table.iter().flatten().sum();
-        if total == 0.0 {
+        if total.abs().to_bits() == 0 {
             return 0.0;
         }
         let row: Vec<f64> = (0..2).map(|i| table[i][0] + table[i][1]).collect();

@@ -119,7 +119,7 @@ fn cosine(a: &[f32], b: &[f32]) -> f64 {
         na += (x * x) as f64;
         nb += (y * y) as f64;
     }
-    if na == 0.0 || nb == 0.0 {
+    if na.abs().to_bits() == 0 || nb.abs().to_bits() == 0 {
         0.0
     } else {
         dot / (na.sqrt() * nb.sqrt())

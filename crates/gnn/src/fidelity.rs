@@ -28,7 +28,7 @@ pub fn mask_top_features(features: &Matrix, importance: &Matrix, top_k: usize) -
     let mut order: Vec<usize> = Vec::with_capacity(f);
     for i in 0..n {
         order.clear();
-        order.extend((0..f).filter(|&j| features[(i, j)] != 0.0));
+        order.extend((0..f).filter(|&j| features[(i, j)].abs().to_bits() != 0));
         order.sort_by(|&a, &b| importance[(i, b)].total_cmp(&importance[(i, a)]));
         for &j in order.iter().take(top_k) {
             out[(i, j)] = 0.0;

@@ -39,10 +39,10 @@ pub fn row_norm_values(structure: &Arc<CsrStructure>) -> CsrMatrix {
     let n = structure.n_rows();
     let mut values = vec![0.0f32; structure.nnz()];
     for r in 0..n {
-        let d = structure.row_nnz(r) as f32;
-        if d == 0.0 {
+        if structure.row_nnz(r) == 0 {
             continue;
         }
+        let d = structure.row_nnz(r) as f32;
         for p in structure.row_range(r) {
             values[p] = 1.0 / d;
         }

@@ -1,0 +1,91 @@
+//! `ses-ir` CLI — compiles the SES explain-step tapes into verified
+//! inference plans and reports the compiler's wins.
+//!
+//! Two fixtures are compiled, both recorded by `ses-core` itself:
+//!
+//! * the small deterministic explain-step fixture
+//!   ([`ses_core::explain_step_annotated`]), and
+//! * one real quickstart training step on the synthetic Cora-like graph
+//!   ([`ses_core::quickstart_step_ir`]).
+//!
+//! For each tape the binary prints (and, when `SES_OBS` telemetry is
+//! enabled, emits as `bench_row` records) the node counts and static peak
+//! buffer bytes before/after compilation. It exits non-zero if any
+//! compilation fails or if the node-count reduction falls below the 20%
+//! floor CI gates on.
+
+use ses_core::ExplainStepIr;
+use ses_ir::compile;
+
+/// Minimum acceptable node-count reduction, as a fraction.
+const MIN_NODE_REDUCTION: f64 = 0.20;
+
+fn report(name: &str, step: &ExplainStepIr) -> Result<(), String> {
+    let plan =
+        compile(&step.ir, Some(step.loss), &step.outputs).map_err(|e| format!("{name}: {e}"))?;
+    let s = plan.stats;
+    println!(
+        "{name}: nodes {} -> {} ({:.1}% reduction: {} dce, {} cse), \
+         peak buffer bytes {} -> {} ({:.1}% reduction), \
+         {} fusion candidates, {} constant nodes, {} slots",
+        s.nodes_before,
+        s.nodes_after,
+        100.0 * s.node_reduction(),
+        s.dce_removed,
+        s.cse_merged,
+        s.peak_bytes_before,
+        s.peak_bytes_after,
+        100.0 * s.byte_reduction(),
+        s.fusion_candidates,
+        s.const_nodes,
+        plan.slots.len(),
+    );
+    if ses_obs::sink::active() {
+        ses_obs::Record::new("bench_row")
+            .str("sheet", "ir_compile")
+            .str("tape", name)
+            .uint("nodes_before", s.nodes_before as u64)
+            .uint("nodes_after", s.nodes_after as u64)
+            .uint("dce_removed", s.dce_removed as u64)
+            .uint("cse_merged", s.cse_merged as u64)
+            .uint("fusion_candidates", s.fusion_candidates as u64)
+            .uint("const_nodes", s.const_nodes as u64)
+            .uint("peak_bytes_before", s.peak_bytes_before as u64)
+            .uint("peak_bytes_after", s.peak_bytes_after as u64)
+            .num("node_reduction", s.node_reduction())
+            .num("byte_reduction", s.byte_reduction())
+            .emit();
+    }
+    if s.node_reduction() < MIN_NODE_REDUCTION {
+        return Err(format!(
+            "{name}: node reduction {:.1}% below the {:.0}% floor",
+            100.0 * s.node_reduction(),
+            100.0 * MIN_NODE_REDUCTION
+        ));
+    }
+    if s.peak_bytes_after >= s.peak_bytes_before {
+        return Err(format!(
+            "{name}: peak buffer bytes did not shrink ({} -> {})",
+            s.peak_bytes_before, s.peak_bytes_after
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let fixtures = [
+        ("explain_step", ses_core::explain_step_annotated()),
+        ("quickstart_step", ses_core::quickstart_step_ir()),
+    ];
+    let mut failed = false;
+    for (name, step) in &fixtures {
+        if let Err(e) = report(name, step) {
+            eprintln!("error: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("ses-ir: all tapes compiled and validated");
+}

@@ -1,0 +1,40 @@
+//! `ses-ir` — a static-analysis and rewrite framework over the autodiff
+//! tape IR, compiling a recorded SES explain-step into a **verified
+//! inference plan**.
+//!
+//! The tape the SES model records during training (see
+//! [`ses_core::explain_step_annotated`]) is an inference program with
+//! training baggage: loss heads, duplicated mask lifts, backward-only
+//! bookkeeping. This crate treats the exported [`ses_tensor::TapeIr`] as a
+//! compiler IR and lowers it in validated steps:
+//!
+//! 1. **Analyses** ([`analysis`]) — liveness/ancestor cones, loss
+//!    reachability, live intervals, constness, static byte accounting.
+//! 2. **Rewrites** ([`passes`]) — DCE of training-only nodes, CSE by value
+//!    numbering, `mask-apply → spmm` fusion-candidate reporting. Each pass
+//!    returns a [`passes::Rewrite`] carrying a witness.
+//! 3. **Translation validation** ([`compile`]) — after every pass the
+//!    driver re-runs the full `ses-verify` tape checker *and* the
+//!    value-numbering bisimulation ([`ses_verify::equiv`]) against the
+//!    original IR. Refuted rewrites abort compilation with the proof.
+//! 4. **Lowering** ([`plan`]) — liveness-colored buffer-slot assignment
+//!    produces an [`plan::InferencePlan`] with a static peak-memory
+//!    before/after comparison.
+//! 5. **Execution** ([`exec`]) — a reference interpreter that replays the
+//!    plan with the recording tape's own kernels, so tests can assert the
+//!    optimised plan is **bit-identical** to the tape's forward values.
+//!
+//! The `ses-ir` binary compiles the quickstart and explain-step tapes from
+//! `ses-core` and reports node-count and peak-buffer reductions as
+//! `bench_row` telemetry; CI gates on ≥ 20% node reduction.
+
+pub mod analysis;
+pub mod compile;
+pub mod exec;
+pub mod passes;
+pub mod plan;
+
+pub use compile::{compile, validate_rewrite, CompileError};
+pub use exec::{execute, ExecError, Payload, PayloadMap};
+pub use passes::{broken_dce, cse, dce, fusion_candidates, Rewrite};
+pub use plan::{InferencePlan, PlanStats, PlanStep};

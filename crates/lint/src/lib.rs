@@ -12,6 +12,7 @@
 //! | `no-println-in-lib` | library diagnostics go through `ses_obs`, not raw stdio macros |
 //! | `unsafe-needs-safety-comment` | every `unsafe` carries a `// SAFETY:` justification |
 //! | `no-catch-unwind-outside-resilience` | panic isolation lives only in `ses-resilience` / `ses_tensor::par::run_isolated` |
+//! | `no-float-eq` | no `==`/`!=` against float literals in library code — `.to_bits()` or a tolerance instead |
 //!
 //! Rules match **token sequences**, not line regexes: every file is lexed by
 //! `ses-verify`'s [`ses_verify::tokenizer`] into identifiers, punctuation,
@@ -207,6 +208,7 @@ pub fn run(ws: &Workspace) -> Vec<Violation> {
         rules::no_println_in_lib(f, &mut out);
         rules::unsafe_needs_safety_comment(f, &mut out);
         rules::no_catch_unwind(f, &mut out);
+        rules::no_float_eq(f, &mut out);
         rules::allow_syntax(f, &mut out);
     }
     rules::gradcheck_coverage(&ws.files, &mut out);

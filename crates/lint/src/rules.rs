@@ -27,6 +27,8 @@ pub const NO_PRINTLN_IN_LIB: &str = "no-println-in-lib";
 pub const UNSAFE_NEEDS_SAFETY_COMMENT: &str = "unsafe-needs-safety-comment";
 /// See [`NO_UNWRAP`].
 pub const NO_CATCH_UNWIND_OUTSIDE_RESILIENCE: &str = "no-catch-unwind-outside-resilience";
+/// See [`NO_UNWRAP`].
+pub const NO_FLOAT_EQ: &str = "no-float-eq";
 
 /// All rule names, for validating `lint:allow(..)` directives.
 pub const ALL_RULES: &[&str] = &[
@@ -39,6 +41,7 @@ pub const ALL_RULES: &[&str] = &[
     NO_PRINTLN_IN_LIB,
     UNSAFE_NEEDS_SAFETY_COMMENT,
     NO_CATCH_UNWIND_OUTSIDE_RESILIENCE,
+    NO_FLOAT_EQ,
 ];
 
 /// True for paths whose panics are acceptable: test code, benchmarks,
@@ -347,6 +350,76 @@ pub fn no_catch_unwind(file: &LintFile, out: &mut Vec<Violation>) {
                 .to_string(),
             out,
         );
+    }
+}
+
+/// True for a numeric literal token that denotes an `f32`/`f64` value:
+/// decimal point, exponent, or an explicit float suffix. Hex/octal/binary
+/// literals are integers by construction (and would false-positive on the
+/// `e` digit).
+fn is_float_literal(tok: &Tok) -> bool {
+    if tok.kind != TokKind::Number {
+        return false;
+    }
+    let s = tok.text.as_str();
+    if s.starts_with("0x") || s.starts_with("0X") || s.starts_with("0b") || s.starts_with("0o") {
+        return false;
+    }
+    s.ends_with("f32")
+        || s.ends_with("f64")
+        || s.contains('.')
+        || s.contains('e')
+        || s.contains('E')
+}
+
+/// True when `toks[i]` and `toks[i + 1]` are physically adjacent punctuation
+/// forming one two-character operator.
+fn adjacent_pair(toks: &[Tok], i: usize, a: char, b: char) -> bool {
+    toks[i].is_punct(a)
+        && toks
+            .get(i + 1)
+            .is_some_and(|t| t.is_punct(b) && t.line == toks[i].line && t.col == toks[i].col + 1)
+}
+
+/// `no-float-eq`: forbids `==`/`!=` against a float literal outside tests
+/// and vendored stubs. Exact float comparison is almost always a rounding
+/// bug waiting to happen (`0.1 + 0.2 != 0.3`); compare `to_bits()` when bit
+/// equality is genuinely meant (the determinism contract does exactly
+/// that), or use an explicit tolerance. The check is token-local — it flags
+/// comparisons whose left or right operand is literally a float constant —
+/// so typed `f32 == f32` variable comparisons are out of scope (and out of
+/// reach) for a text-level linter.
+pub fn no_float_eq(file: &LintFile, out: &mut Vec<Violation>) {
+    if file.rel_path.starts_with("vendor/") || is_exempt_from_panics(&file.rel_path) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let op = if adjacent_pair(toks, i, '=', '=') {
+            "=="
+        } else if adjacent_pair(toks, i, '!', '=') {
+            "!="
+        } else {
+            continue;
+        };
+        let left_float = i > 0 && is_float_literal(&toks[i - 1]);
+        // skip unary minus / grouping parens on the right-hand side
+        let mut j = i + 2;
+        while toks
+            .get(j)
+            .is_some_and(|t| t.is_punct('-') || t.is_punct('('))
+        {
+            j += 1;
+        }
+        let right_float = toks.get(j).is_some_and(is_float_literal);
+        if left_float || right_float {
+            let msg = format!(
+                "`{op}` against a float literal: exact float equality is fragile; \
+                 compare `.to_bits()` (bit identity) or an explicit tolerance, or \
+                 justify with `// lint:allow(no-float-eq): <reason>`"
+            );
+            flag(file, &toks[i], NO_FLOAT_EQ, true, msg, out);
+        }
     }
 }
 
@@ -769,6 +842,43 @@ mod tests {
         // prose/strings and longer identifiers must not trip
         let words = "fn f() { let s = \"catch_unwind\"; my_catch_unwind_helper(); } // catch_unwind in prose";
         let v = run_single(&file("crates/gnn/src/lib.rs", words), no_catch_unwind);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn float_eq_flags_literal_comparisons_both_sides() {
+        let src = "fn f(x: f32) -> bool { x == 0.0 }\n\
+                   fn g(x: f32) -> bool { 1.5f32 != x }\n\
+                   fn h(x: f64) -> bool { x != -2.0e-3 }";
+        let v = run_single(&file("crates/foo/src/lib.rs", src), no_float_eq);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == NO_FLOAT_EQ));
+    }
+
+    #[test]
+    fn float_eq_ignores_ints_bits_and_non_equality_ops() {
+        let src = "fn f(x: u32) -> bool { x == 0 }\n\
+                   fn g(x: f32) -> bool { x.to_bits() == 0x3f80_0000 }\n\
+                   fn h(x: f32) -> bool { x <= 0.5 && x >= -0.5 && x < 1.0 }\n\
+                   fn i(n: usize) -> bool { n != 0b101 }";
+        let v = run_single(&file("crates/foo/src/lib.rs", src), no_float_eq);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn float_eq_exempts_tests_vendor_and_reasoned_allows() {
+        let cmp = "fn f(x: f32) -> bool { x == 0.25 }";
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n    {cmp}\n}}");
+        let v = run_single(&file("crates/foo/src/lib.rs", &in_test), no_float_eq);
+        assert!(v.is_empty(), "{v:?}");
+        let v = run_single(&file("crates/foo/tests/it.rs", cmp), no_float_eq);
+        assert!(v.is_empty(), "test files are exempt: {v:?}");
+        let v = run_single(&file("vendor/rand/src/lib.rs", cmp), no_float_eq);
+        assert!(v.is_empty(), "vendor is exempt: {v:?}");
+        let allowed = "fn f(x: f32) -> bool {\n    \
+                       // lint:allow(no-float-eq): sentinel written verbatim upstream\n    \
+                       x == 0.25\n}";
+        let v = run_single(&file("crates/foo/src/lib.rs", allowed), no_float_eq);
         assert!(v.is_empty(), "{v:?}");
     }
 

@@ -109,7 +109,7 @@ pub fn calinski_harabasz_score(embeddings: &Matrix, labels: &[usize]) -> f64 {
             .map(|(j, &x)| (x as f64 - centroid[c][j]).powi(2))
             .sum::<f64>();
     }
-    if within == 0.0 {
+    if within.abs().to_bits() == 0 {
         return f64::INFINITY;
     }
     (between / within) * ((n - k) as f64 / (k - 1) as f64)

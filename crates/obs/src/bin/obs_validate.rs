@@ -1,6 +1,6 @@
 //! `obs-validate` — schema validator for `ses-obs` JSONL telemetry files.
 //!
-//! Usage: `obs-validate <file.jsonl>`
+//! Usage: `obs-validate <file.jsonl> [--require <event>]`
 //!
 //! Checks, exiting non-zero with a message on the first violation:
 //!
@@ -9,16 +9,18 @@
 //! * `epoch` records carry a string `phase`, a numeric `epoch ≥ 0` that is
 //!   strictly monotone within each phase, a finite `loss`, and a finite
 //!   `epoch_ms > 0`;
-//! * at least one `epoch` record exists (an instrumented run that logged
-//!   nothing is itself a failure).
+//! * `bench_row` records carry a string `sheet` and only finite numbers;
+//! * at least one record of the required event kind exists (`epoch` by
+//!   default — an instrumented run that logged nothing is itself a
+//!   failure). The ses-ir compile gate passes `--require bench_row`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use ses_obs::json::Json;
 
-fn validate(content: &str) -> Result<usize, String> {
-    let mut epochs = 0usize;
+fn validate(content: &str, require: &str) -> Result<usize, String> {
+    let mut required_seen = 0usize;
     let mut last_epoch: BTreeMap<String, f64> = BTreeMap::new();
     for (lineno, line) in content.lines().enumerate() {
         let lineno = lineno + 1;
@@ -37,6 +39,22 @@ fn validate(content: &str) -> Result<usize, String> {
             .and_then(Json::as_f64)
             .filter(|t| t.is_finite() && *t >= 0.0)
             .ok_or(format!("line {lineno}: missing numeric `t_ms`"))?;
+        if event == require {
+            required_seen += 1;
+        }
+
+        if event == "bench_row" {
+            obj.get("sheet")
+                .and_then(Json::as_str)
+                .ok_or(format!("line {lineno}: bench_row record missing `sheet`"))?;
+            for (key, val) in obj {
+                if let Some(n) = val.as_f64() {
+                    if !n.is_finite() {
+                        return Err(format!("line {lineno}: non-finite `{key}` in bench_row"));
+                    }
+                }
+            }
+        }
 
         if event == "epoch" {
             let phase = obj
@@ -70,19 +88,23 @@ fn validate(content: &str) -> Result<usize, String> {
             if !(epoch_ms.is_finite() && epoch_ms >= 0.0) {
                 return Err(format!("line {lineno}: bad epoch_ms {epoch_ms}"));
             }
-            epochs += 1;
         }
     }
-    if epochs == 0 {
-        return Err("no `epoch` records found".into());
+    if required_seen == 0 {
+        return Err(format!("no `{require}` records found"));
     }
-    Ok(epochs)
+    Ok(required_seen)
 }
 
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: obs-validate <file.jsonl>");
-        return ExitCode::FAILURE;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, require) = match args.as_slice() {
+        [path] => (path.clone(), "epoch".to_string()),
+        [path, flag, event] if flag == "--require" => (path.clone(), event.clone()),
+        _ => {
+            eprintln!("usage: obs-validate <file.jsonl> [--require <event>]");
+            return ExitCode::FAILURE;
+        }
     };
     let content = match std::fs::read_to_string(&path) {
         Ok(c) => c,
@@ -91,9 +113,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match validate(&content) {
-        Ok(epochs) => {
-            println!("obs-validate: OK ({path}: {epochs} epoch records)");
+    match validate(&content, &require) {
+        Ok(seen) => {
+            println!("obs-validate: OK ({path}: {seen} `{require}` records)");
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -115,20 +137,33 @@ mod tests {
             "{\"event\":\"epoch\",\"t_ms\":5,\"phase\":\"explain\",\"epoch\":1,\"loss\":1.2,\"epoch_ms\":3.0}\n",
             "{\"event\":\"epoch\",\"t_ms\":8,\"phase\":\"epl\",\"epoch\":0,\"loss\":0.9,\"epoch_ms\":2.8}\n",
         );
-        assert_eq!(validate(good), Ok(3));
+        assert_eq!(validate(good, "epoch"), Ok(3));
     }
 
     #[test]
     fn rejects_violations() {
-        assert!(validate("not json\n").is_err());
-        assert!(validate("{\"event\":\"log\",\"t_ms\":1}\n").is_err()); // no epochs
+        assert!(validate("not json\n", "epoch").is_err());
+        assert!(validate("{\"event\":\"log\",\"t_ms\":1}\n", "epoch").is_err()); // no epochs
         let non_monotone = concat!(
             "{\"event\":\"epoch\",\"t_ms\":1,\"phase\":\"p\",\"epoch\":1,\"loss\":1.0,\"epoch_ms\":1.0}\n",
             "{\"event\":\"epoch\",\"t_ms\":2,\"phase\":\"p\",\"epoch\":1,\"loss\":1.0,\"epoch_ms\":1.0}\n",
         );
-        assert!(validate(non_monotone).is_err());
+        assert!(validate(non_monotone, "epoch").is_err());
         let nan_loss =
             "{\"event\":\"epoch\",\"t_ms\":1,\"phase\":\"p\",\"epoch\":0,\"loss\":null,\"epoch_ms\":1.0}\n";
-        assert!(validate(nan_loss).is_err());
+        assert!(validate(nan_loss, "epoch").is_err());
+    }
+
+    #[test]
+    fn required_event_is_configurable() {
+        let bench = concat!(
+            "{\"event\":\"bench_row\",\"t_ms\":1,\"sheet\":\"ir_compile\",\"nodes_before\":79}\n",
+            "{\"event\":\"bench_row\",\"t_ms\":2,\"sheet\":\"ir_compile\",\"nodes_before\":74}\n",
+        );
+        assert_eq!(validate(bench, "bench_row"), Ok(2));
+        assert!(validate(bench, "epoch").is_err(), "no epoch records here");
+
+        let no_sheet = "{\"event\":\"bench_row\",\"t_ms\":1,\"x\":2}\n";
+        assert!(validate(no_sheet, "bench_row").is_err());
     }
 }

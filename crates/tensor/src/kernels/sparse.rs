@@ -45,6 +45,7 @@ pub fn spmm(structure: &CsrStructure, values: &[f32], dense: &Matrix, threads: u
         dense.rows()
     );
     assert_eq!(values.len(), structure.nnz(), "spmm: values len != nnz");
+    let threads = par::size_aware_threads(structure.nnz(), threads);
     par::run_isolated(
         "spmm",
         threads,
@@ -132,6 +133,7 @@ pub fn spmm_transpose(
         structure.nnz(),
         "spmm_transpose: values len != nnz"
     );
+    let threads = par::size_aware_threads(structure.nnz(), threads);
     par::run_isolated(
         "spmm_transpose",
         threads,
@@ -200,6 +202,7 @@ pub fn spmm_values_grad(
         structure.n_rows(),
         "spmm_values_grad: grad rows != sparse rows"
     );
+    let threads = par::size_aware_threads(structure.nnz(), threads);
     par::run_isolated(
         "spmm_values_grad",
         threads,
@@ -254,6 +257,7 @@ pub fn edge_softmax(structure: &CsrStructure, scores: &[f32], threads: usize) ->
         structure.nnz(),
         "edge_softmax: scores len != nnz"
     );
+    let threads = par::size_aware_threads(structure.nnz(), threads);
     par::run_isolated(
         "edge_softmax",
         threads,
@@ -315,6 +319,7 @@ pub fn edge_softmax_backward(
         structure.nnz(),
         "edge_softmax_backward: softmax len != nnz"
     );
+    let threads = par::size_aware_threads(structure.nnz(), threads);
     par::run_isolated(
         "edge_softmax_backward",
         threads,
@@ -419,14 +424,57 @@ mod tests {
         }
     }
 
+    /// A structure large enough (nnz > [`par::SPARSE_SERIAL_NNZ`]) that the
+    /// size-aware serial fallback does not clamp it — needed by tests that
+    /// must actually exercise the parallel path.
+    fn large_sample() -> (Arc<CsrStructure>, Vec<f32>, Matrix) {
+        let rows = 128;
+        let cols = 96;
+        let mut edges = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                edges.push((r, c));
+            }
+        }
+        let s = Arc::new(CsrStructure::from_edges(rows, cols, &edges));
+        assert!(s.nnz() > par::SPARSE_SERIAL_NNZ);
+        let vals: Vec<f32> = (0..s.nnz()).map(|i| ((i % 13) as f32) - 6.0).collect();
+        let dense = Matrix::from_vec(
+            cols,
+            3,
+            (0..cols * 3)
+                .map(|i| ((i % 7) as f32) * 0.5 - 1.5)
+                .collect(),
+        );
+        (s, vals, dense)
+    }
+
     #[test]
     fn spmm_worker_panic_degrades_to_identical_serial_result() {
-        let (s, vals, dense) = sample();
+        let (s, vals, dense) = large_sample();
         let reference = spmm(&s, &vals, &dense, 1);
         par::arm_worker_panic(0);
         let degraded = spmm(&s, &vals, &dense, 4);
         par::disarm_worker_panic();
         assert_eq!(degraded.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn small_shapes_run_serially_despite_thread_count() {
+        // With nnz below the threshold the wrapper clamps to one thread, so
+        // an armed worker-panic fault is never consumed: no parallel op runs.
+        let (s, vals, dense) = sample();
+        assert!(s.nnz() < par::SPARSE_SERIAL_NNZ);
+        let reference = spmm(&s, &vals, &dense, 1);
+        par::arm_worker_panic(0);
+        let out = spmm(&s, &vals, &dense, 4);
+        let fault_still_armed = std::panic::catch_unwind(|| {
+            par::run_tasks(2, (0..4).map(|i| move || i).collect::<Vec<_>>())
+        })
+        .is_err();
+        par::disarm_worker_panic();
+        assert!(fault_still_armed, "small spmm must not spawn workers");
+        assert_eq!(out.as_slice(), reference.as_slice());
     }
 
     #[test]

@@ -77,6 +77,25 @@ pub fn configured_threads() -> usize {
     })
 }
 
+/// Below this many stored entries a sparse kernel runs serially regardless of
+/// the configured thread count: on tiny shapes the scoped-thread spawn cost
+/// dominates the work (BENCH_kernels.json showed `spmm` on ba_shapes —
+/// ~4.2k nnz — at 24µs serial vs 83µs on 4 threads). The threshold sits
+/// between the ba_shapes and coauthor_cs bench sizes so the multi-thread
+/// speedup gate on the larger shape is unaffected.
+pub const SPARSE_SERIAL_NNZ: usize = 8_192;
+
+/// Clamps `threads` to 1 for sparse problems with fewer than
+/// [`SPARSE_SERIAL_NNZ`] stored entries. Bit-identity at any thread count
+/// makes this a pure scheduling decision — the output is unchanged.
+pub fn size_aware_threads(nnz: usize, threads: usize) -> usize {
+    if nnz < SPARSE_SERIAL_NNZ {
+        1
+    } else {
+        threads
+    }
+}
+
 /// When `false`, [`run_isolated`] stops catching worker panics and lets them
 /// propagate (and abort the process). Only the fault-injection drill should
 /// ever flip this — it is how CI proves an injected worker panic is fatal
@@ -419,6 +438,13 @@ mod tests {
         let slices = split_entries_mut(&mut buf, &indptr, &ranges);
         assert_eq!(slices[0].len(), 2);
         assert_eq!(slices[1].len(), 3);
+    }
+
+    #[test]
+    fn size_aware_threads_clamps_below_threshold() {
+        assert_eq!(size_aware_threads(SPARSE_SERIAL_NNZ - 1, 8), 1);
+        assert_eq!(size_aware_threads(SPARSE_SERIAL_NNZ, 8), 8);
+        assert_eq!(size_aware_threads(0, 4), 1);
     }
 
     #[test]

@@ -155,7 +155,7 @@ impl Tape {
             Op::Abs(a) => vec![(
                 *a,
                 g.zip(val(*a), |gi, xi| {
-                    gi * xi.signum() * (xi != 0.0) as u8 as f32
+                    gi * xi.signum() * (xi.abs().to_bits() != 0) as u8 as f32
                 }),
             )],
             Op::Log(a, eps) => {

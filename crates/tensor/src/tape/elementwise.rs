@@ -204,7 +204,7 @@ pub fn dropout_mask(len: usize, p: f32, rng: &mut impl rand::Rng) -> Arc<Vec<f32
         (0.0..1.0).contains(&p),
         "dropout probability must be in [0, 1)"
     );
-    if p == 0.0 {
+    if p.abs().to_bits() == 0 {
         return Arc::new(vec![1.0; len]);
     }
     let keep = 1.0 / (1.0 - p);

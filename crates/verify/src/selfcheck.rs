@@ -10,9 +10,14 @@
 
 use std::sync::Arc;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ses_gnn::{AdjView, Arma, Asdgn, Encoder, ForwardCtx, Gat, Gcn, Gin, Sage, UniMp};
+use ses_graph::Graph;
 use ses_tensor::{CsrStructure, LeakBudget, Matrix, Tape, TapeIr};
 
 use crate::builder::IrBuilder;
+use crate::equiv::check_equivalence;
 use crate::partition::{
     beyond_bound_spotchecks, check_row_partition, edge_case_suite, exhaustive_csr_model,
     exhaustive_small_model, PartitionReport,
@@ -34,23 +39,32 @@ pub enum SeededDefect {
     /// A floor-division row partitioner that drops the tail remainder and
     /// emits empty ranges — the partition checker must reject it.
     BrokenPartitioner,
+    /// A "rewrite" that swaps the operands of a subtraction while claiming
+    /// (via an identity witness) to preserve the computation — the
+    /// structural-equivalence checker must refute it.
+    BadRewrite,
 }
 
 impl SeededDefect {
     /// Parses a CLI spelling (`shape-mismatch`, `backward-gap`,
-    /// `broken-partitioner`).
+    /// `broken-partitioner`, `bad-rewrite`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "shape-mismatch" => Some(SeededDefect::ShapeMismatch),
             "backward-gap" => Some(SeededDefect::BackwardGap),
             "broken-partitioner" => Some(SeededDefect::BrokenPartitioner),
+            "bad-rewrite" => Some(SeededDefect::BadRewrite),
             _ => None,
         }
     }
 
     /// All CLI spellings, for usage text.
-    pub const SPELLINGS: [&'static str; 3] =
-        ["shape-mismatch", "backward-gap", "broken-partitioner"];
+    pub const SPELLINGS: [&'static str; 4] = [
+        "shape-mismatch",
+        "backward-gap",
+        "broken-partitioner",
+        "bad-rewrite",
+    ];
 }
 
 /// Everything one [`run`] produced.
@@ -121,6 +135,62 @@ fn recorded_ses_tape() -> (TapeIr, usize) {
     let logp = t.log_softmax_rows(logits);
     let loss = t.nll_masked(logp, Arc::new(vec![0, 1, 0, 1]), Arc::new(vec![0, 1, 2]));
     (t.export_ir(), loss.index())
+}
+
+/// The small two-triangle fixture graph the backbone sweep records against.
+fn fixture_graph() -> Graph {
+    let n = 6;
+    let edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)];
+    let features = Matrix::from_vec(
+        n,
+        4,
+        (0..n * 4).map(|i| ((i % 9) as f32) * 0.1 - 0.4).collect(),
+    );
+    Graph::new(n, &edges, features, vec![0, 1, 0, 1, 0, 1])
+}
+
+/// Records one classifier training step (forward + masked cross-entropy) for
+/// every backbone the bench binaries train — the same `Encoder::forward`
+/// code `ses-bench` runs, on a small fixture graph — and exports each tape's
+/// IR with its loss node.
+///
+/// This is the ci.sh gate for the bench binaries' tapes: rather than running
+/// the (slow) experiments, the exact architectures they record are verified
+/// statically on every run.
+fn backbone_step_tapes() -> Vec<(&'static str, TapeIr, usize)> {
+    let graph = fixture_graph();
+    let adj = AdjView::of_graph(&graph);
+    let mut rng = StdRng::seed_from_u64(11);
+    let (fi, hi, cl) = (graph.n_features(), 8, graph.n_classes());
+    let encoders: Vec<(&'static str, Box<dyn Encoder>)> = vec![
+        ("GCN", Box::new(Gcn::new(fi, hi, cl, &mut rng))),
+        ("GAT", Box::new(Gat::new(fi, hi, cl, 2, &mut rng))),
+        ("GraphSAGE", Box::new(Sage::new(fi, hi, cl, &mut rng))),
+        ("GIN", Box::new(Gin::new(fi, hi, cl, &mut rng))),
+        ("ARMA", Box::new(Arma::new(fi, hi, cl, 2, &mut rng))),
+        ("UniMP", Box::new(UniMp::new(fi, hi, cl, &mut rng))),
+        ("ASDGN", Box::new(Asdgn::new(fi, hi, cl, 2, &mut rng))),
+    ];
+    let labels = Arc::new(graph.labels().to_vec());
+    let idx = Arc::new(vec![0usize, 1, 3, 4]);
+    encoders
+        .into_iter()
+        .map(|(name, enc)| {
+            let mut tape = Tape::new();
+            let x = tape.constant(graph.features().clone());
+            let mut ctx = ForwardCtx {
+                tape: &mut tape,
+                adj: &adj,
+                x,
+                edge_mask: None,
+                train: true,
+                rng: &mut rng,
+            };
+            let out = enc.forward(&mut ctx);
+            let loss = tape.cross_entropy_masked(out.logits, Arc::clone(&labels), Arc::clone(&idx));
+            (name, tape.export_ir(), loss.index())
+        })
+        .collect()
 }
 
 /// Dry-run traces the same architecture (plus dropout) through
@@ -194,6 +264,19 @@ pub fn run(defect: Option<SeededDefect>) -> SelfCheckReport {
                     leak_budget: Some(LeakBudget::zero()),
                 },
             );
+            // Every backbone architecture the bench binaries train, recorded
+            // through the real `Encoder::forward` paths and statically
+            // verified with a zero leak budget.
+            for (_name, ir, loss) in backbone_step_tapes() {
+                verify_ir(
+                    &mut report,
+                    &ir,
+                    &TapeCheckConfig {
+                        loss: Some(loss),
+                        leak_budget: Some(LeakBudget::zero()),
+                    },
+                );
+            }
             match dry_run_ses_trace() {
                 Ok((ir, loss)) => verify_ir(
                     &mut report,
@@ -238,6 +321,35 @@ pub fn run(defect: Option<SeededDefect>) -> SelfCheckReport {
                     leak_budget: Some(LeakBudget::zero()),
                 },
             );
+        }
+        Some(SeededDefect::BadRewrite) => {
+            // Original: loss = mean(a - b). "Rewrite": the subtraction's
+            // operands are swapped but the witness claims node-for-node
+            // equality — exactly the kind of silently wrong transform the
+            // equivalence checker exists to refute.
+            let build = |swap: bool| -> (TapeIr, usize) {
+                let mut b = IrBuilder::new();
+                let a = b.leaf(3, 3);
+                let c = b.leaf(3, 3);
+                let (lhs, rhs) = if swap { (c, a) } else { (a, c) };
+                let d = b
+                    .binary("sub", lhs, rhs)
+                    .unwrap_or_else(|e| unreachable!("fixture builds: {e}"));
+                let loss = b
+                    .unary("mean_all", d)
+                    .unwrap_or_else(|e| unreachable!("fixture builds: {e}"));
+                (b.finish(), loss)
+            };
+            let (original, loss) = build(false);
+            let (rewritten, loss_r) = build(true);
+            let witness: Vec<usize> = (0..rewritten.len()).collect();
+            report.tape_nodes += rewritten.len();
+            report.diags.extend(check_equivalence(
+                &original,
+                &rewritten,
+                &witness,
+                &[(loss, loss_r)],
+            ));
         }
         Some(SeededDefect::BrokenPartitioner) => {
             let mut parts = PartitionReport::default();
@@ -350,6 +462,34 @@ mod tests {
         assert!(r.diags.iter().any(|d| d.check == "monotonicity"));
         // Subjects carry the reproducing inputs.
         assert!(r.diags.iter().all(|d| d.subject.contains("n=")));
+    }
+
+    #[test]
+    fn seeded_bad_rewrite_is_caught() {
+        let r = run(Some(SeededDefect::BadRewrite));
+        assert!(!r.is_clean());
+        assert!(
+            r.diags
+                .iter()
+                .any(|d| d.engine == "equiv" && d.check == "congruence"),
+            "{:?}",
+            r.diags
+        );
+    }
+
+    #[test]
+    fn every_bench_backbone_tape_verifies_clean() {
+        for (name, ir, loss) in backbone_step_tapes() {
+            assert!(ir.len() > 10, "{name}: suspiciously small tape");
+            let diags = verify_tape(
+                &ir,
+                &TapeCheckConfig {
+                    loss: Some(loss),
+                    leak_budget: Some(LeakBudget::zero()),
+                },
+            );
+            assert_eq!(error_count(&diags), 0, "{name}: {diags:?}");
+        }
     }
 
     #[test]
