@@ -52,7 +52,10 @@ fn run_posthoc_epl(
 ) -> f64 {
     let g = &d.graph;
     let splits = classification_splits(d, seed);
-    let cfg = backbone_config(seed);
+    let cfg = resumable(
+        backbone_config(seed),
+        &format!("table10-{}-{backbone}-s{seed}", d.name),
+    );
     let bb = match backbone {
         "GAT" => Backbone::train_gat(g, &splits, &cfg),
         _ => Backbone::train_gcn(g, &splits, &cfg),

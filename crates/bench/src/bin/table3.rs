@@ -18,7 +18,10 @@ fn run_backbone(make: impl Fn(&mut StdRng) -> Box<dyn Encoder>, d: &Dataset, see
     let mut enc = make(&mut rng);
     let adj = AdjView::of_graph(&d.graph);
     let splits = classification_splits(d, seed);
-    let cfg = backbone_config(seed);
+    let cfg = resumable(
+        backbone_config(seed),
+        &format!("table3-{}-{}-s{seed}", d.name, enc.name()),
+    );
     train_node_classifier(enc.as_mut(), &d.graph, &adj, &splits, &cfg)
         .expect("backbone training failed")
         .test_acc
@@ -110,14 +113,20 @@ fn main() {
                             let splits = classification_splits(&d, seed);
                             enc.set_label_context(g.labels(), &splits.train);
                             let adj = AdjView::of_graph(g);
-                            let cfg = backbone_config(seed);
+                            let cfg = resumable(
+                                backbone_config(seed),
+                                &format!("table3-{}-unimp-s{seed}", d.name),
+                            );
                             train_node_classifier(&mut enc, g, &adj, &splits, &cfg)
                                 .expect("UniMP training failed")
                                 .test_acc
                         }
                         "SEGNN" => {
                             let splits = classification_splits(&d, seed);
-                            let cfg = backbone_config(seed);
+                            let cfg = resumable(
+                                backbone_config(seed),
+                                &format!("table3-{}-segnn-s{seed}", d.name),
+                            );
                             let bb = Backbone::train_gcn(g, &splits, &cfg);
                             Segnn::new(&bb, &splits, SegnnConfig::default()).accuracy(&splits.test)
                         }

@@ -23,7 +23,10 @@ fn main() {
     let d = &realworld_datasets(profile, seed)[0]; // cora-like
     let g = &d.graph;
     let splits = classification_splits(d, seed);
-    let cfg = backbone_config(seed);
+    let cfg = resumable(
+        backbone_config(seed),
+        &format!("table6-{}-gcn-s{seed}", d.name),
+    );
     let bb = Backbone::train_gcn(g, &splits, &cfg);
     eprintln!("backbone acc {:.3}", bb.test_acc);
 

@@ -418,7 +418,15 @@ pub fn fit<E: Encoder>(
     let mut et_val_curve = Vec::with_capacity(config.epochs_explain);
     let mut snapshots = Vec::new();
 
-    for epoch in 0..config.epochs_explain {
+    // Same opt-in divergence sentinel as the EPL phase, but over the joint
+    // encoder + mask-generator parameter set — a NaN in the mask branch must
+    // roll *both* back or the pair drifts apart. Detections here are counted
+    // separately (`trainer.recover.mask_phase`) so drills can tell which
+    // phase a recovery fired in.
+    let mut mask_manager = RecoveryManager::new(config.recovery.clone());
+
+    let mut epoch = 0usize;
+    while epoch < config.epochs_explain {
         let epoch_start = Instant::now();
         let spans_before = ses_obs::spans::snapshot();
         let step = record_explain_step(&mut encoder, &mut mask_gen, graph, &ctx, config, &mut rng);
@@ -435,6 +443,51 @@ pub fn fit<E: Encoder>(
         let loss_val = tape.value(loss).scalar_value();
         tape.backward(loss);
 
+        let grads_finite = out
+            .param_vars
+            .iter()
+            .chain(masks.param_vars.iter())
+            .filter_map(|&v| tape.grad(v))
+            .all(|g| g.as_slice().iter().all(|x| x.is_finite()));
+        if let Verdict::Diverged(reason) = mask_manager.observe(loss_val, grads_finite) {
+            ses_obs::metrics::TRAIN_RECOVER_MASK_PHASE.incr();
+            let rolled_back = {
+                let mut params = encoder.params_mut();
+                params.extend(mask_gen.params_mut());
+                mask_manager.try_rollback(&reason, &mut opt, &mut rng, &mut params)
+            };
+            match rolled_back {
+                Ok(resume) => {
+                    let keep = resume as usize + 1;
+                    et_loss_curve.truncate(keep);
+                    et_val_curve.truncate(keep);
+                    snapshots.retain(|s: &MaskSnapshot| s.epoch < keep);
+                    epoch = keep;
+                    continue;
+                }
+                Err(err) => {
+                    // Like the EPL phase, this loop reports through curves
+                    // rather than a Result: on an unrecoverable divergence,
+                    // restore the last consistent state (if any) and let the
+                    // rest of the pipeline run from it.
+                    if let Some(ckpt) = mask_manager.last_good().cloned() {
+                        let mut params = encoder.params_mut();
+                        params.extend(mask_gen.params_mut());
+                        if ckpt.restore_into(&mut opt, &mut rng, &mut params).is_ok() {
+                            let keep = ckpt.epoch as usize + 1;
+                            et_loss_curve.truncate(keep);
+                            et_val_curve.truncate(keep);
+                            snapshots.retain(|s: &MaskSnapshot| s.epoch < keep);
+                        }
+                    }
+                    ses_obs::info!(
+                        "explain: stopping at epoch {epoch} after unrecoverable divergence ({reason}): {err}"
+                    );
+                    break;
+                }
+            }
+        }
+
         apply_step(
             &mut opt,
             &tape,
@@ -443,6 +496,18 @@ pub fn fit<E: Encoder>(
             &out.param_vars,
             &masks.param_vars,
         );
+
+        if mask_manager.checkpoint_due(epoch as u64) {
+            let ckpt = {
+                let mut params = encoder.params_mut();
+                params.extend(mask_gen.params_mut());
+                TrainCheckpoint::capture(epoch as u64, &opt, &rng, &params)
+            };
+            if let Err(e) = mask_manager.record_checkpoint(ckpt, false) {
+                ses_obs::info!("explain: stopping at epoch {epoch}: checkpoint write failed: {e}");
+                break;
+            }
+        }
 
         et_loss_curve.push(loss_val);
         let (pred, _) = eval_forward(&encoder, graph, &ctx.adj, None, None, config.seed);
@@ -479,6 +544,7 @@ pub fn fit<E: Encoder>(
                 structure_weights: sw,
             });
         }
+        epoch += 1;
     }
 
     // Final masks: the trained mask generator's output (constants from here on).
@@ -1173,6 +1239,45 @@ mod tests {
         assert!(trained.report.epl_loss_curve.iter().all(|l| l.is_finite()));
         assert!(ses_obs::metrics::TRAIN_RECOVER_DETECTED.get() > detected_before);
         assert!(ses_obs::metrics::TRAIN_RECOVER_ROLLBACKS.get() > rollbacks_before);
+    }
+
+    #[test]
+    fn mask_phase_divergence_is_detected_and_fit_survives() {
+        ses_obs::set_enabled_override(Some(true));
+        let mask_before = ses_obs::metrics::TRAIN_RECOVER_MASK_PHASE.get();
+        let mut rng = StdRng::seed_from_u64(28);
+        let d = realworld::polblogs_like(Profile::Fast, &mut rng);
+        let g = &d.graph;
+        let splits = Splits::classification(g.n_nodes(), &mut rng);
+        let enc = Gcn::new(g.n_features(), 8, g.n_classes(), &mut rng);
+        let mg = MaskGenerator::new(8, g.n_features(), &mut rng);
+        // An absurd learning rate makes Adam blow the joint encoder +
+        // mask-generator parameters up after the first step; the stable
+        // log-sum-exp keeps the exploded loss *finite*, so what must fire
+        // is the sentinel's spike detector — with a one-epoch window the
+        // epoch-1 loss is judged against the healthy epoch-0 median. No
+        // fault injection involved: this is natural divergence that only
+        // the mask-phase sentinel can see.
+        let cfg = SesConfig {
+            epochs_explain: 8,
+            epochs_epl: 0,
+            lr: 1e12,
+            recovery: ses_resilience::RecoveryPolicy {
+                spike_window: 1,
+                ..ses_resilience::RecoveryPolicy::standard()
+            },
+            ..Default::default()
+        };
+        let trained = fit(enc, mg, g, &splits, &cfg);
+        ses_obs::set_enabled_override(None);
+        assert!(
+            ses_obs::metrics::TRAIN_RECOVER_MASK_PHASE.get() > mask_before,
+            "the explain-phase sentinel must have fired"
+        );
+        assert!(
+            trained.report.et_loss_curve.iter().all(|l| l.is_finite()),
+            "diverged epochs must not leak into the reported curve"
+        );
     }
 
     #[test]

@@ -27,7 +27,8 @@ fn report(name: &str, step: &ExplainStepIr) -> Result<(), String> {
     println!(
         "{name}: nodes {} -> {} ({:.1}% reduction: {} dce, {} cse), \
          peak buffer bytes {} -> {} ({:.1}% reduction), \
-         {} fusion candidates, {} constant nodes, {} slots",
+         {} fusion candidates, {} constant nodes, {} slots, \
+         {} arena bytes",
         s.nodes_before,
         s.nodes_after,
         100.0 * s.node_reduction(),
@@ -39,6 +40,7 @@ fn report(name: &str, step: &ExplainStepIr) -> Result<(), String> {
         s.fusion_candidates,
         s.const_nodes,
         plan.slots.len(),
+        s.arena_bytes,
     );
     if ses_obs::sink::active() {
         ses_obs::Record::new("bench_row")
@@ -52,6 +54,7 @@ fn report(name: &str, step: &ExplainStepIr) -> Result<(), String> {
             .uint("const_nodes", s.const_nodes as u64)
             .uint("peak_bytes_before", s.peak_bytes_before as u64)
             .uint("peak_bytes_after", s.peak_bytes_after as u64)
+            .uint("arena_bytes", s.arena_bytes as u64)
             .num("node_reduction", s.node_reduction())
             .num("byte_reduction", s.byte_reduction())
             .emit();

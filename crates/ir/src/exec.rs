@@ -295,13 +295,27 @@ pub fn execute(plan: &InferencePlan, payloads: &PayloadMap) -> Result<Vec<Matrix
                 step.shape
             )));
         }
-        slots[step.slot] = Some(value);
+        // Recycle the slot's previous occupant into the scratch pool: the
+        // slot set behaves as one arena region whose buffers cycle through
+        // [`ses_tensor::scratch`] instead of the allocator. `stats.arena_bytes`
+        // is the static high-water of exactly this scheme.
+        if let Some(old) = slots[step.slot].replace(value) {
+            old.recycle();
+        }
         slot_writer[step.slot] = Some(i);
     }
-    plan.outputs
+    let outputs: Result<Vec<Matrix>, ExecError> = plan
+        .outputs
         .iter()
         .map(|&o| read(&slots, &slot_writer, &plan.steps, o))
-        .collect()
+        .collect();
+    // Outputs were cloned out above; hand every slot buffer back to the
+    // pool so the next `execute` (or the surrounding training loop) reuses
+    // this plan's arena instead of allocating a fresh one.
+    for m in slots.into_iter().flatten() {
+        m.recycle();
+    }
+    outputs
 }
 
 #[cfg(test)]
@@ -335,6 +349,40 @@ mod tests {
             got[0].as_slice()[0].to_bits(),
             t.value(out).as_slice()[0].to_bits()
         );
+    }
+
+    #[test]
+    fn repeated_execution_reuses_the_scratch_arena() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(
+            3,
+            2,
+            vec![0.5, -1.0, 2.0, 0.0, -0.25, 1.5],
+        ));
+        let w = t.leaf(Matrix::from_vec(2, 2, vec![0.1, -0.2, 0.3, 0.4]));
+        let h = t.matmul(x, w);
+        let r = t.relu(h);
+        let out = t.mean_all(r);
+        let ir = t.export_ir();
+        let mut payloads = PayloadMap::new();
+        payloads.insert(x.index(), Payload::Leaf(t.value(x).clone()));
+        payloads.insert(w.index(), Payload::Leaf(t.value(w).clone()));
+        let plan = compile(&ir, None, &[out.index()]).expect("compile");
+        let first = execute(&plan, &payloads).expect("execute");
+        // The first run recycled its slot buffers into the pool on exit, so
+        // the second run's step outputs must come back as pool hits — and
+        // bit-identical values prove recycled buffers are re-zeroed.
+        let hits_before = ses_tensor::scratch::stats().hits;
+        let second = execute(&plan, &payloads).expect("execute");
+        assert!(
+            ses_tensor::scratch::stats().hits > hits_before,
+            "second execution should lease slot buffers from the scratch pool"
+        );
+        assert_eq!(
+            first[0].as_slice()[0].to_bits(),
+            second[0].as_slice()[0].to_bits()
+        );
+        assert!(plan.stats.arena_bytes >= plan.stats.peak_bytes_after);
     }
 
     #[test]

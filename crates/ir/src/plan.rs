@@ -54,6 +54,11 @@ pub struct PlanStats {
     /// Bytes held by the plan's slot set — the static peak of the
     /// liveness-colored execution.
     pub peak_bytes_after: usize,
+    /// Scratch-arena bytes the executor holds at its high-water mark: the
+    /// full slot set plus the largest single step output, which coexists
+    /// transiently with the slot value it replaces (steps compute into a
+    /// fresh pooled buffer and only then recycle the slot's old occupant).
+    pub arena_bytes: usize,
 }
 
 impl PlanStats {
@@ -166,6 +171,12 @@ pub(crate) fn assign_slots(
         }
     }
     let peak_bytes_after: usize = slots.iter().sum();
+    let widest_step = ir
+        .nodes
+        .iter()
+        .map(|n| node_bytes(n.shape))
+        .max()
+        .unwrap_or(0);
     InferencePlan {
         steps,
         outputs: outputs.to_vec(),
@@ -179,6 +190,7 @@ pub(crate) fn assign_slots(
             const_nodes: stats_seed.const_nodes,
             peak_bytes_before: stats_seed.peak_bytes_before,
             peak_bytes_after,
+            arena_bytes: peak_bytes_after + widest_step,
         },
     }
 }
@@ -238,6 +250,9 @@ mod tests {
         assert_eq!(plan.slots.len(), 1);
         assert!(plan.peak_bytes() < plan.stats.peak_bytes_before);
         assert!(plan.stats.byte_reduction() > 0.5);
+        // the arena high-water covers the slot set plus one transient step
+        assert!(plan.stats.arena_bytes > plan.stats.peak_bytes_after);
+        assert!(plan.stats.arena_bytes <= plan.stats.peak_bytes_after * 2);
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub const UNSAFE_NEEDS_SAFETY_COMMENT: &str = "unsafe-needs-safety-comment";
 pub const NO_CATCH_UNWIND_OUTSIDE_RESILIENCE: &str = "no-catch-unwind-outside-resilience";
 /// See [`NO_UNWRAP`].
 pub const NO_FLOAT_EQ: &str = "no-float-eq";
+/// See [`NO_UNWRAP`].
+pub const NO_VEC_ALLOC_IN_KERNEL_LOOP: &str = "no-vec-alloc-in-kernel-loop";
 
 /// All rule names, for validating `lint:allow(..)` directives.
 pub const ALL_RULES: &[&str] = &[
@@ -42,6 +44,7 @@ pub const ALL_RULES: &[&str] = &[
     UNSAFE_NEEDS_SAFETY_COMMENT,
     NO_CATCH_UNWIND_OUTSIDE_RESILIENCE,
     NO_FLOAT_EQ,
+    NO_VEC_ALLOC_IN_KERNEL_LOOP,
 ];
 
 /// True for paths whose panics are acceptable: test code, benchmarks,
@@ -221,6 +224,110 @@ pub fn no_narrowing_cast(file: &LintFile, out: &mut Vec<Violation>) {
              widening or justify with `// lint:allow(no-narrowing-cast): <reason>`"
         );
         flag(file, &toks[i], NO_NARROWING_CAST, true, msg, out);
+    }
+}
+
+/// True when the `for` at `i` heads a for-loop (`for pat in iter {`) rather
+/// than a trait impl (`impl Trait for Type {`) or an HRTB (`for<'a>`): scans
+/// forward for an `in` identifier before the body's opening brace.
+fn for_is_loop(toks: &[Tok], i: usize) -> bool {
+    let mut nesting = 0i32;
+    for t in &toks[i + 1..] {
+        if t.is_punct('(') || t.is_punct('[') {
+            nesting += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            nesting -= 1;
+        } else if t.is_punct('{') && nesting == 0 {
+            return false;
+        } else if t.is_ident("in") {
+            return true;
+        }
+    }
+    false
+}
+
+/// `no-vec-alloc-in-kernel-loop`: forbids `Vec::new()`, `vec![..]` and
+/// `with_capacity(..)` inside loop bodies in the tensor-kernel hot paths.
+/// A heap allocation per iteration turns an O(1) inner step into an
+/// allocator round-trip and defeats the arena work the kernels are built
+/// on; hoist the buffer above the loop or lease it from
+/// `ses_tensor::scratch` (leases recycle and are exempt by construction —
+/// they never spell `Vec::new` at the call site).
+pub fn no_vec_alloc_in_kernel_loop(file: &LintFile, out: &mut Vec<Violation>) {
+    if !is_kernel_hot_path(&file.rel_path) {
+        return;
+    }
+    let toks = &file.tokens;
+    // Brace-depth walk: `loop_opens` records the depths at which a loop
+    // body opened; any token while the stack is non-empty is loop-body code.
+    let mut depth = 0usize;
+    let mut loop_opens: Vec<usize> = Vec::new();
+    // A loop keyword was seen; the next `{` outside parens/brackets opens
+    // its body.
+    let mut pending = false;
+    let mut pending_nesting = 0i32;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            if pending && (t.is_punct('(') || t.is_punct('[')) {
+                pending_nesting += 1;
+            } else if pending && (t.is_punct(')') || t.is_punct(']')) {
+                pending_nesting -= 1;
+            } else if t.is_punct('{') {
+                depth += 1;
+                if pending && pending_nesting == 0 {
+                    loop_opens.push(depth);
+                    pending = false;
+                }
+            } else if t.is_punct('}') {
+                if loop_opens.last() == Some(&depth) {
+                    loop_opens.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if t.is_ident("while") || t.is_ident("loop") {
+                pending = true;
+                pending_nesting = 0;
+                continue;
+            }
+            if t.is_ident("for") && for_is_loop(toks, i) {
+                pending = true;
+                pending_nesting = 0;
+                continue;
+            }
+        }
+        if loop_opens.is_empty() {
+            continue;
+        }
+        // `Vec :: new (`
+        let vec_new = t.is_ident("Vec")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("new"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('));
+        // `Type :: with_capacity (` or `. with_capacity (`
+        let with_cap = t.is_ident("with_capacity")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && i >= 1
+            && (toks[i - 1].is_punct(':') || toks[i - 1].is_punct('.'));
+        let what = if vec_new {
+            "`Vec::new()`"
+        } else if with_cap {
+            "`with_capacity(..)`"
+        } else if is_macro_call(toks, i, "vec") {
+            "`vec![..]`"
+        } else {
+            continue;
+        };
+        let msg = format!(
+            "{what} inside a kernel loop body allocates every iteration: hoist the \
+             buffer above the loop or lease it from `ses_tensor::scratch`, or justify \
+             with `// lint:allow(no-vec-alloc-in-kernel-loop): <reason>`"
+        );
+        flag(file, t, NO_VEC_ALLOC_IN_KERNEL_LOOP, true, msg, out);
     }
 }
 
@@ -941,5 +1048,71 @@ mod tests {
         gradcheck_coverage(&[op_file], &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].msg.contains("wrapped"));
+    }
+
+    #[test]
+    fn vec_alloc_in_kernel_loop_flags_loop_bodies_only() {
+        let src = "pub fn k(n: usize) -> Vec<f32> {\n\
+                   \x20   let mut out = vec![0.0f32; n];\n\
+                   \x20   let hoisted = Vec::<f32>::with_capacity(n);\n\
+                   \x20   for r in 0..n {\n\
+                   \x20       let tmp = vec![0.0f32; 8];\n\
+                   \x20       let mut acc: Vec<f32> = Vec::new();\n\
+                   \x20       while acc.len() < 4 {\n\
+                   \x20           acc = Vec::with_capacity(8);\n\
+                   \x20       }\n\
+                   \x20   }\n\
+                   \x20   out\n\
+                   }";
+        let f = file("crates/tensor/src/kernels/dense.rs", src);
+        let v = run_single(&f, no_vec_alloc_in_kernel_loop);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert_eq!(
+            v.iter().map(|x| x.line).collect::<Vec<_>>(),
+            vec![5, 6, 8],
+            "pre-loop allocations at lines 2-3 stay clean: {v:?}"
+        );
+        // same source outside the kernel hot paths: clean
+        let v = run_single(
+            &file("crates/gnn/src/layers.rs", src),
+            no_vec_alloc_in_kernel_loop,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn vec_alloc_rule_ignores_impl_for_and_respects_allow() {
+        // `impl Drop for Pool` is not a loop; the `for` there must not turn
+        // the impl body into a "loop body".
+        let src = "impl Drop for Pool {\n\
+                   \x20   fn drop(&mut self) {\n\
+                   \x20       let b: Vec<u8> = Vec::new();\n\
+                   \x20   }\n\
+                   }";
+        let f = file("crates/tensor/src/kernels/lane.rs", src);
+        let v = run_single(&f, no_vec_alloc_in_kernel_loop);
+        assert!(v.is_empty(), "{v:?}");
+
+        let src2 = "pub fn k() {\n\
+                    \x20   loop {\n\
+                    \x20       // lint:allow(no-vec-alloc-in-kernel-loop): grows once, reused\n\
+                    \x20       let b: Vec<u8> = Vec::new();\n\
+                    \x20       break;\n\
+                    \x20   }\n\
+                    }";
+        let f2 = file("crates/tensor/src/kernels/lane.rs", src2);
+        let v2 = run_single(&f2, no_vec_alloc_in_kernel_loop);
+        assert!(v2.is_empty(), "{v2:?}");
+    }
+
+    #[test]
+    fn vec_alloc_rule_skips_test_regions_in_kernel_files() {
+        let src = "pub fn k() {}\n\
+                   #[cfg(test)]\nmod tests {\n\
+                   \x20   fn t() { for i in 0..3 { let v = vec![i]; } }\n\
+                   }";
+        let f = file("crates/tensor/src/kernels/sparse.rs", src);
+        let v = run_single(&f, no_vec_alloc_in_kernel_loop);
+        assert!(v.is_empty(), "{v:?}");
     }
 }

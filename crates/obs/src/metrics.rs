@@ -197,6 +197,8 @@ pub static TAPE_NODES: Counter = Counter::new("tape.nodes");
 pub static TAPE_BACKWARDS: Counter = Counter::new("tape.backwards");
 /// Peak node count observed on any single tape.
 pub static TAPE_PEAK_NODES: Gauge = Gauge::new("tape.peak_nodes");
+/// High-water mark of bytes resident in any thread's scratch pool.
+pub static SCRATCH_HIGHWATER: Gauge = Gauge::new("scratch.highwater");
 
 /// Sparse×dense matmul kernel invocations (forward + adjoints).
 pub static SPMM_CALLS: Counter = Counter::new("kernel.spmm.calls");
@@ -252,8 +254,16 @@ pub static TRAIN_RECOVER_GIVEUPS: Counter = Counter::new("trainer.recover.giveup
 pub static TRAIN_RECOVER_CKPT_IO_ERRORS: Counter = Counter::new("trainer.recover.ckpt_io_errors");
 /// Parallel ops degraded to the serial path after a worker panic.
 pub static KERNEL_PANIC_DEGRADED: Counter = Counter::new("kernel.panic_degraded");
+/// Bytes served from recycled scratch buffers instead of fresh allocations
+/// (see `ses_tensor::scratch`): each lease satisfied from the pool adds the
+/// buffer's byte size here, so `alloc.saved_bytes / (alloc.saved_bytes +
+/// alloc.bytes)` is the arena hit rate.
+pub static ALLOC_SAVED_BYTES: Counter = Counter::new("alloc.saved_bytes");
+/// Divergences detected (and recovered) in the mask/explain phase of `fit`,
+/// as opposed to the EPL phase covered by `trainer.recover.*`.
+pub static TRAIN_RECOVER_MASK_PHASE: Counter = Counter::new("trainer.recover.mask_phase");
 
-static ALL_COUNTERS: [&Counter; 25] = [
+static ALL_COUNTERS: [&Counter; 27] = [
     &TAPE_NODES,
     &TAPE_BACKWARDS,
     &SPMM_CALLS,
@@ -279,8 +289,10 @@ static ALL_COUNTERS: [&Counter; 25] = [
     &TRAIN_RECOVER_GIVEUPS,
     &TRAIN_RECOVER_CKPT_IO_ERRORS,
     &KERNEL_PANIC_DEGRADED,
+    &ALLOC_SAVED_BYTES,
+    &TRAIN_RECOVER_MASK_PHASE,
 ];
-static ALL_GAUGES: [&Gauge; 1] = [&TAPE_PEAK_NODES];
+static ALL_GAUGES: [&Gauge; 2] = [&TAPE_PEAK_NODES, &SCRATCH_HIGHWATER];
 static ALL_HISTOGRAMS: [&Histogram; 1] = [&EXPLAIN_NODE_NS];
 
 /// All well-known counters, for the summary table and end-of-run records.

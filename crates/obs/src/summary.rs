@@ -66,6 +66,19 @@ pub fn summary_string() -> String {
         }
     }
 
+    if spans::tree_enabled() {
+        let lines = spans::tree_lines();
+        if !lines.is_empty() {
+            let _ = writeln!(
+                out,
+                "── span tree (collapsed stacks, self ns) ──────────────"
+            );
+            for line in lines {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+
     let counters: Vec<_> = metrics::counters().iter().filter(|c| c.get() > 0).collect();
     let gauges: Vec<_> = metrics::gauges().iter().filter(|g| g.get() != 0).collect();
     if !counters.is_empty() || !gauges.is_empty() {

@@ -305,6 +305,52 @@ impl TrainCheckpoint {
     }
 }
 
+/// Epoch-stamped rotation sibling of a base checkpoint path: `train.ckpt`
+/// at epoch 7 becomes `train.ckpt.e00000007`. The fixed-width epoch keeps
+/// lexical and numeric ordering in agreement (up to 10^8 epochs, far beyond
+/// any training run here).
+pub fn rotated_path(base: &Path, epoch: u64) -> PathBuf {
+    let mut name = base.as_os_str().to_os_string();
+    name.push(format!(".e{epoch:08}"));
+    PathBuf::from(name)
+}
+
+/// Every rotated sibling of `base` currently on disk, as `(epoch, path)`
+/// sorted ascending by epoch. Files whose suffix does not parse as an epoch
+/// are ignored (they are not ours to manage).
+pub fn rotated_checkpoints(base: &Path) -> Vec<(u64, PathBuf)> {
+    let Some(file_name) = base.file_name().and_then(|n| n.to_str()) else {
+        return Vec::new();
+    };
+    let dir = base.parent().filter(|p| !p.as_os_str().is_empty());
+    let Ok(entries) = std::fs::read_dir(dir.unwrap_or(Path::new("."))) else {
+        return Vec::new();
+    };
+    let prefix = format!("{file_name}.e");
+    let mut found: Vec<(u64, PathBuf)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name();
+            let name = name.to_str()?;
+            let epoch: u64 = name.strip_prefix(&prefix)?.parse().ok()?;
+            Some((epoch, e.path()))
+        })
+        .collect();
+    found.sort_by_key(|(epoch, _)| *epoch);
+    found
+}
+
+/// The newest checkpoint reachable from `base`: the rotated sibling with the
+/// highest epoch when rotation is in use, else `base` itself when it exists,
+/// else `None`. This is the resume entry point — callers pass it straight to
+/// [`TrainCheckpoint::read_from`] (or a trainer's `resume_from`).
+pub fn latest_checkpoint(base: &Path) -> Option<PathBuf> {
+    if let Some((_, path)) = rotated_checkpoints(base).into_iter().last() {
+        return Some(path);
+    }
+    base.exists().then(|| base.to_path_buf())
+}
+
 fn push_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }

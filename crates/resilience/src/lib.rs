@@ -26,6 +26,9 @@ pub mod checkpoint;
 pub mod fault;
 pub mod recovery;
 
-pub use checkpoint::{CheckpointError, ParamState, TrainCheckpoint};
+pub use checkpoint::{
+    latest_checkpoint, rotated_checkpoints, rotated_path, CheckpointError, ParamState,
+    TrainCheckpoint,
+};
 pub use fault::{FaultKind, FaultSpec};
 pub use recovery::{RecoveryError, RecoveryManager, RecoveryPolicy, Verdict};

@@ -83,6 +83,13 @@ pub struct RecoveryPolicy {
     /// When `true`, a failed checkpoint *write* aborts training instead of
     /// degrading to in-memory-only.
     pub strict_checkpoints: bool,
+    /// How many epoch-stamped rotation copies of the on-disk checkpoint to
+    /// keep next to `checkpoint_path` (`train.ckpt.e00000004`, …). The base
+    /// path always holds the newest snapshot; rotation preserves a short
+    /// history so one corrupted write cannot destroy the only resume point.
+    /// `0` disables rotation entirely (the pre-rotation single-file
+    /// behaviour).
+    pub keep_last_n: usize,
 }
 
 impl RecoveryPolicy {
@@ -98,6 +105,7 @@ impl RecoveryPolicy {
             checkpoint_path: None,
             disk_every: 1,
             strict_checkpoints: false,
+            keep_last_n: 3,
         }
     }
 
@@ -114,6 +122,7 @@ impl RecoveryPolicy {
             checkpoint_path: None,
             disk_every: 1,
             strict_checkpoints: false,
+            keep_last_n: 3,
         }
     }
 }
@@ -221,7 +230,9 @@ impl RecoveryManager {
     /// Records a good checkpoint: always kept in memory, and persisted to
     /// `checkpoint_path` per `disk_every`. An IO failure (including the
     /// injected `ckpt-io` fault) degrades to in-memory-only under the
-    /// default tolerant policy, or aborts under `strict_checkpoints`.
+    /// default tolerant policy, or aborts under `strict_checkpoints`. A
+    /// successful write is then rotated: an epoch-stamped copy lands next to
+    /// the base path and stamped copies beyond `keep_last_n` are pruned.
     pub fn record_checkpoint(
         &mut self,
         ckpt: TrainCheckpoint,
@@ -232,14 +243,21 @@ impl RecoveryManager {
             self.policy.disk_every != 0 && ckpt.epoch.is_multiple_of(self.policy.disk_every as u64)
         });
         if let Some(path) = disk_path {
-            if let Err(e) = ckpt.write_atomic(path, inject_io_fault) {
-                ses_obs::metrics::TRAIN_RECOVER_CKPT_IO_ERRORS.incr();
-                if self.policy.strict_checkpoints {
-                    return Err(e);
+            match ckpt.write_atomic(path, inject_io_fault) {
+                Ok(()) => {
+                    if self.policy.keep_last_n > 0 {
+                        rotate_checkpoints(path, ckpt.epoch, self.policy.keep_last_n);
+                    }
                 }
-                ses_obs::info!(
-                    "trainer.recover: checkpoint write failed, keeping in-memory copy ({e})"
-                );
+                Err(e) => {
+                    ses_obs::metrics::TRAIN_RECOVER_CKPT_IO_ERRORS.incr();
+                    if self.policy.strict_checkpoints {
+                        return Err(e);
+                    }
+                    ses_obs::info!(
+                        "trainer.recover: checkpoint write failed, keeping in-memory copy ({e})"
+                    );
+                }
             }
         }
         self.last_good = Some(ckpt);
@@ -284,6 +302,34 @@ impl RecoveryManager {
             self.policy.max_retries
         );
         Ok(ckpt.epoch)
+    }
+}
+
+/// Best-effort rotation after a successful base-path write: stamp the fresh
+/// file with its epoch (hard link where the filesystem allows, byte copy
+/// otherwise) and prune stamped copies beyond `keep_last_n`. Rotation
+/// failures are logged, never fatal — the base checkpoint already landed,
+/// which is the part correctness depends on.
+fn rotate_checkpoints(base: &std::path::Path, epoch: u64, keep_last_n: usize) {
+    let stamped = crate::checkpoint::rotated_path(base, epoch);
+    // A leftover from a rolled-back run may occupy this epoch's name;
+    // hard_link refuses to overwrite, so clear it first.
+    std::fs::remove_file(&stamped).ok();
+    let linked =
+        std::fs::hard_link(base, &stamped).or_else(|_| std::fs::copy(base, &stamped).map(|_| ()));
+    if let Err(e) = linked {
+        ses_obs::info!(
+            "trainer.recover: checkpoint rotation failed at {} ({e})",
+            stamped.display()
+        );
+        return;
+    }
+    let mut stamped_all = crate::checkpoint::rotated_checkpoints(base);
+    if stamped_all.len() > keep_last_n {
+        let cut = stamped_all.len() - keep_last_n;
+        for (_, old) in stamped_all.drain(..cut) {
+            std::fs::remove_file(&old).ok();
+        }
     }
 }
 
@@ -422,6 +468,79 @@ mod tests {
             ..RecoveryPolicy::standard()
         });
         assert!(strict.record_checkpoint(ckpt, true).is_err());
+    }
+
+    #[test]
+    fn rotation_keeps_last_n_and_latest_resolves_newest() {
+        use crate::checkpoint::{latest_checkpoint, rotated_checkpoints};
+
+        let dir = std::env::temp_dir().join("ses-resilience-test-rotation");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let base = dir.join("train.ckpt");
+
+        let opt = Adam::new(0.01);
+        let rng = StdRng::seed_from_u64(1);
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        let mut m = RecoveryManager::new(RecoveryPolicy {
+            checkpoint_path: Some(base.clone()),
+            keep_last_n: 3,
+            ..RecoveryPolicy::standard()
+        });
+
+        assert_eq!(latest_checkpoint(&base), None, "nothing on disk yet");
+        for epoch in 0..6u64 {
+            let ckpt = {
+                let mut refs = vec![&mut p];
+                TrainCheckpoint::capture(epoch, &opt, &rng, &refs.as_mut_slice()[..])
+            };
+            m.record_checkpoint(ckpt, false).expect("record");
+        }
+
+        let stamped = rotated_checkpoints(&base);
+        let epochs: Vec<u64> = stamped.iter().map(|(e, _)| *e).collect();
+        assert_eq!(epochs, vec![3, 4, 5], "only the newest 3 survive pruning");
+        assert!(base.exists(), "base path still holds the latest snapshot");
+
+        let latest = latest_checkpoint(&base).expect("latest");
+        assert_eq!(latest, stamped.last().unwrap().1);
+        let back = TrainCheckpoint::read_from(&latest).expect("load");
+        assert_eq!(back.epoch, 5);
+        // The base file and the newest stamped copy are the same snapshot.
+        assert_eq!(back, TrainCheckpoint::read_from(&base).expect("base"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn keep_last_n_zero_disables_rotation() {
+        use crate::checkpoint::{latest_checkpoint, rotated_checkpoints};
+
+        let dir = std::env::temp_dir().join("ses-resilience-test-no-rotation");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let base = dir.join("train.ckpt");
+
+        let opt = Adam::new(0.01);
+        let rng = StdRng::seed_from_u64(1);
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        let mut m = RecoveryManager::new(RecoveryPolicy {
+            checkpoint_path: Some(base.clone()),
+            keep_last_n: 0,
+            ..RecoveryPolicy::standard()
+        });
+        for epoch in 0..3u64 {
+            let ckpt = {
+                let mut refs = vec![&mut p];
+                TrainCheckpoint::capture(epoch, &opt, &rng, &refs.as_mut_slice()[..])
+            };
+            m.record_checkpoint(ckpt, false).expect("record");
+        }
+        assert!(rotated_checkpoints(&base).is_empty());
+        // With no stamped copies, the base path itself is the resume point.
+        assert_eq!(latest_checkpoint(&base), Some(base.clone()));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -20,7 +20,7 @@ fn build_ckpt(
 ) -> TrainCheckpoint {
     let specials = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, 1e-40];
     let mut cursor = 0usize;
-    let mut next = |cursor: &mut usize| -> f32 {
+    let next = |cursor: &mut usize| -> f32 {
         let i = *cursor;
         *cursor += 1;
         if i % 11 == 7 {
@@ -140,7 +140,7 @@ proptest! {
     ) {
         let ckpt = build_ckpt(1, 2, 0.5, &rng_state, &dims, &raw);
         let mut encoded = ckpt.to_bytes();
-        encoded.extend(std::iter::repeat(0xAAu8).take(extra));
+        encoded.extend(std::iter::repeat_n(0xAAu8, extra));
         prop_assert!(TrainCheckpoint::from_bytes(&encoded).is_err());
     }
 }

@@ -24,6 +24,8 @@ use std::time::Instant;
 use criterion::{black_box, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use ses_tensor::kernels::reference;
+use ses_tensor::par::dispatch;
 use ses_tensor::{kernels, CsrStructure, Matrix};
 
 /// Thread counts every kernel is measured at.
@@ -133,6 +135,15 @@ fn main() {
         ]
     };
 
+    // Calibrate the serial/parallel crossover per kernel *before* the main
+    // measurement pass, then install the table so every timed entry below
+    // reflects what `par::dispatch` will actually do in production — which
+    // is exactly what the parallel-never-loses gate asserts on.
+    let crossovers = calibrate_crossovers(quick, hardware_threads);
+    for (kernel, work, _unit) in &crossovers {
+        dispatch::set_crossover(kernel, *work);
+    }
+
     let calib = calibration_ns();
     let mut c = Criterion::default().sample_size(if quick { 3 } else { 10 });
 
@@ -209,7 +220,7 @@ fn main() {
         }
     }
 
-    let report = render_report(quick, hardware_threads, calib, &entries);
+    let report = render_report(quick, hardware_threads, calib, &entries, &crossovers);
     if let Err(e) = std::fs::write(&out_path, &report) {
         eprintln!("bench: failed to write {out_path}: {e}");
         std::process::exit(1);
@@ -221,11 +232,374 @@ fn main() {
         failed |= !gate_against_baseline(&baseline_path, quick, hardware_threads, &entries);
     }
     failed |= !gate_speedup(hardware_threads, &entries);
+    failed |= !gate_parallel_never_loses(hardware_threads, &entries);
+    failed |= !gate_lane_speedup(&cases);
     failed |= !gate_obs_overhead(&entries);
     failed |= !gate_resilience_overhead(&entries);
     if failed {
         std::process::exit(1);
     }
+}
+
+/// Minimum-of-batches timing for a closure: each batch is sized to take
+/// roughly 200µs, so sub-microsecond calls are still measurable above timer
+/// resolution, and the minimum over batches discards scheduler noise.
+fn min_batch_ns<F: FnMut()>(mut f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    let one = start.elapsed().as_nanos().max(1) as f64;
+    let reps = ((200_000.0 / one).ceil() as usize).clamp(1, 20_000);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    best
+}
+
+/// The work axis each kernel's crossover is expressed in (matches what the
+/// kernel wrappers pass to [`dispatch::threads_for`]).
+fn crossover_unit(kernel: &str) -> &'static str {
+    match kernel {
+        "matmul" | "t_matmul" | "matmul_t" => "flops",
+        _ => "nnz",
+    }
+}
+
+/// Picks a crossover from `(work, serial_ns, parallel_ns)` ladder points
+/// (ascending work): the geometric mean of the last losing and first winning
+/// size. A "win" needs a 5% margin so oversubscription jitter does not count.
+/// If parallel wins everywhere the crossover drops below the smallest point;
+/// if it never wins it lands safely above the largest.
+fn pick_crossover(points: &[(usize, f64, f64)]) -> usize {
+    let first_win = points.iter().position(|&(_, s, p)| p < s * 0.95);
+    match first_win {
+        Some(0) => (points[0].0 / 2).max(1),
+        Some(i) => {
+            let lo = points[i - 1].0 as f64;
+            let hi = points[i].0 as f64;
+            (lo * hi).sqrt().round() as usize
+        }
+        None => points.last().map_or(1, |&(w, _, _)| w.saturating_mul(4)),
+    }
+}
+
+/// Ladder measurements for one sparse-family kernel: `f` runs the kernel on
+/// a prepared case at a given thread count.
+fn sparse_points(
+    cases: &[(Case, Matrix, Matrix)],
+    t: usize,
+    f: &mut dyn FnMut(&Case, &Matrix, &Matrix, usize),
+) -> Vec<(usize, f64, f64)> {
+    cases
+        .iter()
+        .map(|(case, softmax, grad_entries)| {
+            let nnz = case.structure.nnz();
+            let serial = min_batch_ns(|| f(case, softmax, grad_entries, 1));
+            let par = min_batch_ns(|| f(case, softmax, grad_entries, t));
+            (nnz, serial, par)
+        })
+        .collect()
+}
+
+/// Ladder measurements for one dense-family kernel.
+fn dense_points(
+    cases: &[(Matrix, Matrix)],
+    t: usize,
+    f: &mut dyn FnMut(&Matrix, &Matrix, usize),
+) -> Vec<(usize, f64, f64)> {
+    cases
+        .iter()
+        .map(|(a, b)| {
+            let (m, k) = a.shape();
+            let work = m * k * k;
+            let serial = min_batch_ns(|| f(a, b, 1));
+            let par = min_batch_ns(|| f(a, b, t));
+            (work, serial, par)
+        })
+        .collect()
+}
+
+/// Measures, per kernel, the work size where the parallel path starts
+/// beating the serial one, and returns `(kernel, crossover_work, unit)`
+/// rows for [`dispatch::set_crossover`] and the report's `"crossover"`
+/// section. Runs with dispatch bypassed so the sub-crossover parallel
+/// region is actually measured instead of being clamped to serial. On
+/// single-core hardware parallel cannot win by construction, so the
+/// compiled-in table is kept (and still persisted, for
+/// `SES_CROSSOVER_FILE` consumers).
+fn calibrate_crossovers(
+    quick: bool,
+    hardware_threads: usize,
+) -> Vec<(String, usize, &'static str)> {
+    let t = hardware_threads.min(4);
+    if t < 2 {
+        println!(
+            "bench: {hardware_threads} hardware thread(s) — parallel cannot win here; \
+             keeping the compiled-in crossover table"
+        );
+        return dispatch::kernels()
+            .into_iter()
+            .map(|k| (k.to_string(), dispatch::crossover(k), crossover_unit(k)))
+            .collect();
+    }
+    dispatch::set_bypass(true);
+    let sparse_ns: &[usize] = if quick {
+        &[96, 256, 768, 2048]
+    } else {
+        &[96, 256, 768, 2048, 4608, 9216]
+    };
+    let sparse: Vec<(Case, Matrix, Matrix)> = sparse_ns
+        .iter()
+        .map(|&n| {
+            let case = build_case("calib", n, 8, 32, 23);
+            let sm = kernels::edge_softmax(&case.structure, &case.scores, 1);
+            let sm = Matrix::from_vec(sm.len(), 1, sm);
+            let ge = Matrix::from_vec(
+                case.structure.nnz(),
+                1,
+                case.values.iter().map(|v| v * 0.5).collect::<Vec<f32>>(),
+            );
+            (case, sm, ge)
+        })
+        .collect();
+    let dense_ms: &[usize] = if quick {
+        &[64, 192, 512, 1536]
+    } else {
+        &[64, 192, 512, 1536, 4096]
+    };
+    let mut rng = StdRng::seed_from_u64(29);
+    let dense: Vec<(Matrix, Matrix)> = dense_ms
+        .iter()
+        .map(|&m| {
+            let a = Matrix::from_vec(
+                m,
+                32,
+                (0..m * 32).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            );
+            let b = Matrix::from_vec(
+                32,
+                32,
+                (0..32 * 32).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            );
+            (a, b)
+        })
+        .collect();
+
+    let mut table: Vec<(String, usize, &'static str)> = Vec::new();
+    let mut push = |name: &str, points: Vec<(usize, f64, f64)>| {
+        let work = pick_crossover(&points);
+        println!(
+            "bench: crossover {name} = {work} {} (from {} ladder points)",
+            crossover_unit(name),
+            points.len()
+        );
+        table.push((name.to_string(), work, crossover_unit(name)));
+    };
+    push(
+        "spmm",
+        sparse_points(&sparse, t, &mut |c, _, _, th| {
+            black_box(kernels::spmm(&c.structure, &c.values, &c.feats, th));
+        }),
+    );
+    push(
+        "spmm_transpose",
+        sparse_points(&sparse, t, &mut |c, _, _, th| {
+            black_box(kernels::spmm_transpose(
+                &c.structure,
+                &c.values,
+                &c.grad,
+                th,
+            ));
+        }),
+    );
+    push(
+        "spmm_values_grad",
+        sparse_points(&sparse, t, &mut |c, _, _, th| {
+            black_box(kernels::spmm_values_grad(
+                &c.structure,
+                &c.feats,
+                &c.grad,
+                th,
+            ));
+        }),
+    );
+    push(
+        "edge_softmax",
+        sparse_points(&sparse, t, &mut |c, _, _, th| {
+            black_box(kernels::edge_softmax(&c.structure, &c.scores, th));
+        }),
+    );
+    push(
+        "edge_softmax_backward",
+        sparse_points(&sparse, t, &mut |c, sm, ge, th| {
+            black_box(kernels::edge_softmax_backward(&c.structure, sm, ge, th));
+        }),
+    );
+    push(
+        "matmul",
+        dense_points(&dense, t, &mut |a, b, th| {
+            black_box(kernels::matmul(a, b, th));
+        }),
+    );
+    push(
+        "t_matmul",
+        dense_points(&dense, t, &mut |a, b, th| {
+            black_box(kernels::t_matmul(a, b, th));
+        }),
+    );
+    push(
+        "matmul_t",
+        dense_points(&dense, t, &mut |a, b, th| {
+            black_box(kernels::matmul_t(a, b, th));
+        }),
+    );
+    dispatch::set_bypass(false);
+    table
+}
+
+/// The parallel-never-loses gate: with the calibrated crossover table
+/// installed, a dispatched parallel call must never run meaningfully slower
+/// than the serial call at the same size — below the crossover, dispatch
+/// clamps to the serial path, and above it parallelism must pay for itself.
+/// Thread counts beyond the hardware are skipped (oversubscription measures
+/// spawn overhead, and the determinism contract makes the results identical
+/// anyway).
+fn gate_parallel_never_loses(hardware_threads: usize, entries: &[Entry]) -> bool {
+    const TOLERANCE: f64 = 1.10;
+    const SLACK_NS: f64 = 20_000.0;
+    let mut ok = true;
+    let mut checked = 0usize;
+    for e in entries
+        .iter()
+        .filter(|e| e.threads > 1 && e.threads <= hardware_threads)
+    {
+        let Some(base) = entries
+            .iter()
+            .find(|b| b.kernel == e.kernel && b.size == e.size && b.threads == 1)
+        else {
+            continue;
+        };
+        checked += 1;
+        if e.mean_ns > base.mean_ns * TOLERANCE + SLACK_NS {
+            eprintln!(
+                "bench gate: PARALLEL LOSS {}/{}/t{}: {:.0}ns vs {:.0}ns serial",
+                e.kernel, e.size, e.threads, e.mean_ns, base.mean_ns
+            );
+            ok = false;
+        }
+    }
+    if checked == 0 {
+        println!(
+            "bench gate: parallel-never-loses — no in-hardware parallel entries on \
+             {hardware_threads} thread(s); skipped"
+        );
+    } else {
+        println!("bench gate: parallel-never-loses — checked {checked} dispatched entries");
+    }
+    ok
+}
+
+/// Minimum-of-batches timing for two closures measured interleaved:
+/// alternating A-batch / B-batch rounds so a sustained slow period on a
+/// shared box (another tenant, frequency dip) inflates both sides rather
+/// than whichever happened to run during it. The per-side minimum over
+/// rounds then discards the noisy rounds symmetrically.
+fn interleaved_min_ns<A: FnMut(), B: FnMut()>(mut a: A, mut b: B) -> (f64, f64) {
+    const ROUNDS: usize = 5;
+    let reps_for = |one: f64| ((200_000.0 / one).ceil() as usize).clamp(1, 20_000);
+    let start = Instant::now();
+    a();
+    let reps_a = reps_for(start.elapsed().as_nanos().max(1) as f64);
+    let start = Instant::now();
+    b();
+    let reps_b = reps_for(start.elapsed().as_nanos().max(1) as f64);
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        for _ in 0..reps_a {
+            a();
+        }
+        best_a = best_a.min(start.elapsed().as_nanos() as f64 / reps_a as f64);
+        let start = Instant::now();
+        for _ in 0..reps_b {
+            b();
+        }
+        best_b = best_b.min(start.elapsed().as_nanos() as f64 / reps_b as f64);
+    }
+    (best_a, best_b)
+}
+
+/// The lane-speedup gate: the serial lane kernels must beat the committed
+/// scalar reference bodies ([`reference`]) by ≥ 1.3× on the large benchmark
+/// case. Measured interleaved in-process ([`interleaved_min_ns`]), so the
+/// threshold holds across machines without normalisation and one noisy
+/// stretch on a shared box cannot sink a single side. A sub-threshold
+/// kernel is re-measured up to twice (best ratio wins) before the gate
+/// fails: at this margin a noisy stretch spanning whole rounds is far
+/// likelier than a genuine regression, and a real regression fails all
+/// three attempts anyway.
+fn gate_lane_speedup(cases: &[Case]) -> bool {
+    const WANT: f64 = 1.3;
+    const ATTEMPTS: usize = 3;
+    let Some(case) = cases.iter().find(|c| c.name == "coauthor_cs") else {
+        eprintln!("bench gate: coauthor_cs case missing for the lane-speedup check");
+        return false;
+    };
+    let s = &case.structure;
+    let measure = |which: &str| -> (f64, f64) {
+        if which == "spmm" {
+            interleaved_min_ns(
+                || {
+                    black_box(reference::spmm(s, &case.values, &case.feats));
+                },
+                || {
+                    black_box(kernels::spmm(s, &case.values, &case.feats, 1));
+                },
+            )
+        } else {
+            interleaved_min_ns(
+                || {
+                    black_box(reference::matmul(&case.feats, &case.weight));
+                },
+                || {
+                    black_box(kernels::matmul(&case.feats, &case.weight, 1));
+                },
+            )
+        }
+    };
+    let mut ok = true;
+    for name in ["spmm", "matmul"] {
+        let (mut scalar_ns, mut lane_ns) = measure(name);
+        let mut sp = scalar_ns / lane_ns;
+        for attempt in 1..ATTEMPTS {
+            if sp >= WANT {
+                break;
+            }
+            eprintln!("bench gate: lane {name} {sp:.2}x on attempt {attempt} — re-measuring");
+            let (s2, l2) = measure(name);
+            if s2 / l2 > sp {
+                (scalar_ns, lane_ns) = (s2, l2);
+                sp = s2 / l2;
+            }
+        }
+        if sp >= WANT {
+            println!(
+                "bench gate: lane {name} {sp:.2}x over the scalar reference \
+                 ({scalar_ns:.0}ns -> {lane_ns:.0}ns) — >= {WANT}x"
+            );
+        } else {
+            eprintln!(
+                "bench gate: lane {name} only {sp:.2}x over the scalar reference \
+                 ({scalar_ns:.0}ns -> {lane_ns:.0}ns) — wanted {WANT}x"
+            );
+            ok = false;
+        }
+    }
+    ok
 }
 
 /// Asserts the per-epoch resilience tax — one divergence-sentinel `observe`
@@ -264,7 +638,7 @@ fn gate_resilience_overhead(entries: &[Entry]) -> bool {
                 .collect(),
         ))
     };
-    let mut params = vec![dense(32, 32), dense(1, 32), dense(32, 4), dense(1, 4)];
+    let mut params = [dense(32, 32), dense(1, 32), dense(32, 4), dense(1, 4)];
     let opt = Adam::new(3e-3);
     let mut manager = RecoveryManager::new(RecoveryPolicy::standard());
     let probe_rng = StdRng::seed_from_u64(17);
@@ -337,9 +711,17 @@ fn gate_obs_overhead(entries: &[Entry]) -> bool {
     }
 }
 
-/// Renders the JSON report. One entry per line so the baseline gate can
-/// parse it back without a JSON dependency.
-fn render_report(quick: bool, hardware_threads: usize, calib: f64, entries: &[Entry]) -> String {
+/// Renders the JSON report. One entry per line so the baseline gate (and
+/// `ses_tensor::par::dispatch::load_from_json`, which reads the
+/// `"crossover"` section via `SES_CROSSOVER_FILE`) can parse it back
+/// without a JSON dependency.
+fn render_report(
+    quick: bool,
+    hardware_threads: usize,
+    calib: f64,
+    entries: &[Entry],
+    crossovers: &[(String, usize, &'static str)],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"ses-bench-kernels/v1\",\n");
@@ -361,6 +743,14 @@ fn render_report(quick: bool, hardware_threads: usize, calib: f64, entries: &[En
         let comma = if i + 1 < speedups.len() { "," } else { "" };
         s.push_str(&format!(
             "    {{\"kernel\": \"{kernel}\", \"size\": \"{size}\", \"threads\": {threads}, \"speedup\": {sp:.3}}}{comma}\n"
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"crossover\": [\n");
+    for (i, (kernel, work, unit)) in crossovers.iter().enumerate() {
+        let comma = if i + 1 < crossovers.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{kernel}\", \"crossover_work\": {work}, \"unit\": \"{unit}\"}}{comma}\n"
         ));
     }
     s.push_str("  ]\n}\n");

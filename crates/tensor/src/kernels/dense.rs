@@ -1,19 +1,34 @@
-//! Dense matmul family: row-parallel, feature-tiled `i-k-j` kernels.
+//! Dense matmul family: row-parallel, register-blocked lane kernels.
 //!
 //! All three variants partition the *output* rows across threads, so each
 //! output element is produced by exactly one task accumulating over `k` in
-//! ascending order — bit-identical at any thread count.
+//! ascending order — bit-identical at any thread count, and bit-identical to
+//! the scalar reference bodies in [`super::reference`] (the lane structure
+//! only regroups independent output elements; see [`super::lane`]).
 //!
-//! Each public wrapper validates shapes up front, then runs its compute body
-//! through [`par::run_isolated`]: a worker panic discards the parallel
-//! attempt and recomputes serially (same bits), instead of killing the
-//! process.
+//! The hot loop is a `matmul` micro-panel: [`PANEL_ROWS`] output rows ×
+//! `2·LANES` output columns accumulate in registers across the whole `k`
+//! sweep. Each loaded row of `b` feeds all [`PANEL_ROWS`] accumulator rows
+//! (the scalar loop reloaded it per row), and the output is stored once per
+//! panel instead of read-modified-written per `k` step.
+//!
+//! Each public wrapper validates shapes up front, consults the measured
+//! crossover table ([`par::dispatch`]) to decide serial vs parallel, then
+//! runs its compute body through [`par::run_isolated`]: a worker panic
+//! discards the parallel attempt and recomputes serially (same bits),
+//! instead of killing the process. Output buffers are leased from the
+//! per-thread scratch pool ([`crate::scratch`]).
 
 use std::ops::Range;
 
-use super::FEATURE_TILE;
+use super::lane::{self, F32x8, LANES};
 use crate::matrix::Matrix;
 use crate::par;
+
+/// Output rows per matmul micro-panel. Four rows × two lane columns is ten
+/// live 8-wide registers (8 accumulators, 2 loads) — comfortably inside the
+/// 16 architectural vector registers of x86-64/AArch64.
+const PANEL_ROWS: usize = 4;
 
 /// Bumps the matmul-family telemetry counters for an `m×k × k×n` product.
 fn record_matmul(m: usize, k: usize, n: usize) {
@@ -21,8 +36,7 @@ fn record_matmul(m: usize, k: usize, n: usize) {
     ses_obs::metrics::MATMUL_FLOPS.add((m as u64) * (k as u64) * (n as u64));
 }
 
-/// `a × b` with `i-k-j` loop order, feature-tiled over the output columns so
-/// the active output segment stays resident while rows of `b` stream.
+/// `a × b`: register-blocked lane micro-panels (see the module docs).
 ///
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
@@ -38,6 +52,8 @@ pub fn matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
         b.rows(),
         b.cols()
     );
+    let work = a.rows() * a.cols() * b.cols();
+    let threads = par::dispatch::threads_for("matmul", work, threads);
     par::run_isolated(
         "matmul",
         threads,
@@ -49,7 +65,7 @@ pub fn matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
 /// Compute body of [`matmul`] at an explicit thread count.
 fn matmul_impl(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     let n = b.cols();
-    let mut out = Matrix::zeros(a.rows(), n);
+    let mut out = Matrix::zeros_pooled(a.rows(), n);
     let ranges = par::even_ranges(a.rows(), threads);
     let slices = par::split_rows_mut(out.as_mut_slice(), n, &ranges);
     let tasks: Vec<_> = ranges
@@ -61,31 +77,85 @@ fn matmul_impl(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     out
 }
 
-/// Serial [`matmul`] body for one output row block.
+/// Lane body of [`matmul`] for one output row block: full panels of
+/// [`PANEL_ROWS`] rows, then a 1-row panel per leftover row.
 fn matmul_rows(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
     let n = b.cols();
     let base = rows.start;
-    for i in rows {
-        let a_row = a.row(i);
-        let out_row = &mut out[(i - base) * n..(i - base + 1) * n];
-        let mut jt = 0;
-        while jt < n {
-            let je = (jt + FEATURE_TILE).min(n);
+    let mut i = rows.start;
+    while i + PANEL_ROWS <= rows.end {
+        let (lo, hi) = (i - base, i - base + PANEL_ROWS);
+        matmul_panel::<PANEL_ROWS>(a, b, i, &mut out[lo * n..hi * n]);
+        i += PANEL_ROWS;
+    }
+    while i < rows.end {
+        let lo = i - base;
+        matmul_panel::<1>(a, b, i, &mut out[lo * n..(lo + 1) * n]);
+        i += 1;
+    }
+}
+
+/// One `R`-row matmul micro-panel: `out[r, :] += Σ_k a[i0+r, k] · b[k, :]`.
+///
+/// Column blocks of `2·LANES`, then `LANES`, then a scalar tail; every
+/// element accumulates in ascending `k` with separate mul+add, exactly like
+/// `reference::matmul`.
+fn matmul_panel<const R: usize>(a: &Matrix, b: &Matrix, i0: usize, out: &mut [f32]) {
+    let n = b.cols();
+    let kk = a.cols();
+    let a_rows: [&[f32]; R] = std::array::from_fn(|r| a.row(i0 + r));
+    let mut j = 0;
+    while j + 2 * LANES <= n {
+        let mut acc0 = [F32x8::zero(); R];
+        let mut acc1 = [F32x8::zero(); R];
+        #[allow(clippy::needless_range_loop)] // k indexes both a_rows[r] and b.row(k)
+        for k in 0..kk {
+            let b_seg = &b.row(k)[j..j + 2 * LANES];
+            let vb0 = F32x8::load(&b_seg[0..LANES]);
+            let vb1 = F32x8::load(&b_seg[LANES..2 * LANES]);
+            for r in 0..R {
+                let a_ik = a_rows[r][k];
+                acc0[r] = acc0[r].add_scaled(a_ik, vb0);
+                acc1[r] = acc1[r].add_scaled(a_ik, vb1);
+            }
+        }
+        for r in 0..R {
+            acc0[r].store(&mut out[r * n + j..r * n + j + LANES]);
+            acc1[r].store(&mut out[r * n + j + LANES..r * n + j + 2 * LANES]);
+        }
+        j += 2 * LANES;
+    }
+    while j + LANES <= n {
+        let mut acc = [F32x8::zero(); R];
+        #[allow(clippy::needless_range_loop)] // k indexes both a_rows[r] and b.row(k)
+        for k in 0..kk {
+            let vb = F32x8::load(&b.row(k)[j..j + LANES]);
+            for r in 0..R {
+                acc[r] = acc[r].add_scaled(a_rows[r][k], vb);
+            }
+        }
+        for r in 0..R {
+            acc[r].store(&mut out[r * n + j..r * n + j + LANES]);
+        }
+        j += LANES;
+    }
+    if j < n {
+        for (r, a_row) in a_rows.iter().enumerate() {
+            let out_row = &mut out[r * n..(r + 1) * n];
             for (k, &a_ik) in a_row.iter().enumerate() {
-                let b_row = &b.row(k)[jt..je];
-                for (o, &bj) in out_row[jt..je].iter_mut().zip(b_row) {
-                    *o += a_ik * bj;
+                let b_row = b.row(k);
+                for jj in j..n {
+                    out_row[jj] += a_ik * b_row[jj];
                 }
             }
-            jt = je;
         }
     }
 }
 
 /// `aᵀ × b` without materialising the transpose. Parallel over output rows
 /// (columns of `a`): each task sweeps `k` (rows of `a`/`b`) in order and
-/// updates only its own output rows, preserving the serial accumulation
-/// order per element.
+/// axpy-lanes `b`'s row into its own output rows, preserving the serial
+/// accumulation order per element.
 ///
 /// # Panics
 /// Panics if `a.rows() != b.rows()`.
@@ -101,6 +171,8 @@ pub fn t_matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
         b.rows(),
         b.cols()
     );
+    let work = a.cols() * a.rows() * b.cols();
+    let threads = par::dispatch::threads_for("t_matmul", work, threads);
     par::run_isolated(
         "t_matmul",
         threads,
@@ -112,7 +184,7 @@ pub fn t_matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
 /// Compute body of [`t_matmul`] at an explicit thread count.
 fn t_matmul_impl(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     let n = b.cols();
-    let mut out = Matrix::zeros(a.cols(), n);
+    let mut out = Matrix::zeros_pooled(a.cols(), n);
     let ranges = par::even_ranges(a.cols(), threads);
     let slices = par::split_rows_mut(out.as_mut_slice(), n, &ranges);
     let tasks: Vec<_> = ranges
@@ -124,10 +196,7 @@ fn t_matmul_impl(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
                     let a_seg = &a.row(k)[cols.clone()];
                     let b_row = b.row(k);
                     for (i, &a_ki) in a_seg.iter().enumerate() {
-                        let out_row = &mut slice[i * n..(i + 1) * n];
-                        for (o, &bj) in out_row.iter_mut().zip(b_row) {
-                            *o += a_ki * bj;
-                        }
+                        lane::axpy(&mut slice[i * n..(i + 1) * n], b_row, a_ki);
                     }
                 }
             }
@@ -137,8 +206,12 @@ fn t_matmul_impl(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     out
 }
 
-/// `a × bᵀ` without materialising the transpose: independent dot products,
-/// parallel over output rows.
+/// `a × bᵀ` without materialising the transpose: dot products over ascending
+/// `k`, eight output columns in flight per step. Each output element's
+/// reduction stays a single serial chain (lane `l` only ever accumulates its
+/// own column), so the result is bit-identical to one-at-a-time dots — but
+/// the eight independent chains hide the FP add latency the scalar loop
+/// serialised on.
 ///
 /// # Panics
 /// Panics if `a.cols() != b.cols()`.
@@ -154,6 +227,8 @@ pub fn matmul_t(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
         b.rows(),
         b.cols()
     );
+    let work = a.rows() * a.cols() * b.rows();
+    let threads = par::dispatch::threads_for("matmul_t", work, threads);
     par::run_isolated(
         "matmul_t",
         threads,
@@ -165,7 +240,7 @@ pub fn matmul_t(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
 /// Compute body of [`matmul_t`] at an explicit thread count.
 fn matmul_t_impl(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     let n = b.rows();
-    let mut out = Matrix::zeros(a.rows(), n);
+    let mut out = Matrix::zeros_pooled(a.rows(), n);
     let ranges = par::even_ranges(a.rows(), threads);
     let slices = par::split_rows_mut(out.as_mut_slice(), n, &ranges);
     let tasks: Vec<_> = ranges
@@ -177,13 +252,23 @@ fn matmul_t_impl(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
                 for i in rows {
                     let a_row = a.row(i);
                     let out_row = &mut slice[(i - base) * n..(i - base + 1) * n];
-                    for (j, o) in out_row.iter_mut().enumerate() {
-                        let b_row = b.row(j);
+                    let mut j = 0;
+                    while j + LANES <= n {
+                        let mut acc = F32x8::zero();
+                        for (k, &ak) in a_row.iter().enumerate() {
+                            acc = acc.add(F32x8::splat(ak).mul(F32x8::gather_col(b, j, k)));
+                        }
+                        acc.store(&mut out_row[j..j + LANES]);
+                        j += LANES;
+                    }
+                    #[allow(clippy::needless_range_loop)] // jj indexes both out_row and b.row(jj)
+                    for jj in j..n {
+                        let b_row = b.row(jj);
                         let mut acc = 0.0;
                         for (&ak, &bk) in a_row.iter().zip(b_row) {
                             acc += ak * bk;
                         }
-                        *o = acc;
+                        out_row[jj] = acc;
                     }
                 }
             }
@@ -196,6 +281,7 @@ fn matmul_t_impl(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::reference;
 
     fn mat(rows: usize, cols: usize, seed: u32) -> Matrix {
         // Small deterministic pseudo-random fill, no RNG needed.
@@ -239,6 +325,43 @@ mod tests {
         }
     }
 
+    /// The lane panels must match the scalar reference *bit for bit* on
+    /// shapes that exercise every tail: ragged columns (lane tails), row
+    /// counts not divisible by the panel height, single rows, empties.
+    #[test]
+    fn lane_paths_bit_identical_to_scalar_reference() {
+        for (m, k, n, seed) in [
+            (17, 9, 13, 1), // ragged everything
+            (16, 8, 16, 2), // exact lanes and panels
+            (4, 3, 7, 3),   // single panel, scalar col tail
+            (1, 5, 9, 4),   // single row
+            (3, 1, 23, 5),  // k = 1
+            (0, 4, 6, 6),   // empty output
+            (5, 4, 1, 7),   // single output column
+            (6, 4, 31, 8),  // one short of 2*2*LANES
+        ] {
+            let a = mat(m, k, seed);
+            let b = mat(k, n, seed + 100);
+            assert_eq!(
+                matmul(&a, &b, 1).as_slice(),
+                reference::matmul(&a, &b).as_slice(),
+                "matmul {m}x{k}x{n}"
+            );
+            let at = mat(k, m, seed + 200);
+            assert_eq!(
+                t_matmul(&at, &b, 1).as_slice(),
+                reference::t_matmul(&at, &b).as_slice(),
+                "t_matmul {m}x{k}x{n}"
+            );
+            let bt = mat(n, k, seed + 300);
+            assert_eq!(
+                matmul_t(&a, &bt, 1).as_slice(),
+                reference::matmul_t(&a, &bt).as_slice(),
+                "matmul_t {m}x{k}x{n}"
+            );
+        }
+    }
+
     #[test]
     fn variants_agree_with_explicit_transpose() {
         let a = mat(6, 4, 7);
@@ -256,13 +379,34 @@ mod tests {
 
     #[test]
     fn matmul_worker_panic_degrades_to_identical_serial_result() {
-        let a = mat(17, 9, 21);
-        let b = mat(9, 13, 22);
+        // Shapes above the matmul crossover so the parallel path really runs.
+        let a = mat(120, 96, 21);
+        let b = mat(96, 128, 22);
+        assert!(a.rows() * a.cols() * b.cols() >= par::dispatch::crossover("matmul"));
         let reference = matmul(&a, &b, 1);
         par::arm_worker_panic(0);
         let degraded = matmul(&a, &b, 4);
         par::disarm_worker_panic();
         assert_eq!(degraded.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn small_dense_shapes_run_serially_despite_thread_count() {
+        // Below the crossover the dispatch clamps to one thread, so an armed
+        // worker-panic fault is never consumed: no parallel op runs.
+        let a = mat(17, 9, 23);
+        let b = mat(9, 13, 24);
+        assert!(a.rows() * a.cols() * b.cols() < par::dispatch::crossover("matmul"));
+        let reference = matmul(&a, &b, 1);
+        par::arm_worker_panic(0);
+        let out = matmul(&a, &b, 4);
+        let fault_still_armed = std::panic::catch_unwind(|| {
+            par::run_tasks(2, (0..4).map(|i| move || i).collect::<Vec<_>>())
+        })
+        .is_err();
+        par::disarm_worker_panic();
+        assert!(fault_still_armed, "small matmul must not spawn workers");
+        assert_eq!(out.as_slice(), reference.as_slice());
     }
 
     #[test]

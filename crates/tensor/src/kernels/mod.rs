@@ -16,10 +16,15 @@
 //! per-block partial buffers whose geometry depends only on the problem
 //! shape and which are merged in block order.
 //!
-//! Cache blocking: spmm tiles the feature (column) dimension so the active
-//! output row segment stays in registers/L1 while gathered dense rows
-//! stream; matmul uses `i-k-j` ordering with the same feature tiling, which
-//! keeps both output and right-hand rows contiguous for autovectorisation.
+//! Cache blocking and vectorization: the inner loops are written against the
+//! hand-laned [`lane`] primitives — register-blocked matmul panels, an
+//! interleaved-entry spmm ([`lane::CsrLanes`]) with accumulators held in
+//! registers across each row's entry sweep, and laned elementwise tails.
+//! The pre-lane scalar bodies survive in [`reference`]; the parity tests and
+//! the bench's lane-speedup gate compare against them.
+
+pub mod lane;
+pub mod reference;
 
 mod dense;
 mod sparse;
@@ -27,7 +32,5 @@ mod sparse;
 pub use dense::{matmul, matmul_t, t_matmul};
 pub use sparse::{edge_softmax, edge_softmax_backward, spmm, spmm_transpose, spmm_values_grad};
 
-/// Feature-dimension tile width (f32 lanes). 128 lanes = 512 bytes per
-/// output-row segment: comfortably inside L1 alongside the streamed operand
-/// rows, wide enough to amortise the loop overhead.
-pub(crate) const FEATURE_TILE: usize = 128;
+// The old FEATURE_TILE-based scalar tiling lives on only inside
+// `reference` — the lane kernels block on `lane::LANES` multiples instead.

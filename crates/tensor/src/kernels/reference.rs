@@ -1,0 +1,130 @@
+//! Scalar reference kernels: the pre-lane serial loop bodies, kept verbatim.
+//!
+//! These are **not** called on any hot path. They exist so that
+//!
+//! * the parity tests can assert the laned kernels are bit-identical to the
+//!   scalar formulation on every shape (ragged, empty, single-row), and
+//! * the bench suite can measure the lane-vs-scalar speedup in-process and
+//!   gate it (`spmm`/`matmul` lane paths ≥ 1.3× on the large shapes).
+//!
+//! Keep these loops boring. Any "optimisation" here defeats their purpose.
+
+use crate::matrix::Matrix;
+use crate::sparse::CsrStructure;
+
+/// Feature tile of the pre-lane kernels (kept at its historical value so the
+/// reference bodies time like the committed scalar baseline did).
+const FEATURE_TILE: usize = 128;
+
+/// Serial scalar `a × b` with the historical `i-k-j` feature-tiled loop.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "reference::matmul: shape mismatch");
+    let n = b.cols();
+    let mut out = Matrix::zeros(a.rows(), n);
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        let mut jt = 0;
+        while jt < n {
+            let je = (jt + FEATURE_TILE).min(n);
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                let b_row = &b.row(k)[jt..je];
+                for (o, &bj) in out_row[jt..je].iter_mut().zip(b_row) {
+                    *o += a_ik * bj;
+                }
+            }
+            jt = je;
+        }
+    }
+    out
+}
+
+/// Serial scalar `aᵀ × b` (sweeps `k`, axpy per output row).
+pub fn t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "reference::t_matmul: shape mismatch");
+    let n = b.cols();
+    let mut out = Matrix::zeros(a.cols(), n);
+    for k in 0..a.rows() {
+        let a_row = a.row(k);
+        let b_row = b.row(k);
+        for (i, &a_ki) in a_row.iter().enumerate() {
+            let out_row = out.row_mut(i);
+            for (o, &bj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ki * bj;
+            }
+        }
+    }
+    out
+}
+
+/// Serial scalar `a × bᵀ` (independent ascending-`k` dot products).
+pub fn matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "reference::matmul_t: shape mismatch");
+    let n = b.rows();
+    let mut out = Matrix::zeros(a.rows(), n);
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0;
+            for (&ak, &bk) in a_row.iter().zip(b_row) {
+                acc += ak * bk;
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// Serial scalar spmm with the historical feature-tiled entries-inner loop.
+pub fn spmm(structure: &CsrStructure, values: &[f32], dense: &Matrix) -> Matrix {
+    assert_eq!(structure.n_cols(), dense.rows(), "reference::spmm: shape");
+    assert_eq!(values.len(), structure.nnz(), "reference::spmm: values len");
+    let f = dense.cols();
+    let indices = structure.indices();
+    let mut out = Matrix::zeros(structure.n_rows(), f);
+    for r in 0..structure.n_rows() {
+        let out_row = out.row_mut(r);
+        let entries = structure.row_range(r);
+        let mut jt = 0;
+        while jt < f {
+            let je = (jt + FEATURE_TILE).min(f);
+            for p in entries.clone() {
+                let v = values[p];
+                let d = &dense.row(indices[p])[jt..je];
+                for (o, &dj) in out_row[jt..je].iter_mut().zip(d) {
+                    *o += v * dj;
+                }
+            }
+            jt = je;
+        }
+    }
+    out
+}
+
+/// Serial scalar per-row edge softmax.
+pub fn edge_softmax(structure: &CsrStructure, scores: &[f32]) -> Vec<f32> {
+    assert_eq!(scores.len(), structure.nnz(), "reference::edge_softmax");
+    let mut out = vec![0.0f32; scores.len()];
+    for r in 0..structure.n_rows() {
+        let entries = structure.row_range(r);
+        if entries.is_empty() {
+            continue;
+        }
+        let max = scores[entries.clone()]
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for p in entries.clone() {
+            let e = (scores[p] - max).exp();
+            out[p] = e;
+            denom += e;
+        }
+        for p in entries {
+            out[p] /= denom;
+        }
+    }
+    out
+}

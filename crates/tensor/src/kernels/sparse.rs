@@ -1,14 +1,24 @@
 //! Sparse kernels: CSR × dense products (forward, transpose, value-gradient)
 //! and the per-row edge softmax, all row-parallel and deterministic.
 //!
-//! Each public wrapper validates shapes up front, then runs its compute body
-//! through [`par::run_isolated`]: a worker panic discards the parallel
-//! attempt and recomputes serially (same bits), instead of killing the
-//! process.
+//! The spmm inner loop is hand-laned (see [`super::lane`]): the entry stream
+//! is interleaved into a [`CsrLanes`] layout once per call, and each row's
+//! output accumulates in **registers** across the whole entry sweep — four
+//! independent 8-wide accumulators per 32-column block — instead of
+//! read-modify-writing the output row per entry as the scalar body did.
+//! Per-element accumulation order is still exact CSR entry order, so the
+//! result is bit-identical to [`super::reference::spmm`].
+//!
+//! Each public wrapper validates shapes up front, consults the measured
+//! crossover table ([`par::dispatch`]) to decide serial vs parallel, then
+//! runs its compute body through [`par::run_isolated`]: a worker panic
+//! discards the parallel attempt and recomputes serially (same bits),
+//! instead of killing the process. Outputs and `spmm_transpose` partials are
+//! leased from the per-thread scratch pool ([`crate::scratch`]).
 
 use std::ops::Range;
 
-use super::FEATURE_TILE;
+use super::lane::{self, CsrLanes, F32x8, ENTRY_UNROLL, LANES};
 use crate::matrix::Matrix;
 use crate::par;
 use crate::sparse::CsrStructure;
@@ -22,13 +32,13 @@ const TRANSPOSE_BLOCK_NNZ: usize = 32_768;
 /// `n_cols × f` partial buffer, so this bounds the memory overhead.
 const TRANSPOSE_MAX_BLOCKS: usize = 8;
 
-/// Row-blocked, feature-tiled sparse × dense product:
+/// Lane-blocked sparse × dense product:
 /// `out[r, :] = Σ_p values[p] * dense[col(p), :]` over row `r`'s entries.
 ///
 /// Rows are partitioned into nnz-balanced contiguous blocks, one task per
 /// block, each writing a disjoint slice of the output. Within a row the
-/// entries accumulate in CSR order for every tile, so the result is
-/// bit-identical at any `threads`.
+/// entries accumulate in CSR order for every output element, so the result
+/// is bit-identical at any `threads`.
 ///
 /// # Panics
 /// Panics if `structure.n_cols() != dense.rows()` or
@@ -45,7 +55,7 @@ pub fn spmm(structure: &CsrStructure, values: &[f32], dense: &Matrix, threads: u
         dense.rows()
     );
     assert_eq!(values.len(), structure.nnz(), "spmm: values len != nnz");
-    let threads = par::size_aware_threads(structure.nnz(), threads);
+    let threads = par::dispatch::threads_for("spmm", structure.nnz(), threads);
     par::run_isolated(
         "spmm",
         threads,
@@ -54,47 +64,88 @@ pub fn spmm(structure: &CsrStructure, values: &[f32], dense: &Matrix, threads: u
     )
 }
 
-/// Compute body of [`spmm`] at an explicit thread count.
+/// Compute body of [`spmm`] at an explicit thread count. The interleaved
+/// entry stream is built once here and shared (read-only) by every task.
 fn spmm_impl(structure: &CsrStructure, values: &[f32], dense: &Matrix, threads: usize) -> Matrix {
     let f = dense.cols();
-    let mut out = Matrix::zeros(structure.n_rows(), f);
+    let lanes = CsrLanes::build(structure.indices(), values, structure.n_cols());
+    let mut out = Matrix::zeros_pooled(structure.n_rows(), f);
     let ranges = par::nnz_balanced_ranges(structure.indptr(), threads);
     let slices = par::split_rows_mut(out.as_mut_slice(), f, &ranges);
+    let lanes_ref = &lanes;
     let tasks: Vec<_> = ranges
         .into_iter()
         .zip(slices)
-        .map(|(rows, slice)| move || spmm_rows(structure, values, dense, rows, slice))
+        .map(|(rows, slice)| move || spmm_rows(structure, lanes_ref, dense, rows, slice))
         .collect();
     par::run_tasks(threads, tasks);
     out
 }
 
-/// Serial body of [`spmm`] for one contiguous row block, writing into the
+/// Lane body of [`spmm`] for one contiguous row block, writing into the
 /// block's slice of the output buffer.
+///
+/// Column blocks of `4·LANES` hold four independent accumulators in
+/// registers (independent *output elements* — the four chains interleave to
+/// hide FP add latency without touching any element's reduction order),
+/// then single-lane blocks consume the entry stream in [`ENTRY_UNROLL`]
+/// groups, then a scalar tail finishes ragged feature counts. Entry groups
+/// are never zero-padded (see [`CsrLanes`]).
 fn spmm_rows(
     structure: &CsrStructure,
-    values: &[f32],
+    lanes: &CsrLanes,
     dense: &Matrix,
     rows: Range<usize>,
     out: &mut [f32],
 ) {
     let f = dense.cols();
-    let indices = structure.indices();
     let base = rows.start;
     for r in rows {
         let out_row = &mut out[(r - base) * f..(r - base + 1) * f];
-        let entries = structure.row_range(r);
-        let mut jt = 0;
-        while jt < f {
-            let je = (jt + FEATURE_TILE).min(f);
-            for p in entries.clone() {
-                let v = values[p];
-                let d = &dense.row(indices[p])[jt..je];
-                for (o, &dj) in out_row[jt..je].iter_mut().zip(d) {
-                    *o += v * dj;
+        let pairs = lanes.range(structure.row_range(r));
+        let mut j = 0;
+        while j + 4 * LANES <= f {
+            // Four independent accumulator chains (distinct output
+            // elements), all fed from one fixed-length slice of the dense
+            // row so every load lowers to a single vector instruction.
+            let mut a0 = F32x8::zero();
+            let mut a1 = F32x8::zero();
+            let mut a2 = F32x8::zero();
+            let mut a3 = F32x8::zero();
+            for &(c, v) in pairs {
+                let d = &dense.row(lane::col(c))[j..j + 4 * LANES];
+                a0 = a0.add_scaled(v, F32x8::load(&d[0..LANES]));
+                a1 = a1.add_scaled(v, F32x8::load(&d[LANES..2 * LANES]));
+                a2 = a2.add_scaled(v, F32x8::load(&d[2 * LANES..3 * LANES]));
+                a3 = a3.add_scaled(v, F32x8::load(&d[3 * LANES..4 * LANES]));
+            }
+            a0.store(&mut out_row[j..j + LANES]);
+            a1.store(&mut out_row[j + LANES..j + 2 * LANES]);
+            a2.store(&mut out_row[j + 2 * LANES..j + 3 * LANES]);
+            a3.store(&mut out_row[j + 3 * LANES..j + 4 * LANES]);
+            j += 4 * LANES;
+        }
+        while j + LANES <= f {
+            let mut acc = F32x8::zero();
+            let mut groups = pairs.chunks_exact(ENTRY_UNROLL);
+            for q in groups.by_ref() {
+                for &(c, v) in q {
+                    acc = acc.add_scaled(v, F32x8::load(&dense.row(lane::col(c))[j..j + LANES]));
                 }
             }
-            jt = je;
+            for &(c, v) in groups.remainder() {
+                acc = acc.add_scaled(v, F32x8::load(&dense.row(lane::col(c))[j..j + LANES]));
+            }
+            acc.store(&mut out_row[j..j + LANES]);
+            j += LANES;
+        }
+        if j < f {
+            for &(c, v) in pairs {
+                let d = dense.row(lane::col(c));
+                for jj in j..f {
+                    out_row[jj] += v * d[jj];
+                }
+            }
         }
     }
 }
@@ -106,8 +157,9 @@ fn spmm_rows(
 /// Output rows collide across source rows, so the rows are cut into blocks
 /// whose geometry depends only on `nnz` ([`TRANSPOSE_BLOCK_NNZ`], capped at
 /// [`TRANSPOSE_MAX_BLOCKS`]); each block accumulates into its own partial
-/// output, and partials are merged in block order on the calling thread.
-/// Thread count affects scheduling only, never the bits.
+/// output (leased from the scratch pool, recycled after the merge), and
+/// partials are merged in block order on the calling thread. Thread count
+/// affects scheduling only, never the bits.
 ///
 /// # Panics
 /// Panics if `structure.n_rows() != dense.rows()` or
@@ -133,7 +185,7 @@ pub fn spmm_transpose(
         structure.nnz(),
         "spmm_transpose: values len != nnz"
     );
-    let threads = par::size_aware_threads(structure.nnz(), threads);
+    let threads = par::dispatch::threads_for("spmm_transpose", structure.nnz(), threads);
     par::run_isolated(
         "spmm_transpose",
         threads,
@@ -158,16 +210,12 @@ fn spmm_transpose_impl(
         .into_iter()
         .map(|rows| {
             move || {
-                let mut partial = Matrix::zeros(structure.n_cols(), f);
+                let mut partial = Matrix::zeros_pooled(structure.n_cols(), f);
                 let indices = structure.indices();
                 for r in rows {
                     let d_row = dense.row(r);
                     for p in structure.row_range(r) {
-                        let v = values[p];
-                        let out_row = partial.row_mut(indices[p]);
-                        for (o, &dj) in out_row.iter_mut().zip(d_row) {
-                            *o += v * dj;
-                        }
+                        lane::axpy(partial.row_mut(indices[p]), d_row, values[p]);
                     }
                 }
                 partial
@@ -177,9 +225,10 @@ fn spmm_transpose_impl(
     let mut partials = par::run_tasks(threads, tasks).into_iter();
     let mut out = partials
         .next()
-        .unwrap_or_else(|| Matrix::zeros(structure.n_cols(), f));
+        .unwrap_or_else(|| Matrix::zeros_pooled(structure.n_cols(), f));
     for p in partials {
         out.add_assign(&p);
+        p.recycle();
     }
     out
 }
@@ -202,7 +251,7 @@ pub fn spmm_values_grad(
         structure.n_rows(),
         "spmm_values_grad: grad rows != sparse rows"
     );
-    let threads = par::size_aware_threads(structure.nnz(), threads);
+    let threads = par::dispatch::threads_for("spmm_values_grad", structure.nnz(), threads);
     par::run_isolated(
         "spmm_values_grad",
         threads,
@@ -218,7 +267,7 @@ fn spmm_values_grad_impl(
     grad_out: &Matrix,
     threads: usize,
 ) -> Matrix {
-    let mut dv = Matrix::zeros(structure.nnz(), 1);
+    let mut dv = Matrix::zeros_pooled(structure.nnz(), 1);
     let ranges = par::nnz_balanced_ranges(structure.indptr(), threads);
     let slices = par::split_entries_mut(dv.as_mut_slice(), structure.indptr(), &ranges);
     let indices = structure.indices();
@@ -249,6 +298,11 @@ fn spmm_values_grad_impl(
 /// Per-row (destination-segment) softmax over CSR entries. `scores` holds
 /// one value per entry; the result has the same layout. Rows are
 /// independent, so row-parallelism is trivially bit-identical.
+///
+/// The max and denominator reductions are order-sensitive and stay scalar;
+/// only the final normalize sweep is laned (element-wise division by the
+/// denominator — *division*, not multiplication by a reciprocal, which
+/// would round differently).
 pub fn edge_softmax(structure: &CsrStructure, scores: &[f32], threads: usize) -> Vec<f32> {
     let _span = ses_obs::span!("kernel.edge_softmax");
     ses_obs::metrics::EDGE_SOFTMAX_CALLS.incr();
@@ -257,7 +311,7 @@ pub fn edge_softmax(structure: &CsrStructure, scores: &[f32], threads: usize) ->
         structure.nnz(),
         "edge_softmax: scores len != nnz"
     );
-    let threads = par::size_aware_threads(structure.nnz(), threads);
+    let threads = par::dispatch::threads_for("edge_softmax", structure.nnz(), threads);
     par::run_isolated(
         "edge_softmax",
         threads,
@@ -268,7 +322,7 @@ pub fn edge_softmax(structure: &CsrStructure, scores: &[f32], threads: usize) ->
 
 /// Compute body of [`edge_softmax`] at an explicit thread count.
 fn edge_softmax_impl(structure: &CsrStructure, scores: &[f32], threads: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; scores.len()];
+    let mut out = crate::scratch::take(scores.len());
     let ranges = par::nnz_balanced_ranges(structure.indptr(), threads);
     let slices = par::split_entries_mut(&mut out, structure.indptr(), &ranges);
     let tasks: Vec<_> = ranges
@@ -292,9 +346,10 @@ fn edge_softmax_impl(structure: &CsrStructure, scores: &[f32], threads: usize) -
                         slice[p - base] = e;
                         denom += e;
                     }
-                    for p in entries {
-                        slice[p - base] /= denom;
-                    }
+                    lane::div_scalar_slice(
+                        &mut slice[entries.start - base..entries.end - base],
+                        denom,
+                    );
                 }
             }
         })
@@ -319,7 +374,7 @@ pub fn edge_softmax_backward(
         structure.nnz(),
         "edge_softmax_backward: softmax len != nnz"
     );
-    let threads = par::size_aware_threads(structure.nnz(), threads);
+    let threads = par::dispatch::threads_for("edge_softmax_backward", structure.nnz(), threads);
     par::run_isolated(
         "edge_softmax_backward",
         threads,
@@ -335,7 +390,7 @@ fn edge_softmax_backward_impl(
     grad: &Matrix,
     threads: usize,
 ) -> Matrix {
-    let mut d = Matrix::zeros(softmax.rows(), 1);
+    let mut d = Matrix::zeros_pooled(softmax.rows(), 1);
     let ranges = par::nnz_balanced_ranges(structure.indptr(), threads);
     let slices = par::split_entries_mut(d.as_mut_slice(), structure.indptr(), &ranges);
     let y = softmax.as_slice();
@@ -369,6 +424,7 @@ fn edge_softmax_backward_impl(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::reference;
     use std::sync::Arc;
 
     fn sample() -> (Arc<CsrStructure>, Vec<f32>, Matrix) {
@@ -412,6 +468,74 @@ mod tests {
         assert!(got.max_abs_diff(&expect) < 1e-5);
     }
 
+    /// Deterministic pseudo-random CSR structure + operands covering ragged
+    /// feature widths, empty rows, single rows, and dense rows.
+    fn ragged_case(
+        rows: usize,
+        cols: usize,
+        f: usize,
+        seed: u32,
+    ) -> (CsrStructure, Vec<f32>, Matrix) {
+        let mut state = seed;
+        let mut step = move || {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            state >> 16
+        };
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            let deg = (step() % 7) as usize; // rows of degree 0..=6
+            for _ in 0..deg {
+                edges.push((r, (step() as usize) % cols.max(1)));
+            }
+        }
+        let s = CsrStructure::from_edges(rows, cols, &edges);
+        let vals: Vec<f32> = (0..s.nnz())
+            .map(|_| ((step() % 1000) as f32) / 250.0 - 2.0)
+            .collect();
+        let dense = Matrix::from_vec(
+            cols,
+            f,
+            (0..cols * f)
+                .map(|_| ((step() % 1000) as f32) / 250.0 - 2.0)
+                .collect(),
+        );
+        (s, vals, dense)
+    }
+
+    /// The lane spmm / edge_softmax must match the scalar reference *bit for
+    /// bit* on every tail shape: ragged feature counts (scalar column
+    /// tails), f below/at/above each lane block width, empty rows,
+    /// single-row structures, zero-column structures.
+    #[test]
+    fn lane_paths_bit_identical_to_scalar_reference() {
+        for (rows, cols, f, seed) in [
+            (13, 9, 1, 1),  // single feature: pure scalar tail
+            (13, 9, 7, 2),  // below one lane
+            (13, 9, 8, 3),  // exactly one lane
+            (13, 9, 13, 4), // lane + scalar tail
+            (13, 9, 32, 5), // exactly the 4-lane block
+            (13, 9, 45, 6), // 4-lane block + lane + tail
+            (1, 4, 9, 7),   // single row
+            (6, 1, 8, 8),   // single dense row to gather
+            (0, 3, 8, 9),   // empty structure
+        ] {
+            let (s, vals, dense) = ragged_case(rows, cols, f, seed);
+            assert_eq!(
+                spmm(&s, &vals, &dense, 1).as_slice(),
+                reference::spmm(&s, &vals, &dense).as_slice(),
+                "spmm rows={rows} cols={cols} f={f}"
+            );
+            if s.nnz() > 0 {
+                let scores: Vec<f32> = (0..s.nnz()).map(|i| ((i % 11) as f32) - 5.0).collect();
+                let lane_sm = edge_softmax(&s, &scores, 1);
+                let ref_sm = reference::edge_softmax(&s, &scores);
+                for (p, (a, b)) in lane_sm.iter().zip(&ref_sm).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "softmax entry {p} (f={f})");
+                }
+            }
+        }
+    }
+
     #[test]
     fn edge_softmax_rows_normalise() {
         let (s, _, _) = sample();
@@ -424,11 +548,11 @@ mod tests {
         }
     }
 
-    /// A structure large enough (nnz > [`par::SPARSE_SERIAL_NNZ`]) that the
-    /// size-aware serial fallback does not clamp it — needed by tests that
-    /// must actually exercise the parallel path.
+    /// A structure large enough (nnz above the spmm crossover) that the
+    /// dispatch clamp does not force it serial — needed by tests that must
+    /// actually exercise the parallel path.
     fn large_sample() -> (Arc<CsrStructure>, Vec<f32>, Matrix) {
-        let rows = 128;
+        let rows = 160;
         let cols = 96;
         let mut edges = Vec::with_capacity(rows * cols);
         for r in 0..rows {
@@ -437,7 +561,7 @@ mod tests {
             }
         }
         let s = Arc::new(CsrStructure::from_edges(rows, cols, &edges));
-        assert!(s.nnz() > par::SPARSE_SERIAL_NNZ);
+        assert!(s.nnz() >= par::dispatch::crossover("spmm"));
         let vals: Vec<f32> = (0..s.nnz()).map(|i| ((i % 13) as f32) - 6.0).collect();
         let dense = Matrix::from_vec(
             cols,
@@ -461,10 +585,10 @@ mod tests {
 
     #[test]
     fn small_shapes_run_serially_despite_thread_count() {
-        // With nnz below the threshold the wrapper clamps to one thread, so
+        // With nnz below the crossover the wrapper clamps to one thread, so
         // an armed worker-panic fault is never consumed: no parallel op runs.
         let (s, vals, dense) = sample();
-        assert!(s.nnz() < par::SPARSE_SERIAL_NNZ);
+        assert!(s.nnz() < par::dispatch::crossover("spmm"));
         let reference = spmm(&s, &vals, &dense, 1);
         par::arm_worker_panic(0);
         let out = spmm(&s, &vals, &dense, 4);

@@ -38,6 +38,7 @@ pub mod kernels;
 pub mod matrix;
 pub mod optim;
 pub mod par;
+pub mod scratch;
 pub mod sparse;
 pub mod tape;
 

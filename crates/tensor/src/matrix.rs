@@ -34,6 +34,46 @@ impl Matrix {
         }
     }
 
+    /// Creates a matrix of zeros whose storage is leased from the calling
+    /// thread's scratch pool ([`crate::scratch`]): a pool hit reuses a
+    /// recycled buffer instead of allocating. Observationally identical to
+    /// [`Matrix::zeros`]; pair with [`Matrix::recycle`] to return the
+    /// storage when the value dies.
+    pub fn zeros_pooled(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: crate::scratch::take(rows * cols),
+        }
+    }
+
+    /// Consumes the matrix and returns its storage to the calling thread's
+    /// scratch pool for reuse by a later [`Matrix::zeros_pooled`].
+    pub fn recycle(self) {
+        crate::scratch::give(self.data);
+    }
+
+    /// Copies the matrix into storage leased from the calling thread's
+    /// scratch pool. The pooled counterpart of `.clone()` for hot paths
+    /// (tape gradients, forward copies) whose result is recycled by
+    /// [`crate::tape::Tape::reset`] or [`Matrix::recycle`].
+    pub fn clone_pooled(&self) -> Self {
+        let mut data = crate::scratch::take(self.data.len());
+        data.copy_from_slice(&self.data);
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Like [`Matrix::full`] with storage leased from the scratch pool.
+    pub fn full_pooled(rows: usize, cols: usize, value: f32) -> Self {
+        let mut data = crate::scratch::take(rows * cols);
+        data.fill(value);
+        Self { rows, cols, data }
+    }
+
     /// Creates a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
         record_alloc(rows * cols);
@@ -186,7 +226,7 @@ impl Matrix {
 
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::zeros_pooled(self.cols, self.rows);
         for i in 0..self.rows {
             for j in 0..self.cols {
                 out[(j, i)] = self[(i, j)];
@@ -195,12 +235,17 @@ impl Matrix {
         out
     }
 
-    /// Element-wise map into a new matrix.
+    /// Element-wise map into a new matrix (storage leased from the scratch
+    /// pool — tape elementwise ops dominate per-epoch allocation churn).
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let mut data = crate::scratch::take(self.data.len());
+        for (o, &x) in data.iter_mut().zip(&self.data) {
+            *o = f(x);
+        }
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
@@ -217,15 +262,14 @@ impl Matrix {
     /// Panics if shapes differ.
     pub fn zip(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "zip: shape mismatch");
+        let mut data = crate::scratch::take(self.data.len());
+        for (o, (&a, &b)) in data.iter_mut().zip(self.data.iter().zip(rhs.data.iter())) {
+            *o = f(a, b);
+        }
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         }
     }
 
@@ -249,24 +293,21 @@ impl Matrix {
         self.map(|x| x * c)
     }
 
-    /// `self += rhs` in place.
+    /// `self += rhs` in place (laned; bit-identical to the scalar loop).
     pub fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "add_assign: shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
-            *a += b;
-        }
+        crate::kernels::lane::add_slices(&mut self.data, &rhs.data);
     }
 
-    /// `self += c * rhs` in place (AXPY).
+    /// `self += c * rhs` in place (AXPY, laned; bit-identical to the scalar
+    /// loop — separate multiply and add per element).
     pub fn add_scaled_assign(&mut self, rhs: &Matrix, c: f32) {
         assert_eq!(
             self.shape(),
             rhs.shape(),
             "add_scaled_assign: shape mismatch"
         );
-        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
-            *a += c * b;
-        }
+        crate::kernels::lane::axpy(&mut self.data, &rhs.data, c);
     }
 
     /// Sum of all elements.
@@ -301,7 +342,7 @@ impl Matrix {
 
     /// Per-row sums as an `n × 1` column vector.
     pub fn row_sums(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.rows, 1);
+        let mut out = Matrix::zeros_pooled(self.rows, 1);
         for i in 0..self.rows {
             out[(i, 0)] = self.row(i).iter().sum();
         }
@@ -326,7 +367,7 @@ impl Matrix {
 
     /// Copies the rows at `idx` (with repetition allowed) into a new matrix.
     pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(idx.len(), self.cols);
+        let mut out = Matrix::zeros_pooled(idx.len(), self.cols);
         for (r, &i) in idx.iter().enumerate() {
             assert!(
                 i < self.rows,
@@ -341,7 +382,7 @@ impl Matrix {
     /// Horizontal concatenation `[self | rhs]`.
     pub fn concat_cols(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.rows, rhs.rows, "concat_cols: row mismatch");
-        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        let mut out = Matrix::zeros_pooled(self.rows, self.cols + rhs.cols);
         for i in 0..self.rows {
             out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
             out.row_mut(i)[self.cols..].copy_from_slice(rhs.row(i));

@@ -45,6 +45,8 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Once, OnceLock};
 
+pub mod dispatch;
+
 /// Process-local thread-count override; 0 means "no override". Written by
 /// [`set_thread_override`] (tests/benches), read by [`configured_threads`].
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -77,24 +79,9 @@ pub fn configured_threads() -> usize {
     })
 }
 
-/// Below this many stored entries a sparse kernel runs serially regardless of
-/// the configured thread count: on tiny shapes the scoped-thread spawn cost
-/// dominates the work (BENCH_kernels.json showed `spmm` on ba_shapes —
-/// ~4.2k nnz — at 24µs serial vs 83µs on 4 threads). The threshold sits
-/// between the ba_shapes and coauthor_cs bench sizes so the multi-thread
-/// speedup gate on the larger shape is unaffected.
-pub const SPARSE_SERIAL_NNZ: usize = 8_192;
-
-/// Clamps `threads` to 1 for sparse problems with fewer than
-/// [`SPARSE_SERIAL_NNZ`] stored entries. Bit-identity at any thread count
-/// makes this a pure scheduling decision — the output is unchanged.
-pub fn size_aware_threads(nnz: usize, threads: usize) -> usize {
-    if nnz < SPARSE_SERIAL_NNZ {
-        1
-    } else {
-        threads
-    }
-}
+// The old single-constant serial fallback (`SPARSE_SERIAL_NNZ = 8_192`,
+// `size_aware_threads`) is gone: every kernel wrapper now consults the
+// measured per-kernel crossover table in [`dispatch`] instead.
 
 /// When `false`, [`run_isolated`] stops catching worker panics and lets them
 /// propagate (and abort the process). Only the fault-injection drill should
@@ -441,10 +428,11 @@ mod tests {
     }
 
     #[test]
-    fn size_aware_threads_clamps_below_threshold() {
-        assert_eq!(size_aware_threads(SPARSE_SERIAL_NNZ - 1, 8), 1);
-        assert_eq!(size_aware_threads(SPARSE_SERIAL_NNZ, 8), 8);
-        assert_eq!(size_aware_threads(0, 4), 1);
+    fn dispatch_clamps_below_crossover() {
+        let x = dispatch::crossover("spmm");
+        assert_eq!(dispatch::threads_for("spmm", x - 1, 8), 1);
+        assert_eq!(dispatch::threads_for("spmm", x, 8), 8);
+        assert_eq!(dispatch::threads_for("spmm", 0, 4), 1);
     }
 
     #[test]

@@ -30,7 +30,9 @@ impl Tape {
             for (var, delta) in deltas {
                 if self.needs(var) {
                     self.san_grad_finite(i, var, &delta);
-                    self.accumulate(var, &delta);
+                    self.accumulate(var, delta);
+                } else {
+                    delta.recycle();
                 }
             }
         }
@@ -49,11 +51,11 @@ impl Tape {
         let val = |v: Var| &self.nodes[v.0].value;
         match &node.op {
             Op::Leaf => Vec::new(),
-            Op::Add(a, b) => vec![(*a, g.clone()), (*b, g.clone())],
-            Op::Sub(a, b) => vec![(*a, g.clone()), (*b, g.scale(-1.0))],
+            Op::Add(a, b) => vec![(*a, g.clone_pooled()), (*b, g.clone_pooled())],
+            Op::Sub(a, b) => vec![(*a, g.clone_pooled()), (*b, g.scale(-1.0))],
             Op::Mul(a, b) => vec![(*a, g.hadamard(val(*b))), (*b, g.hadamard(val(*a)))],
             Op::Scale(a, c) => vec![(*a, g.scale(*c))],
-            Op::AddScalar(a, _) => vec![(*a, g.clone())],
+            Op::AddScalar(a, _) => vec![(*a, g.clone_pooled())],
             Op::MulScalarVar { scalar, matrix } => {
                 let s = val(*scalar).scalar_value();
                 let ds = Matrix::scalar(g.hadamard(val(*matrix)).sum());
@@ -66,7 +68,7 @@ impl Tape {
             Op::Transpose(a) => vec![(*a, g.transpose())],
             Op::AddRowBroadcast { matrix, bias } => {
                 let (n, f) = g.shape();
-                let mut db = Matrix::zeros(1, f);
+                let mut db = Matrix::zeros_pooled(1, f);
                 for r in 0..n {
                     let row = g.row(r);
                     let d = db.row_mut(0);
@@ -74,14 +76,14 @@ impl Tape {
                         d[j] += row[j];
                     }
                 }
-                vec![(*matrix, g.clone()), (*bias, db)]
+                vec![(*matrix, g.clone_pooled()), (*bias, db)]
             }
             Op::MulColBroadcast { matrix, scaler } => {
                 let m = val(*matrix);
                 let s = val(*scaler);
                 let (n, f) = m.shape();
-                let mut dm = g.clone();
-                let mut ds = Matrix::zeros(n, 1);
+                let mut dm = g.clone_pooled();
+                let mut ds = Matrix::zeros_pooled(n, 1);
                 for r in 0..n {
                     let sr = s[(r, 0)];
                     let grow = g.row(r);
@@ -135,7 +137,7 @@ impl Tape {
                 let al = *alpha;
                 let y = &node.value;
                 let x = val(*a);
-                let mut d = g.clone();
+                let mut d = g.clone_pooled();
                 for (k, dk) in d.as_mut_slice().iter_mut().enumerate() {
                     let xi = x.as_slice()[k];
                     if xi <= 0.0 {
@@ -169,7 +171,7 @@ impl Tape {
             Op::LogSoftmaxRows(a) => {
                 let y = &node.value;
                 let (n, c) = y.shape();
-                let mut d = Matrix::zeros(n, c);
+                let mut d = Matrix::zeros_pooled(n, c);
                 for r in 0..n {
                     let grow = g.row(r);
                     let yrow = y.row(r);
@@ -184,7 +186,7 @@ impl Tape {
             Op::NllMasked { logp, labels, idx } => {
                 let gs = g.scalar_value();
                 let (n, c) = self.nodes[logp.0].value.shape();
-                let mut d = Matrix::zeros(n, c);
+                let mut d = Matrix::zeros_pooled(n, c);
                 let w = gs / idx.len() as f32;
                 for &i2 in idx.iter() {
                     d[(i2, labels[i2])] -= w;
@@ -202,7 +204,7 @@ impl Tape {
             }
             Op::GatherRows { src, idx } => {
                 let (n, f) = self.nodes[src.0].value.shape();
-                let mut d = Matrix::zeros(n, f);
+                let mut d = Matrix::zeros_pooled(n, f);
                 for (r, &i2) in idx.iter().enumerate() {
                     let grow = g.row(r);
                     let drow = d.row_mut(i2);
@@ -215,8 +217,8 @@ impl Tape {
             Op::ConcatCols(a, b) => {
                 let (n, fa) = self.nodes[a.0].value.shape();
                 let fb = self.nodes[b.0].value.cols();
-                let mut da = Matrix::zeros(n, fa);
-                let mut db = Matrix::zeros(n, fb);
+                let mut da = Matrix::zeros_pooled(n, fa);
+                let mut db = Matrix::zeros_pooled(n, fb);
                 for r in 0..n {
                     let grow = g.row(r);
                     da.row_mut(r).copy_from_slice(&grow[..fa]);
@@ -227,8 +229,8 @@ impl Tape {
             Op::ConcatRows(a, b) => {
                 let (na, f) = self.nodes[a.0].value.shape();
                 let nb = self.nodes[b.0].value.rows();
-                let mut da = Matrix::zeros(na, f);
-                let mut db = Matrix::zeros(nb, f);
+                let mut da = Matrix::zeros_pooled(na, f);
+                let mut db = Matrix::zeros_pooled(nb, f);
                 da.as_mut_slice().copy_from_slice(&g.as_slice()[..na * f]);
                 db.as_mut_slice().copy_from_slice(&g.as_slice()[na * f..]);
                 vec![(*a, da), (*b, db)]
@@ -236,16 +238,16 @@ impl Tape {
             Op::SumAll(a) => {
                 let gs = g.scalar_value();
                 let (n, f) = self.nodes[a.0].value.shape();
-                vec![(*a, Matrix::full(n, f, gs))]
+                vec![(*a, Matrix::full_pooled(n, f, gs))]
             }
             Op::MeanAll(a) => {
                 let (n, f) = self.nodes[a.0].value.shape();
                 let gs = g.scalar_value() / (n * f) as f32;
-                vec![(*a, Matrix::full(n, f, gs))]
+                vec![(*a, Matrix::full_pooled(n, f, gs))]
             }
             Op::RowSum(a) => {
                 let (n, f) = self.nodes[a.0].value.shape();
-                let mut d = Matrix::zeros(n, f);
+                let mut d = Matrix::zeros_pooled(n, f);
                 for r in 0..n {
                     let gr = g[(r, 0)];
                     for x in d.row_mut(r) {
@@ -255,7 +257,7 @@ impl Tape {
                 vec![(*a, d)]
             }
             Op::Dropout { src, mask } => {
-                let mut d = g.clone();
+                let mut d = g.clone_pooled();
                 for (x, &m) in d.as_mut_slice().iter_mut().zip(mask.iter()) {
                     *x *= m;
                 }

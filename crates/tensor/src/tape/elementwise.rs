@@ -148,7 +148,7 @@ impl Tape {
     pub fn dropout(&mut self, a: Var, mask: Arc<Vec<f32>>) -> Var {
         let val = self.value(a);
         assert_eq!(mask.len(), val.len(), "dropout: mask length mismatch");
-        let mut v = val.clone();
+        let mut v = val.clone_pooled();
         for (x, &m) in v.as_mut_slice().iter_mut().zip(mask.iter()) {
             *x *= m;
         }
@@ -164,7 +164,7 @@ impl Tape {
             (1, f),
             "add_row_broadcast: bias must be 1x{f}"
         );
-        let mut v = self.value(matrix).clone();
+        let mut v = self.value(matrix).clone_pooled();
         let b = self.value(bias).as_slice().to_vec();
         for i in 0..n {
             let row = v.row_mut(i);
@@ -184,7 +184,7 @@ impl Tape {
             (n, 1),
             "mul_col_broadcast: scaler must be {n}x1"
         );
-        let mut v = self.value(matrix).clone();
+        let mut v = self.value(matrix).clone_pooled();
         let s = self.value(scaler).as_slice().to_vec();
         for (i, &si) in s.iter().enumerate().take(n) {
             let row = v.row_mut(i);

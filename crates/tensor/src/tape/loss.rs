@@ -10,7 +10,7 @@ impl Tape {
     pub fn log_softmax_rows(&mut self, a: Var) -> Var {
         let x = self.value(a);
         let (n, c) = x.shape();
-        let mut out = Matrix::zeros(n, c);
+        let mut out = Matrix::zeros_pooled(n, c);
         for i in 0..n {
             let row = x.row(i);
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);

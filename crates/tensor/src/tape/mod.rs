@@ -212,17 +212,43 @@ impl Tape {
     }
 
     /// Accumulates `delta` into the gradient buffer of `v`.
-    pub(crate) fn accumulate(&mut self, v: Var, delta: &Matrix) {
+    /// Adds `delta` into `v`'s gradient, taking ownership so the buffer is
+    /// either stored (first contribution) or returned to the scratch pool —
+    /// dropping it instead would bleed the pool's largest buffers every
+    /// backward pass.
+    pub(crate) fn accumulate(&mut self, v: Var, delta: Matrix) {
         let node = &mut self.nodes[v.0];
         match &mut node.grad {
-            Some(g) => g.add_assign(delta),
-            None => node.grad = Some(delta.clone()),
+            Some(g) => {
+                g.add_assign(&delta);
+                delta.recycle();
+            }
+            None => node.grad = Some(delta),
         }
     }
 
-    /// Clears every recorded node, keeping the allocation.
+    /// Clears every recorded node, keeping the node-arena allocation and
+    /// recycling every node's value and gradient storage into the scratch
+    /// pool ([`crate::scratch`]). The next epoch's kernel outputs and
+    /// elementwise results are then served from the pool instead of the
+    /// allocator — this is what makes per-epoch tape allocation churn
+    /// converge to ~zero in steady state.
     pub fn reset(&mut self) {
-        self.nodes.clear();
+        for node in self.nodes.drain(..) {
+            node.value.recycle();
+            if let Some(g) = node.grad {
+                g.recycle();
+            }
+        }
+    }
+}
+
+impl Drop for Tape {
+    /// A dropped tape recycles its buffers the same way [`Tape::reset`]
+    /// does, so trainers that build a fresh tape per epoch still reuse the
+    /// previous epoch's storage.
+    fn drop(&mut self) {
+        self.reset();
     }
 }
 
