@@ -35,13 +35,38 @@ SES_OBS=1 \
 SES_OBS_FILE="$PWD/target/ir_ci.jsonl" \
 cargo run -q -p ses-ir --bin ses-ir
 cargo run -q -p ses-obs --bin obs-validate -- "$PWD/target/ir_ci.jsonl" --require bench_row
+# EXPERIMENTS.md's ir_compile table is regenerated from exactly this run;
+# a drifted compiler must come with a refreshed table in the same commit.
+cargo run -q -p ses-obs --bin ses-obs -- regen "$PWD/target/ir_ci.jsonl" EXPERIMENTS.md --check
 
-echo "== observability smoke (instrumented quickstart + JSONL validation)"
-SES_OBS=1 \
-SES_OBS_FILE="$PWD/target/obs_ci.jsonl" \
-SES_QUICKSTART_EPOCHS=3 \
-cargo run -q --example quickstart >/dev/null
-cargo run -q -p ses-obs --bin obs-validate -- "$PWD/target/obs_ci.jsonl"
+echo "== telemetry pipeline (traced quickstarts, exporters, noise-aware diff)"
+# Two identical instrumented runs: JSONL + Prometheus + Chrome-trace outputs
+# must all validate, and `ses-obs diff` must call them unchanged.
+for run in a b; do
+  SES_OBS=1 \
+  SES_OBS_FILE="$PWD/target/obs_ci_$run.jsonl" \
+  SES_OBS_PROM_FILE="$PWD/target/obs_ci_$run.prom" \
+  SES_OBS_CHROME="$PWD/target/obs_ci_$run.chrome.json" \
+  SES_QUICKSTART_EPOCHS=3 \
+  cargo run -q --example quickstart >/dev/null
+  cargo run -q -p ses-obs --bin obs-validate -- "$PWD/target/obs_ci_$run.jsonl"
+  cargo run -q -p ses-obs --bin obs-validate -- --prom "$PWD/target/obs_ci_$run.prom"
+  cargo run -q -p ses-obs --bin obs-validate -- --chrome "$PWD/target/obs_ci_$run.chrome.json"
+done
+cargo run -q -p ses-obs --bin ses-obs -- trend "$PWD/target/obs_ci_a.jsonl" >/dev/null
+# Identical runs: no regression verdict allowed (generous thresholds keep
+# shared-runner noise out; a metric must double AND move 50ms to regress).
+cargo run -q -p ses-obs --bin ses-obs -- diff \
+  "$PWD/target/obs_ci_a.jsonl" "$PWD/target/obs_ci_b.jsonl" \
+  --threshold 1.0 --abs-floor-ms 50
+# …and the regression path must actually fire: a seeded 4x slowdown on run B
+# has to produce a regression verdict (exit 1).
+if cargo run -q -p ses-obs --bin ses-obs -- diff \
+    "$PWD/target/obs_ci_a.jsonl" "$PWD/target/obs_ci_b.jsonl" \
+    --threshold 1.0 --abs-floor-ms 50 --drill-slowdown 4 >/dev/null; then
+  echo "ci: ses-obs diff failed to flag a seeded 4x slowdown" >&2
+  exit 1
+fi
 
 echo "== fault-injection drills (seeded faults recover; fatal with recovery off)"
 # Each fault mode must be absorbed by the recovery layer under the standard

@@ -2,7 +2,9 @@
 //! predictive learning (phase 2), sharing one graph encoder (Algorithm 2).
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use ses_obs::Stopwatch;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -412,7 +414,7 @@ pub fn fit<E: Encoder>(
 
     // ----- Phase 1: explainable training -----
     let phase_span = ses_obs::span!("ses.phase.explain");
-    let et_start = Instant::now();
+    let et_start = Stopwatch::start();
     let mut opt = Adam::new(config.lr).with_weight_decay(config.weight_decay);
     let mut et_loss_curve = Vec::with_capacity(config.epochs_explain);
     let mut et_val_curve = Vec::with_capacity(config.epochs_explain);
@@ -427,7 +429,7 @@ pub fn fit<E: Encoder>(
 
     let mut epoch = 0usize;
     while epoch < config.epochs_explain {
-        let epoch_start = Instant::now();
+        let epoch_start = Stopwatch::start();
         let spans_before = ses_obs::spans::snapshot();
         let step = record_explain_step(&mut encoder, &mut mask_gen, graph, &ctx, config, &mut rng);
         let ExplainStep {
@@ -514,6 +516,10 @@ pub fn fit<E: Encoder>(
         let val_acc = accuracy(&pred, graph.labels(), eval_split(splits));
         et_val_curve.push(val_acc);
 
+        let epoch_ns = epoch_start.elapsed_ns();
+        ses_obs::metrics::TRAIN_EPOCH_NS.record(epoch_ns);
+        ses_obs::slo::global().observe("epoch", epoch_ns);
+
         if ses_obs::sink::active() {
             let (feat_mean, feat_sparsity) = mask_stats(tape.value(masks.feature));
             let (struct_mean, struct_sparsity) = mask_stats(tape.value(masks.structure));
@@ -572,7 +578,7 @@ pub fn fit<E: Encoder>(
     let test_acc_plain = accuracy(&pred_plain, graph.labels(), test_split(splits));
 
     // ----- Algorithm 1: positive-negative pairs -----
-    let pair_start = Instant::now();
+    let pair_start = Stopwatch::start();
     let pairs = construct_pairs(
         &ctx.khop,
         &structure_weights,
@@ -584,7 +590,7 @@ pub fn fit<E: Encoder>(
 
     // ----- Phase 2: enhanced predictive learning -----
     let phase_span = ses_obs::span!("ses.phase.epl");
-    let epl_start = Instant::now();
+    let epl_start = Stopwatch::start();
     let epl_loss_curve = run_epl_phase(
         &mut encoder,
         graph,
@@ -711,7 +717,7 @@ fn run_epl_phase<E: Encoder + ?Sized>(
 
     let mut epoch = 0usize;
     while epoch < config.epochs_epl {
-        let epoch_start = Instant::now();
+        let epoch_start = Stopwatch::start();
         let spans_before = ses_obs::spans::snapshot();
         let fires = |fired: bool, kind: FaultKind| -> bool {
             !fired && fault_spec.is_some_and(|s| s.kind == kind && s.fires_at(epoch as u64))
@@ -845,6 +851,10 @@ fn run_epl_phase<E: Encoder + ?Sized>(
                 break;
             }
         }
+
+        let epoch_ns = epoch_start.elapsed_ns();
+        ses_obs::metrics::TRAIN_EPOCH_NS.record(epoch_ns);
+        ses_obs::slo::global().observe("epoch", epoch_ns);
 
         if ses_obs::sink::active() {
             let mut rec = ses_obs::Record::new("epoch")

@@ -15,7 +15,9 @@
 //! The [`traits`] module defines the shared [`EdgeExplainer`] /
 //! [`FeatureExplainer`] interfaces plus [`explanation_auc`], the Table-4
 //! harness; [`ses_adapter::SesExplainer`] plugs SES itself into the same
-//! interfaces.
+//! interfaces. The [`stage`] module instruments each explained node as a
+//! traced request with per-stage (extract/encode/mask/rank) latency
+//! histograms and SLO budget checks.
 
 pub mod att;
 pub mod backbone;
@@ -27,6 +29,7 @@ pub mod pgmexplainer;
 pub mod protgnn;
 pub mod segnn;
 pub mod ses_adapter;
+pub mod stage;
 pub mod traits;
 
 pub use att::AttExplainer;
@@ -39,4 +42,8 @@ pub use pgmexplainer::{PgmExplainer, PgmExplainerConfig};
 pub use protgnn::{ProtGnn, ProtGnnConfig};
 pub use segnn::{Segnn, SegnnConfig};
 pub use ses_adapter::SesExplainer;
+pub use stage::{
+    emit_stage_latency_record, explain_node_traced, latency_probe, stage_latency_report,
+    StageQuantiles,
+};
 pub use traits::{explanation_auc, EdgeExplainer, FeatureExplainer};

@@ -36,25 +36,40 @@ impl EdgeExplainer for SesExplainer {
     /// case studies rank neighbours), so an edge `(a, b)` inside the
     /// explanation subgraph scores the product of its endpoints' relevance
     /// to the centre (the centre itself counting as fully relevant).
+    ///
+    /// Runs as the four instrumented pipeline stages (`extract` ego
+    /// subgraph → `encode` per-node relevance → `mask` edge scores →
+    /// `rank` by weight), each recorded via [`crate::stage::stage`].
     fn explain_node(&mut self, node: usize) -> Vec<(usize, usize, f32)> {
-        let relevance = |x: usize| -> f32 {
-            if x == node {
-                1.0
-            } else {
-                self.explanations.edge_weight(node, x)
-            }
-        };
-        let sub = ses_graph::Subgraph::ego(&self.graph, node, 2);
-        let mut out = Vec::new();
-        for lu in 0..sub.len() {
-            for &lv in sub.graph.neighbors(lu) {
-                if lu >= lv {
-                    continue;
+        let sub = crate::stage::stage("extract", || ses_graph::Subgraph::ego(&self.graph, node, 2));
+        let relevance: Vec<f32> = crate::stage::stage("encode", || {
+            sub.global_of
+                .iter()
+                .map(|&g| {
+                    if g == node {
+                        1.0
+                    } else {
+                        self.explanations.edge_weight(node, g)
+                    }
+                })
+                .collect()
+        });
+        let mut out = crate::stage::stage("mask", || {
+            let mut out = Vec::new();
+            for lu in 0..sub.len() {
+                for &lv in sub.graph.neighbors(lu) {
+                    if lu >= lv {
+                        continue;
+                    }
+                    let (gu, gv) = sub.to_global_edge(lu, lv);
+                    out.push((gu, gv, relevance[lu] * relevance[lv]));
                 }
-                let (gu, gv) = sub.to_global_edge(lu, lv);
-                out.push((gu, gv, relevance(gu) * relevance(gv)));
             }
-        }
+            out
+        });
+        crate::stage::stage("rank", || {
+            out.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        });
         out
     }
 

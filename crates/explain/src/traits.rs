@@ -36,15 +36,14 @@ pub fn explanation_auc(
     let graph = &data.dataset.graph;
     let mut scores = Vec::new();
     let mut labels = Vec::new();
-    let harness_start = std::time::Instant::now();
+    let harness_start = ses_obs::Stopwatch::start();
     for &v in eval_nodes {
         let explained = {
             let _span = ses_obs::span!("explain.node");
-            let node_start = std::time::Instant::now();
-            let explained = explainer.explain_node(v);
+            let node_start = ses_obs::Stopwatch::start();
+            let explained = crate::stage::explain_node_traced(explainer, v);
             ses_obs::metrics::EXPLAIN_NODES.incr();
-            ses_obs::metrics::EXPLAIN_NODE_NS
-                .record(u64::try_from(node_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            ses_obs::metrics::EXPLAIN_NODE_NS.record(node_start.elapsed_ns());
             explained
         };
         // index explained edges for lookup (max over orientations)
@@ -82,6 +81,7 @@ pub fn explanation_auc(
                 harness_start.elapsed().as_secs_f64() * 1e3 / eval_nodes.len() as f64,
             )
             .emit();
+        crate::stage::emit_stage_latency_record(explainer.name());
     }
     auc
 }

@@ -15,7 +15,9 @@
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use ses_obs::Stopwatch;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -242,7 +244,7 @@ pub fn train_node_classifier(
     splits: &Splits,
     config: &TrainConfig,
 ) -> Result<TrainReport, TrainError> {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut opt = Adam::new(config.lr).with_weight_decay(config.weight_decay);
     let labels = Arc::new(graph.labels().to_vec());
@@ -275,7 +277,7 @@ pub fn train_node_classifier(
 
     while epoch < config.epochs {
         epochs_run = epoch + 1;
-        let epoch_start = Instant::now();
+        let epoch_start = Stopwatch::start();
         let spans_before = ses_obs::spans::snapshot();
 
         let fires = |fired: bool, kind: FaultKind| -> bool {
@@ -402,6 +404,10 @@ pub fn train_node_classifier(
         };
         loss_curve.push(loss_val);
         val_curve.push(val_acc);
+
+        let epoch_ns = epoch_start.elapsed_ns();
+        ses_obs::metrics::TRAIN_EPOCH_NS.record(epoch_ns);
+        ses_obs::slo::global().observe("epoch", epoch_ns);
 
         if ses_obs::sink::active() {
             ses_obs::Record::new("epoch")

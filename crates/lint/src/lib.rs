@@ -211,6 +211,7 @@ pub fn run(ws: &Workspace) -> Vec<Violation> {
         rules::no_catch_unwind(f, &mut out);
         rules::no_float_eq(f, &mut out);
         rules::no_vec_alloc_in_kernel_loop(f, &mut out);
+        rules::no_raw_instant_in_lib(f, &mut out);
         rules::allow_syntax(f, &mut out);
     }
     rules::gradcheck_coverage(&ws.files, &mut out);

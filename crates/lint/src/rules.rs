@@ -31,6 +31,8 @@ pub const NO_CATCH_UNWIND_OUTSIDE_RESILIENCE: &str = "no-catch-unwind-outside-re
 pub const NO_FLOAT_EQ: &str = "no-float-eq";
 /// See [`NO_UNWRAP`].
 pub const NO_VEC_ALLOC_IN_KERNEL_LOOP: &str = "no-vec-alloc-in-kernel-loop";
+/// See [`NO_UNWRAP`].
+pub const NO_RAW_INSTANT_IN_LIB: &str = "no-raw-instant-in-lib";
 
 /// All rule names, for validating `lint:allow(..)` directives.
 pub const ALL_RULES: &[&str] = &[
@@ -45,6 +47,7 @@ pub const ALL_RULES: &[&str] = &[
     NO_CATCH_UNWIND_OUTSIDE_RESILIENCE,
     NO_FLOAT_EQ,
     NO_VEC_ALLOC_IN_KERNEL_LOOP,
+    NO_RAW_INSTANT_IN_LIB,
 ];
 
 /// True for paths whose panics are acceptable: test code, benchmarks,
@@ -369,6 +372,44 @@ pub fn no_println_in_lib(file: &LintFile, out: &mut Vec<Violation>) {
         flag(file, tok, NO_PRINTLN_IN_LIB, true, msg, out);
         if out.len() > before {
             last_line = tok.line;
+        }
+    }
+}
+
+/// Paths where raw `Instant::now()` stays legal: the observability crate
+/// itself (it *implements* the sanctioned wrappers), plus everything already
+/// exempt from panics (tests, benches, examples, binaries) and vendored
+/// stubs.
+fn is_exempt_from_raw_instant(rel_path: &str) -> bool {
+    is_exempt_from_panics(rel_path)
+        || rel_path.starts_with("crates/obs/src")
+        || rel_path.starts_with("vendor/")
+}
+
+/// `no-raw-instant-in-lib`: forbids `Instant::now()` in library runtime
+/// paths. Timing in lib code must go through `ses_obs::Stopwatch` (or a
+/// span) so every measured interval is visible to the telemetry layer —
+/// raw `Instant` timings are invisible to exporters, SLO policies and the
+/// `ses-obs` analysis CLI. Tests, benches, examples, binaries, vendored
+/// stubs and `crates/obs` itself are exempt.
+pub fn no_raw_instant_in_lib(file: &LintFile, out: &mut Vec<Violation>) {
+    if is_exempt_from_raw_instant(&file.rel_path) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let hit = toks[i].is_ident("Instant")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('));
+        if hit {
+            let msg = "`Instant::now()` in library runtime path: use \
+                       `ses_obs::Stopwatch` (or a span) so the interval is \
+                       visible to telemetry, or justify with \
+                       `// lint:allow(no-raw-instant-in-lib): <reason>`"
+                .to_string();
+            flag(file, &toks[i], NO_RAW_INSTANT_IN_LIB, true, msg, out);
         }
     }
 }
@@ -708,6 +749,47 @@ mod tests {
     fn strings_and_comments_do_not_trip_no_unwrap() {
         let src = "fn f() { let s = \"call .unwrap() here\"; } // .unwrap() is bad\n/// panic!(never)\nfn g() {}";
         let v = run_single(&file("crates/foo/src/lib.rs", src), no_unwrap);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn raw_instant_flagged_in_lib_paths_only() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let v = run_single(&file("crates/foo/src/lib.rs", src), no_raw_instant_in_lib);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, NO_RAW_INSTANT_IN_LIB);
+        // fully-qualified form matches too (same trailing token sequence)
+        let fq = "fn f() { let t = std::time::Instant::now(); }";
+        let v = run_single(&file("crates/foo/src/lib.rs", fq), no_raw_instant_in_lib);
+        assert_eq!(v.len(), 1, "{v:?}");
+        // exempt locations: tests, benches, binaries, the obs crate, vendor
+        for path in [
+            "crates/foo/tests/it.rs",
+            "crates/foo/benches/b.rs",
+            "crates/foo/src/bin/main.rs",
+            "crates/obs/src/time.rs",
+            "vendor/rand/src/lib.rs",
+        ] {
+            let v = run_single(&file(path, src), no_raw_instant_in_lib);
+            assert!(v.is_empty(), "{path} should be exempt: {v:?}");
+        }
+        // test regions inside lib files are exempt
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { let t = Instant::now(); }\n}";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", in_test),
+            no_raw_instant_in_lib,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // a reasoned allow silences it
+        let allowed = "fn f() {\n    // lint:allow(no-raw-instant-in-lib): pre-obs crate\n    let t = Instant::now();\n}";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", allowed),
+            no_raw_instant_in_lib,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // `elapsed()` on a stored Instant or other idents must not trip
+        let ok = "fn f() { let d = sw.elapsed(); my_instant.now(); }";
+        let v = run_single(&file("crates/foo/src/lib.rs", ok), no_raw_instant_in_lib);
         assert!(v.is_empty(), "{v:?}");
     }
 

@@ -53,6 +53,9 @@ impl Stopwatch {
     /// Starts a new stopwatch.
     pub fn new() -> Self {
         Self {
+            // lint:allow(no-raw-instant-in-lib): ses-metrics sits below
+            // ses-obs in the crate graph; this lap stopwatch feeds the
+            // paper's timing tables, not telemetry.
             start: Instant::now(),
             laps: Vec::new(),
         }
@@ -67,6 +70,7 @@ impl Stopwatch {
     pub fn lap(&mut self, name: impl Into<String>) -> Duration {
         let d = self.start.elapsed();
         self.laps.push((name.into(), d));
+        // lint:allow(no-raw-instant-in-lib): see `new` — pre-obs crate.
         self.start = Instant::now();
         d
     }

@@ -9,6 +9,8 @@
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
+use crate::hist::LogHistogram;
+
 /// Monotone event counter.
 pub struct Counter {
     name: &'static str,
@@ -263,7 +265,44 @@ pub static ALLOC_SAVED_BYTES: Counter = Counter::new("alloc.saved_bytes");
 /// as opposed to the EPL phase covered by `trainer.recover.*`.
 pub static TRAIN_RECOVER_MASK_PHASE: Counter = Counter::new("trainer.recover.mask_phase");
 
-static ALL_COUNTERS: [&Counter; 27] = [
+/// Request-shaped traces opened via `ses_obs::trace::request`.
+pub static TRACE_REQUESTS: Counter = Counter::new("trace.requests");
+/// Child span events recorded into trace trees.
+pub static TRACE_SPANS: Counter = Counter::new("trace.spans");
+/// Trace events discarded because the bounded event buffer was full.
+pub static TRACE_DROPPED: Counter = Counter::new("trace.dropped");
+
+/// SLO budget breaches per explain stage / phase (see `ses_obs::slo`).
+pub static SLO_BREACH_EXTRACT: Counter = Counter::new("slo.breach.extract");
+/// See [`SLO_BREACH_EXTRACT`].
+pub static SLO_BREACH_ENCODE: Counter = Counter::new("slo.breach.encode");
+/// See [`SLO_BREACH_EXTRACT`].
+pub static SLO_BREACH_MASK: Counter = Counter::new("slo.breach.mask");
+/// See [`SLO_BREACH_EXTRACT`].
+pub static SLO_BREACH_RANK: Counter = Counter::new("slo.breach.rank");
+/// See [`SLO_BREACH_EXTRACT`].
+pub static SLO_BREACH_EPOCH: Counter = Counter::new("slo.breach.epoch");
+/// See [`SLO_BREACH_EXTRACT`].
+pub static SLO_BREACH_REQUEST: Counter = Counter::new("slo.breach.request");
+/// Breaches against budgets whose stage has no dedicated counter.
+pub static SLO_BREACH_OTHER: Counter = Counter::new("slo.breach.other");
+
+// -- SLO-grade latency distributions (log-linear; see `ses_obs::hist`) ------
+
+/// Extract stage (ego-subgraph assembly) latency per explain request.
+pub static EXPLAIN_STAGE_EXTRACT_NS: LogHistogram = LogHistogram::new("explain.stage.extract_ns");
+/// Encode stage (relevance gathering) latency per explain request.
+pub static EXPLAIN_STAGE_ENCODE_NS: LogHistogram = LogHistogram::new("explain.stage.encode_ns");
+/// Mask stage (edge scoring) latency per explain request.
+pub static EXPLAIN_STAGE_MASK_NS: LogHistogram = LogHistogram::new("explain.stage.mask_ns");
+/// Rank stage (edge ordering) latency per explain request.
+pub static EXPLAIN_STAGE_RANK_NS: LogHistogram = LogHistogram::new("explain.stage.rank_ns");
+/// End-to-end per-node explain request latency.
+pub static EXPLAIN_REQUEST_NS: LogHistogram = LogHistogram::new("explain.request_ns");
+/// Training epoch wall-clock latency (backbone and explain phases).
+pub static TRAIN_EPOCH_NS: LogHistogram = LogHistogram::new("trainer.epoch_ns");
+
+static ALL_COUNTERS: [&Counter; 37] = [
     &TAPE_NODES,
     &TAPE_BACKWARDS,
     &SPMM_CALLS,
@@ -291,9 +330,27 @@ static ALL_COUNTERS: [&Counter; 27] = [
     &KERNEL_PANIC_DEGRADED,
     &ALLOC_SAVED_BYTES,
     &TRAIN_RECOVER_MASK_PHASE,
+    &TRACE_REQUESTS,
+    &TRACE_SPANS,
+    &TRACE_DROPPED,
+    &SLO_BREACH_EXTRACT,
+    &SLO_BREACH_ENCODE,
+    &SLO_BREACH_MASK,
+    &SLO_BREACH_RANK,
+    &SLO_BREACH_EPOCH,
+    &SLO_BREACH_REQUEST,
+    &SLO_BREACH_OTHER,
 ];
 static ALL_GAUGES: [&Gauge; 2] = [&TAPE_PEAK_NODES, &SCRATCH_HIGHWATER];
 static ALL_HISTOGRAMS: [&Histogram; 1] = [&EXPLAIN_NODE_NS];
+static ALL_LOG_HISTOGRAMS: [&LogHistogram; 6] = [
+    &EXPLAIN_STAGE_EXTRACT_NS,
+    &EXPLAIN_STAGE_ENCODE_NS,
+    &EXPLAIN_STAGE_MASK_NS,
+    &EXPLAIN_STAGE_RANK_NS,
+    &EXPLAIN_REQUEST_NS,
+    &TRAIN_EPOCH_NS,
+];
 
 /// All well-known counters, for the summary table and end-of-run records.
 pub fn counters() -> &'static [&'static Counter] {
@@ -308,6 +365,11 @@ pub fn gauges() -> &'static [&'static Gauge] {
 /// All well-known histograms.
 pub fn histograms() -> &'static [&'static Histogram] {
     &ALL_HISTOGRAMS
+}
+
+/// All well-known log-linear histograms (SLO-grade latency instruments).
+pub fn log_histograms() -> &'static [&'static LogHistogram] {
+    &ALL_LOG_HISTOGRAMS
 }
 
 #[cfg(test)]

@@ -15,6 +15,15 @@ fn process_start() -> Instant {
     *START.get_or_init(Instant::now)
 }
 
+/// Microseconds from process start (first telemetry touch) to `at`;
+/// saturates to 0 for instants captured before the anchor was initialised.
+pub(crate) fn since_start_us(at: Instant) -> u64 {
+    let d = at
+        .checked_duration_since(process_start())
+        .unwrap_or_default();
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Escapes `s` as JSON string contents (without surrounding quotes).
 pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());

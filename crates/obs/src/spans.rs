@@ -136,10 +136,14 @@ fn slot_for(name: &'static str) -> Option<&'static Slot> {
 
 /// RAII timing guard returned by [`span`]. Records elapsed wall-clock time
 /// into the aggregation table when dropped; inert when telemetry is off.
+/// While a trace is active on the opening thread (see [`crate::trace`]),
+/// the guard additionally carries a trace frame and emits a
+/// [`crate::trace::SpanEvent`] on drop.
 pub struct SpanGuard {
     slot: Option<&'static Slot>,
     start: Option<Instant>,
     in_tree: bool,
+    trace: Option<crate::trace::Frame>,
 }
 
 impl Drop for SpanGuard {
@@ -152,6 +156,10 @@ impl Drop for SpanGuard {
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
             if self.in_tree {
                 record_tree_exit(ns);
+            }
+            if let Some(frame) = self.trace.take() {
+                let name = slot.name.get().copied().unwrap_or("span");
+                crate::trace::exit_span(frame, name, start, ns);
             }
         }
     }
@@ -193,21 +201,25 @@ pub fn span(name: &'static str) -> SpanGuard {
             slot: None,
             start: None,
             in_tree: false,
+            trace: None,
         };
     }
     let slot = slot_for(name);
     let mut in_tree = false;
+    let mut trace = None;
     if slot.is_some() {
         DEPTH.with(|d| d.set(d.get() + 1));
         if tree_enabled() {
             PATH.with(|p| p.borrow_mut().push((name, 0)));
             in_tree = true;
         }
+        trace = crate::trace::enter_span();
     }
     SpanGuard {
         slot,
         start: slot.map(|_| Instant::now()),
         in_tree,
+        trace,
     }
 }
 

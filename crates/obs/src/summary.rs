@@ -115,11 +115,41 @@ pub fn summary_string() -> String {
         }
     }
 
+    let log_hists: Vec<_> = metrics::log_histograms()
+        .iter()
+        .filter(|h| h.count() > 0)
+        .collect();
+    if !log_hists.is_empty() {
+        let _ = writeln!(
+            out,
+            "── latency quantiles ──────────────────────────────────"
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "p50", "p90", "p99", "p99.9"
+        );
+        for h in log_hists {
+            let snap = h.snapshot();
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                h.name(),
+                fmt_count(snap.count()),
+                fmt_ns(snap.quantile(0.5)),
+                fmt_ns(snap.quantile(0.9)),
+                fmt_ns(snap.quantile(0.99)),
+                fmt_ns(snap.quantile(0.999))
+            );
+        }
+    }
+
     out
 }
 
-/// Prints the summary table to stderr (no-op when nothing was recorded or
-/// telemetry is disabled).
+/// Prints the summary table to stderr and flushes the environment-named
+/// exporters (`SES_OBS_PROM_FILE`, `SES_OBS_CHROME`). No-op when nothing
+/// was recorded or telemetry is disabled.
 pub fn print_summary() {
     if !crate::enabled() {
         return;
@@ -128,6 +158,7 @@ pub fn print_summary() {
     if !s.is_empty() {
         crate::log::info(format_args!("ses-obs run summary\n{s}"));
     }
+    crate::export::flush_env_exports();
 }
 
 #[cfg(test)]

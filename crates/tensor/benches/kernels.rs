@@ -235,6 +235,7 @@ fn main() {
     failed |= !gate_parallel_never_loses(hardware_threads, &entries);
     failed |= !gate_lane_speedup(&cases);
     failed |= !gate_obs_overhead(&entries);
+    failed |= !gate_tracing_overhead(&entries);
     failed |= !gate_resilience_overhead(&entries);
     if failed {
         std::process::exit(1);
@@ -705,6 +706,48 @@ fn gate_obs_overhead(entries: &[Entry]) -> bool {
              spmm/ba_shapes/t1 ({:.0}ns) — exceeds the {:.0}% budget",
             fraction * 100.0,
             spmm.mean_ns,
+            MAX_FRACTION * 100.0
+        );
+        false
+    }
+}
+
+/// Asserts *enabled* tracing (span-table aggregation + counter bumps, the
+/// preamble every instrumented kernel call pays when telemetry is on) stays
+/// under 2% of a serial epoch: a training epoch issues on the order of 64
+/// instrumented calls, so the gate scales the measured per-call cost by a
+/// conservative call budget and compares against the serial ba_shapes epoch
+/// lower bound (the summed serial kernel timings).
+fn gate_tracing_overhead(entries: &[Entry]) -> bool {
+    const MAX_FRACTION: f64 = 0.02;
+    const CALLS_PER_EPOCH: f64 = 64.0;
+    let epoch_lb_ns: f64 = entries
+        .iter()
+        .filter(|e| e.size == "ba_shapes" && e.threads == 1)
+        .map(|e| e.mean_ns)
+        .sum();
+    if epoch_lb_ns <= 0.0 {
+        eprintln!("bench gate: no serial ba_shapes entries for the tracing-overhead check");
+        return false;
+    }
+    let per_call_ns = ses_obs::enabled_path_cost_ns(1_000_000);
+    let per_epoch_ns = per_call_ns * CALLS_PER_EPOCH;
+    let fraction = per_epoch_ns / epoch_lb_ns;
+    if fraction < MAX_FRACTION {
+        println!(
+            "bench gate: enabled tracing {per_call_ns:.1}ns/call × {CALLS_PER_EPOCH:.0} calls = \
+             {:.3}% of the serial ba_shapes epoch lower bound ({epoch_lb_ns:.0}ns) — under the \
+             {:.0}% budget",
+            fraction * 100.0,
+            MAX_FRACTION * 100.0
+        );
+        true
+    } else {
+        eprintln!(
+            "bench gate: enabled tracing {per_call_ns:.1}ns/call × {CALLS_PER_EPOCH:.0} calls is \
+             {:.3}% of the serial ba_shapes epoch lower bound ({epoch_lb_ns:.0}ns) — exceeds the \
+             {:.0}% budget",
+            fraction * 100.0,
             MAX_FRACTION * 100.0
         );
         false

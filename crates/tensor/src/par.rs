@@ -150,6 +150,9 @@ where
         return tasks.into_iter().map(|f| f()).collect();
     }
     let inject_panic = take_worker_panic();
+    // Capture the submitting thread's trace context (if a request is open)
+    // so worker spans land in the same trace tree as the caller's.
+    let trace_ctx = ses_obs::trace::current();
     let workers = threads.min(n);
     // Contiguous chunks, sizes differing by at most one.
     let mut chunks: Vec<Vec<F>> = Vec::with_capacity(workers);
@@ -172,6 +175,7 @@ where
             .map(|(w, chunk)| {
                 let poison = inject_panic && w == 0;
                 s.spawn(move || {
+                    let _trace = trace_ctx.map(ses_obs::trace::TraceContext::adopt);
                     assert!(!poison, "ses-fault: injected worker panic");
                     chunk.into_iter().map(|f| f()).collect::<Vec<T>>()
                 })

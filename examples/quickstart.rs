@@ -75,7 +75,37 @@ fn main() {
         println!("    feature {j:4}  weight {w:.3}");
     }
 
-    // 5. With SES_OBS enabled this prints the per-phase span timings, kernel
-    //    counters, and histogram digests collected during the run.
+    // 5. Explanation latency, SLO-style: each probed node runs as one traced
+    //    request whose extract/encode/mask/rank stages feed the log-linear
+    //    latency histograms (and the `explain_stage_latency` record that
+    //    `ses-obs diff` compares across runs).
+    let mut ses_explainer =
+        ses::explain::SesExplainer::new(trained.explanations.clone(), graph.clone());
+    let probe_nodes: Vec<usize> = splits.test.iter().copied().take(32).collect();
+    let report = ses::explain::latency_probe(&mut ses_explainer, &probe_nodes);
+    if !report.is_empty() {
+        println!(
+            "\nexplanation latency over {} traced requests:",
+            probe_nodes.len()
+        );
+        println!(
+            "  {:<10} {:>8} {:>12} {:>12}",
+            "stage", "count", "p50_us", "p99_us"
+        );
+        for q in &report {
+            println!(
+                "  {:<10} {:>8} {:>12.1} {:>12.1}",
+                q.stage,
+                q.count,
+                q.p50_ns as f64 / 1e3,
+                q.p99_ns as f64 / 1e3
+            );
+        }
+    }
+
+    // 6. With SES_OBS enabled this prints the per-phase span timings, kernel
+    //    counters, and histogram digests collected during the run — and
+    //    flushes the Prometheus / Chrome-trace exports when
+    //    `SES_OBS_PROM_FILE` / `SES_OBS_CHROME` are set.
     ses::obs::print_summary();
 }
