@@ -27,6 +27,20 @@ done
 echo "== cargo test -q"
 cargo test -q
 
+echo "== race-check (model-checked interleavings, <60s budget)"
+# The clean suite must explore >=10k schedules and exit 0; each seeded
+# concurrency defect (a real bug compiled into the checked code) must be
+# caught, i.e. exit non-zero with a minimal failing schedule. Dev profile:
+# the checker is branchy interpreter-style code, release buys nothing here.
+cargo run -q -p ses-race-suite --features race --bin ses-race
+for defect in lost-increment torn-snapshot double-lease dropped-task; do
+  if cargo run -q -p ses-race-suite --features race --bin ses-race -- \
+      --seed-defect "$defect" >/dev/null 2>&1; then
+    echo "ci: ses-race failed to catch seeded concurrency defect '$defect'" >&2
+    exit 1
+  fi
+done
+
 echo "== ses-ir compile gate (verified inference plans + telemetry)"
 # Compiles both explain-step tapes into inference plans. The binary itself
 # enforces the >=20% node-count reduction floor and a strict peak-buffer

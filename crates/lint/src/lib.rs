@@ -14,6 +14,7 @@
 //! | `no-catch-unwind-outside-resilience` | panic isolation lives only in `ses-resilience` / `ses_tensor::par::run_isolated` |
 //! | `no-float-eq` | no `==`/`!=` against float literals in library code — `.to_bits()` or a tolerance instead |
 //! | `no-vec-alloc-in-kernel-loop` | no `Vec::new`/`vec![..]`/`with_capacity` inside loop bodies in tensor kernel hot paths — hoist or lease scratch |
+//! | `atomic-ordering-needs-comment` | every `Ordering::<variant>` in library code carries an `// ordering:` justification |
 //!
 //! Rules match **token sequences**, not line regexes: every file is lexed by
 //! `ses-verify`'s [`ses_verify::tokenizer`] into identifiers, punctuation,
@@ -212,6 +213,7 @@ pub fn run(ws: &Workspace) -> Vec<Violation> {
         rules::no_float_eq(f, &mut out);
         rules::no_vec_alloc_in_kernel_loop(f, &mut out);
         rules::no_raw_instant_in_lib(f, &mut out);
+        rules::atomic_ordering_needs_comment(f, &mut out);
         rules::allow_syntax(f, &mut out);
     }
     rules::gradcheck_coverage(&ws.files, &mut out);

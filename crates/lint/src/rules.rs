@@ -33,6 +33,8 @@ pub const NO_FLOAT_EQ: &str = "no-float-eq";
 pub const NO_VEC_ALLOC_IN_KERNEL_LOOP: &str = "no-vec-alloc-in-kernel-loop";
 /// See [`NO_UNWRAP`].
 pub const NO_RAW_INSTANT_IN_LIB: &str = "no-raw-instant-in-lib";
+/// See [`NO_UNWRAP`].
+pub const ATOMIC_ORDERING_NEEDS_COMMENT: &str = "atomic-ordering-needs-comment";
 
 /// All rule names, for validating `lint:allow(..)` directives.
 pub const ALL_RULES: &[&str] = &[
@@ -48,6 +50,7 @@ pub const ALL_RULES: &[&str] = &[
     NO_FLOAT_EQ,
     NO_VEC_ALLOC_IN_KERNEL_LOOP,
     NO_RAW_INSTANT_IN_LIB,
+    ATOMIC_ORDERING_NEEDS_COMMENT,
 ];
 
 /// True for paths whose panics are acceptable: test code, benchmarks,
@@ -466,10 +469,12 @@ pub fn unsafe_needs_safety_comment(file: &LintFile, out: &mut Vec<Violation>) {
 /// Paths sanctioned to call `catch_unwind`: the resilience crate (fault
 /// isolation is its job), `ses_tensor::par`'s `run_isolated` (the one
 /// kernel-side isolation boundary, which resilience documents and tests),
-/// and vendored stubs (upstream idiom).
+/// the `ses-race` model checker (its scheduler must contain task panics to
+/// report them as failing schedules), and vendored stubs (upstream idiom).
 fn may_catch_unwind(rel_path: &str) -> bool {
     rel_path.starts_with("crates/resilience/")
         || rel_path == "crates/tensor/src/par.rs"
+        || rel_path.starts_with("crates/race/")
         || rel_path.starts_with("vendor/")
 }
 
@@ -496,6 +501,73 @@ pub fn no_catch_unwind(file: &LintFile, out: &mut Vec<Violation>) {
              through `ses_tensor::par::run_isolated` / `ses-resilience`, or justify \
              with `// lint:allow(no-catch-unwind-outside-resilience): <reason>`"
                 .to_string(),
+            out,
+        );
+    }
+}
+
+/// True when the line at `idx` (or a directly preceding comment-only run)
+/// carries an `ordering:` justification comment.
+fn has_ordering_comment(file: &LintFile, idx: usize) -> bool {
+    if file.lines[idx].comments.contains("ordering:") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        if !file.lines[i].code.trim().is_empty() {
+            return false;
+        }
+        if file.lines[i].comments.contains("ordering:") {
+            return true;
+        }
+    }
+    false
+}
+
+/// The memory-ordering variants of `std::sync::atomic::Ordering`.
+const ORDERING_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// `atomic-ordering-needs-comment`: every `Ordering::<variant>` use site in
+/// library code must carry an `// ordering: <why this ordering suffices>`
+/// comment on its line or the comment run directly above. A memory ordering
+/// is a correctness claim about every other access to the same location —
+/// `Relaxed` asserts no cross-thread happens-before is needed, `Acquire`/
+/// `Release` name a publication edge — and the `ses-race` checker models
+/// exactly these semantics, so an unjustified ordering is an unreviewable
+/// one. Tests, benches and binaries are exempt (assertion code does not
+/// publish data), as are vendored stubs.
+pub fn atomic_ordering_needs_comment(file: &LintFile, out: &mut Vec<Violation>) {
+    if is_exempt_from_panics(&file.rel_path) || file.rel_path.starts_with("vendor/") {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let hit = toks[i].is_ident("Ordering")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| {
+                t.kind == TokKind::Ident && ORDERING_VARIANTS.contains(&t.text.as_str())
+            });
+        if !hit {
+            continue;
+        }
+        // One justification per comment run covers every ordering on that
+        // line (e.g. a compare_exchange's success/failure pair).
+        if has_ordering_comment(file, toks[i].line) {
+            continue;
+        }
+        let variant = &toks[i + 3].text;
+        flag(
+            file,
+            &toks[i],
+            ATOMIC_ORDERING_NEEDS_COMMENT,
+            true,
+            format!(
+                "`Ordering::{variant}` without an `// ordering:` comment: state why \
+                 this ordering suffices (what is or is not published) on the same \
+                 line or directly above"
+            ),
             out,
         );
     }
@@ -1195,6 +1267,79 @@ mod tests {
                    }";
         let f = file("crates/tensor/src/kernels/sparse.rs", src);
         let v = run_single(&f, no_vec_alloc_in_kernel_loop);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn ordering_requires_justification_comment() {
+        let bare = "fn f(a: &AtomicU64) { a.store(1, Ordering::Relaxed); }";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", bare),
+            atomic_ordering_needs_comment,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, ATOMIC_ORDERING_NEEDS_COMMENT);
+        assert!(v[0].msg.contains("Ordering::Relaxed"), "{v:?}");
+
+        let same_line =
+            "fn f(a: &AtomicU64) { a.store(1, Ordering::Release); } // ordering: publishes init";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", same_line),
+            atomic_ordering_needs_comment,
+        );
+        assert!(v.is_empty(), "{v:?}");
+
+        let above = "fn f(a: &AtomicU64) {\n\
+                     \x20   // ordering: counter only, no data published\n\
+                     \x20   a.fetch_add(1, Ordering::Relaxed);\n\
+                     }";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", above),
+            atomic_ordering_needs_comment,
+        );
+        assert!(v.is_empty(), "{v:?}");
+
+        // one comment run covers a success/failure pair on the same line
+        let pair = "fn f(a: &AtomicU64) {\n\
+                    \x20   // ordering: CAS publishes the slot; failure is a retry\n\
+                    \x20   let _ = a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);\n\
+                    }";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", pair),
+            atomic_ordering_needs_comment,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn ordering_rule_exempts_tests_bins_and_vendor() {
+        let src = "fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }";
+        for path in [
+            "crates/foo/tests/props.rs",
+            "crates/foo/benches/hot.rs",
+            "crates/foo/src/bin/tool.rs",
+            "vendor/rand/src/lib.rs",
+        ] {
+            let v = run_single(&file(path, src), atomic_ordering_needs_comment);
+            assert!(v.is_empty(), "{path} must be exempt: {v:?}");
+        }
+
+        let in_test = "#[cfg(test)]\nmod tests {\n\
+                       \x20   fn t(a: &AtomicU64) { a.load(Ordering::Acquire); }\n\
+                       }";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", in_test),
+            atomic_ordering_needs_comment,
+        );
+        assert!(v.is_empty(), "inline test regions are exempt: {v:?}");
+
+        // `Ordering` from `std::cmp` compared as an enum is not an atomic
+        // ordering use site
+        let cmp = "fn f(o: Ordering) -> bool { o == Ordering::Less }";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", cmp),
+            atomic_ordering_needs_comment,
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 }

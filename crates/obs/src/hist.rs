@@ -15,7 +15,9 @@
 //! histograms combine associatively (property-tested in
 //! `tests/hist_props.rs`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+
+use crate::sync::AtomicU64;
 
 /// Each octave `[2^e, 2^(e+1))` is split into `2^SUB_BITS` linear buckets.
 pub const SUB_BITS: u32 = 5;
@@ -93,10 +95,10 @@ impl LogHistogram {
         if !crate::enabled() {
             return;
         }
-        self.buckets[log_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[log_index(v)].fetch_add(1, Ordering::Relaxed); // ordering: per-bucket tally; no payload
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: relaxed tally; snapshots tolerate torn count/sum
+        self.sum.fetch_add(v, Ordering::Relaxed); // ordering: relaxed tally; snapshots tolerate torn count/sum
+        self.max.fetch_max(v, Ordering::Relaxed); // ordering: high-watermark tally
     }
 
     pub fn name(&self) -> &'static str {
@@ -104,15 +106,15 @@ impl LogHistogram {
     }
 
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // ordering: telemetry read; staleness is fine
     }
 
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.sum.load(Ordering::Relaxed) // ordering: telemetry read; staleness is fine
     }
 
     pub fn max(&self) -> u64 {
-        self.max.load(Ordering::Relaxed)
+        self.max.load(Ordering::Relaxed) // ordering: telemetry read; staleness is fine
     }
 
     /// Quantile estimate over everything recorded so far (see
@@ -127,7 +129,7 @@ impl LogHistogram {
     pub fn snapshot(&self) -> HistSnapshot {
         let mut counts = vec![0u64; NUM_BUCKETS];
         for (dst, src) in counts.iter_mut().zip(self.buckets.iter()) {
-            *dst = src.load(Ordering::Relaxed);
+            *dst = src.load(Ordering::Relaxed); // ordering: snapshot is documented as possibly torn
         }
         HistSnapshot {
             counts,
@@ -140,11 +142,11 @@ impl LogHistogram {
     /// Zeroes the histogram (test/bench helper).
     pub fn reset(&self) {
         for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Relaxed); // ordering: test/bench zeroing; nobody synchronises on it
         }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed); // ordering: test/bench zeroing
+        self.sum.store(0, Ordering::Relaxed); // ordering: test/bench zeroing
+        self.max.store(0, Ordering::Relaxed); // ordering: test/bench zeroing
     }
 }
 

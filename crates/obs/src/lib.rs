@@ -62,6 +62,7 @@ pub mod sink;
 pub mod slo;
 pub mod spans;
 pub mod summary;
+pub(crate) mod sync;
 pub mod time;
 pub mod trace;
 
@@ -74,7 +75,9 @@ pub use summary::{print_summary, summary_string};
 pub use time::Stopwatch;
 pub use trace::{SpanId, TraceContext, TraceId};
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::Ordering;
+
+use crate::sync::AtomicU8;
 
 /// Tri-state atomic: 0 = undecided, 1 = off, 2 = on.
 static STATE: AtomicU8 = AtomicU8::new(0);
@@ -87,11 +90,13 @@ static OVERRIDE: AtomicU8 = AtomicU8::new(0);
 /// Hot-path cost when disabled: one relaxed atomic load and a branch.
 #[inline]
 pub fn enabled() -> bool {
+    // ordering: independent on/off flag; no data guarded
     match OVERRIDE.load(Ordering::Relaxed) {
         1 => return false,
         2 => return true,
         _ => {}
     }
+    // ordering: independent on/off flag; no data guarded
     match STATE.load(Ordering::Relaxed) {
         2 => true,
         1 => false,
@@ -105,7 +110,7 @@ fn init_from_env() -> bool {
         Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("off")),
         Err(_) => std::env::var_os("SES_OBS_FILE").is_some(),
     };
-    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed); // ordering: independent on/off flag; no data guarded
     on
 }
 
@@ -118,7 +123,7 @@ pub fn set_enabled_override(state: Option<bool>) {
         Some(false) => 1,
         Some(true) => 2,
     };
-    OVERRIDE.store(v, Ordering::Relaxed);
+    OVERRIDE.store(v, Ordering::Relaxed); // ordering: independent on/off flag; no data guarded
 }
 
 /// Measures the per-iteration wall-clock cost of the *disabled*

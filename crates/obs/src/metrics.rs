@@ -7,7 +7,9 @@
 //! bottom of this module so [`counters`]/[`histograms`] can enumerate them
 //! for the summary table and the sink.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+
+use crate::sync::{AtomicI64, AtomicU64};
 
 use crate::hist::LogHistogram;
 
@@ -28,7 +30,7 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if crate::enabled() {
-            self.value.fetch_add(n, Ordering::Relaxed);
+            self.value.fetch_add(n, Ordering::Relaxed); // ordering: pure event tally; nothing published
         }
     }
 
@@ -38,7 +40,7 @@ impl Counter {
     }
 
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // ordering: monotone tally read; staleness is fine
     }
 
     pub fn name(&self) -> &'static str {
@@ -47,7 +49,7 @@ impl Counter {
 
     /// Test/bench helper: zeroes the counter.
     pub fn reset(&self) {
-        self.value.store(0, Ordering::Relaxed);
+        self.value.store(0, Ordering::Relaxed); // ordering: test/bench zeroing; nobody synchronises on it
     }
 }
 
@@ -68,7 +70,7 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: i64) {
         if crate::enabled() {
-            self.value.store(v, Ordering::Relaxed);
+            self.value.store(v, Ordering::Relaxed); // ordering: last-write-wins telemetry value; no payload
         }
     }
 
@@ -76,12 +78,12 @@ impl Gauge {
     #[inline]
     pub fn record_max(&self, v: i64) {
         if crate::enabled() {
-            self.value.fetch_max(v, Ordering::Relaxed);
+            self.value.fetch_max(v, Ordering::Relaxed); // ordering: high-watermark tally; no payload
         }
     }
 
     pub fn get(&self) -> i64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // ordering: telemetry read; staleness is fine
     }
 
     pub fn name(&self) -> &'static str {
@@ -89,7 +91,7 @@ impl Gauge {
     }
 
     pub fn reset(&self) {
-        self.value.store(0, Ordering::Relaxed);
+        self.value.store(0, Ordering::Relaxed); // ordering: test/bench zeroing; nobody synchronises on it
     }
 }
 
@@ -142,22 +144,22 @@ impl Histogram {
         if !crate::enabled() {
             return;
         }
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed); // ordering: per-bucket tally; no payload
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: relaxed tally; torn count/sum tolerated
+        self.sum.fetch_add(v, Ordering::Relaxed); // ordering: relaxed tally; torn count/sum tolerated
+        self.max.fetch_max(v, Ordering::Relaxed); // ordering: high-watermark tally
     }
 
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // ordering: telemetry read; staleness is fine
     }
 
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.sum.load(Ordering::Relaxed) // ordering: telemetry read; staleness is fine
     }
 
     pub fn max(&self) -> u64 {
-        self.max.load(Ordering::Relaxed)
+        self.max.load(Ordering::Relaxed) // ordering: telemetry read; staleness is fine
     }
 
     pub fn mean(&self) -> f64 {
@@ -171,7 +173,7 @@ impl Histogram {
     }
 
     pub fn bucket_count(&self, b: usize) -> u64 {
-        self.buckets[b].load(Ordering::Relaxed)
+        self.buckets[b].load(Ordering::Relaxed) // ordering: telemetry read; staleness is fine
     }
 
     pub fn name(&self) -> &'static str {
@@ -180,11 +182,11 @@ impl Histogram {
 
     pub fn reset(&self) {
         for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Relaxed); // ordering: test/bench zeroing; nobody synchronises on it
         }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed); // ordering: test/bench zeroing
+        self.sum.store(0, Ordering::Relaxed); // ordering: test/bench zeroing
+        self.max.store(0, Ordering::Relaxed); // ordering: test/bench zeroing
     }
 }
 

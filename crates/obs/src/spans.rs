@@ -16,8 +16,10 @@
 //!   table when needed).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
+
+use crate::sync::{AtomicU64, AtomicU8, Mutex};
 use std::time::Instant;
 
 /// Maximum number of distinct span names per process. Claiming a slot past
@@ -52,6 +54,7 @@ fn tree_env() -> bool {
 /// Is collapsed-stack capture active? (`SES_OBS_TREE=1`, or a test
 /// override.) Spans still honour the global [`crate::enabled`] gate first.
 pub fn tree_enabled() -> bool {
+    // ordering: independent mode flag; no data guarded
     match TREE_OVERRIDE.load(Ordering::Relaxed) {
         1 => false,
         2 => true,
@@ -69,7 +72,7 @@ pub fn set_tree_override(on: Option<bool>) {
             Some(false) => 1,
             Some(true) => 2,
         },
-        Ordering::Relaxed,
+        Ordering::Relaxed, // ordering: independent mode flag; no data guarded
     );
 }
 
@@ -150,9 +153,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let (Some(slot), Some(start)) = (self.slot, self.start) {
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            slot.count.fetch_add(1, Ordering::Relaxed);
-            slot.total_ns.fetch_add(ns, Ordering::Relaxed);
-            slot.max_ns.fetch_max(ns, Ordering::Relaxed);
+            slot.count.fetch_add(1, Ordering::Relaxed); // ordering: relaxed tally; rows read as telemetry
+            slot.total_ns.fetch_add(ns, Ordering::Relaxed); // ordering: relaxed tally; rows read as telemetry
+            slot.max_ns.fetch_max(ns, Ordering::Relaxed); // ordering: high-watermark tally
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
             if self.in_tree {
                 record_tree_exit(ns);
@@ -263,15 +266,15 @@ pub fn snapshot() -> Vec<SpanStat> {
     let mut out = Vec::new();
     for slot in TABLE.iter() {
         let Some(name) = slot.name.get() else { break };
-        let count = slot.count.load(Ordering::Relaxed);
+        let count = slot.count.load(Ordering::Relaxed); // ordering: telemetry read; staleness is fine
         if count == 0 {
             continue;
         }
         out.push(SpanStat {
             name,
             count,
-            total_ns: slot.total_ns.load(Ordering::Relaxed),
-            max_ns: slot.max_ns.load(Ordering::Relaxed),
+            total_ns: slot.total_ns.load(Ordering::Relaxed), // ordering: telemetry read; staleness is fine
+            max_ns: slot.max_ns.load(Ordering::Relaxed), // ordering: telemetry read; staleness is fine
         });
     }
     out
@@ -303,9 +306,9 @@ pub fn reset() {
         if slot.name.get().is_none() {
             break;
         }
-        slot.count.store(0, Ordering::Relaxed);
-        slot.total_ns.store(0, Ordering::Relaxed);
-        slot.max_ns.store(0, Ordering::Relaxed);
+        slot.count.store(0, Ordering::Relaxed); // ordering: test/bench zeroing; nobody synchronises on it
+        slot.total_ns.store(0, Ordering::Relaxed); // ordering: test/bench zeroing
+        slot.max_ns.store(0, Ordering::Relaxed); // ordering: test/bench zeroing
     }
 }
 

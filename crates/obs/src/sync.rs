@@ -1,0 +1,19 @@
+//! Swappable sync primitives for the telemetry hot paths.
+//!
+//! Normal builds re-export the plain `std` types, so there is zero overhead
+//! and zero behavior change. With the `race` feature on, the same names
+//! resolve to the `ses-race` model-checker shim: every atomic op and lock
+//! becomes a scheduling point when running inside `ses_race::check`, which is
+//! how the `ses-race` CLI explores interleavings of the counter, histogram
+//! and trace-buffer code (see docs/CORRECTNESS.md, "Interleaving checking").
+//!
+//! The `race` feature is only ever enabled by the model-checking suite; it
+//! must never be part of a default or release build.
+
+#[cfg(feature = "race")]
+pub(crate) use ses_race::sync::{AtomicI64, AtomicU32, AtomicU64, AtomicU8, Mutex};
+
+#[cfg(not(feature = "race"))]
+pub(crate) use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicU8};
+#[cfg(not(feature = "race"))]
+pub(crate) use std::sync::Mutex;

@@ -26,8 +26,10 @@
 //! [`crate::export`]).
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
+
+use crate::sync::{AtomicU32, AtomicU64, Mutex};
 use std::time::Instant;
 
 /// Process-unique id of one request-shaped unit of work.
@@ -61,7 +63,7 @@ pub fn thread_index() -> u32 {
     THREAD_IX.with(|t| {
         let mut ix = t.get();
         if ix == 0 {
-            ix = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            ix = NEXT_THREAD.fetch_add(1, Ordering::Relaxed); // ordering: dense id allocation; uniqueness via the RMW alone
             t.set(ix);
         }
         ix
@@ -168,7 +170,7 @@ pub(crate) struct Frame {
 pub(crate) fn enter_span() -> Option<Frame> {
     CURRENT.with(|c| {
         c.get().map(|(trace, parent)| {
-            let span = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+            let span = NEXT_SPAN.fetch_add(1, Ordering::Relaxed); // ordering: dense id allocation; uniqueness via the RMW alone
             c.set(Some((trace, span)));
             Frame {
                 trace,
@@ -222,8 +224,8 @@ pub fn request(name: &'static str) -> RequestGuard {
             start: Instant::now(),
         };
     }
-    let trace = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
-    let span = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+    let trace = NEXT_TRACE.fetch_add(1, Ordering::Relaxed); // ordering: dense id allocation; uniqueness via the RMW alone
+    let span = NEXT_SPAN.fetch_add(1, Ordering::Relaxed); // ordering: dense id allocation; uniqueness via the RMW alone
     let prev = CURRENT.with(|c| c.replace(Some((trace, span))));
     RequestGuard {
         name,

@@ -1,0 +1,598 @@
+//! `ses-race` — model-checked interleaving suite for the SES lock-free
+//! runtime.
+//!
+//! With the `race` feature on, `ses-obs` and `ses-tensor` route their sync
+//! primitives through the `ses-race` shim, so every atomic load/store/RMW
+//! and lock acquisition in the telemetry and scratch-pool hot paths becomes
+//! a scheduling point inside [`ses_race::check`]. Each named check below
+//! runs one concurrent scenario over *the real production code* and lets
+//! the checker enumerate interleavings, asserting a linearizability
+//! invariant at the end of every schedule:
+//!
+//! * `counter-increments` — no lost `Counter` increments across writers.
+//! * `hist-record`        — `LogHistogram` count/sum equal records issued.
+//! * `trace-tree`         — a cross-thread trace forms a well-formed tree
+//!   and buffers exactly the events issued.
+//! * `scratch-pool`       — the scratch pool hands out zeroed buffers and a
+//!   shared lease table never double-leases.
+//! * `par-harness`        — a model of `par::run_tasks`/`run_isolated`
+//!   joins every worker, degrades exactly once on a worker panic, and the
+//!   serial rerun neither drops nor duplicates a task.
+//!
+//! `--seed-defect {lost-increment,torn-snapshot,double-lease,dropped-task}`
+//! swaps in a variant with a real concurrency bug; CI asserts those runs
+//! exit non-zero and print a minimal failing schedule, which is the suite's
+//! own regression test.
+//!
+//! Without the `race` feature the binary is inert and exits 2 — normal
+//! workspace builds must never carry the shim (see docs/CORRECTNESS.md).
+
+#[cfg(feature = "race")]
+mod suite {
+    use std::panic::AssertUnwindSafe;
+
+    use ses_obs::hist::LogHistogram;
+    use ses_obs::metrics::{Counter, ALLOC_SAVED_BYTES, KERNEL_PANIC_DEGRADED};
+    use ses_obs::{spans, trace};
+    use ses_race::sync::{thread, Arc, AtomicU64, Mutex, Ordering};
+    use ses_race::{check, CheckOptions, CheckReport};
+    use ses_tensor::scratch;
+
+    /// Total schedules a full clean run must explore; the suite gates on
+    /// this so budget tuning can never silently hollow out coverage.
+    const MIN_TOTAL_SCHEDULES: u64 = 10_000;
+
+    // Suite-local instruments. Statics so their addresses (and hence their
+    // interned model locations) are stable; checks read deltas or reset in
+    // the closure prologue because values persist across explored schedules.
+    static RACE_COUNTER: Counter = Counter::new("race.counter");
+    static RACE_HIST: LogHistogram = LogHistogram::new("race.hist");
+    static BAD_COUNTER: AtomicU64 = AtomicU64::new(0);
+    static TORN_COUNT: AtomicU64 = AtomicU64::new(0);
+    static TORN_SUM: AtomicU64 = AtomicU64::new(0);
+
+    /// Joins a worker, re-raising its panic on the calling (root) task so
+    /// the checker reports the worker's own assertion message.
+    fn join_ok<T>(h: thread::JoinHandle<T>) -> T {
+        match h.join() {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // counter-increments / seed: lost-increment
+    // -----------------------------------------------------------------
+
+    /// Three writers increment one `ses_obs` counter; every increment must
+    /// survive. Exercises the real `Counter::incr` fetch-add path.
+    fn counter_increments() -> CheckReport {
+        check(
+            CheckOptions::new("counter-increments").with_max_schedules(4_000),
+            || {
+                RACE_COUNTER.reset();
+                let spawn_three = || {
+                    thread::spawn(|| {
+                        RACE_COUNTER.incr();
+                        RACE_COUNTER.incr();
+                        RACE_COUNTER.incr();
+                    })
+                };
+                let h1 = spawn_three();
+                let h2 = spawn_three();
+                RACE_COUNTER.incr();
+                join_ok(h1);
+                join_ok(h2);
+                assert_eq!(RACE_COUNTER.get(), 7, "lost counter increment");
+            },
+        )
+    }
+
+    /// Seeded defect: a read-modify-write counter done as separate relaxed
+    /// load + store. The checker must find the interleaving where one
+    /// increment is lost.
+    fn seed_lost_increment() -> CheckReport {
+        check(
+            CheckOptions::new("seed:lost-increment").with_max_schedules(4_000),
+            || {
+                BAD_COUNTER.store(0, Ordering::Relaxed);
+                let bump = || {
+                    thread::spawn(|| {
+                        let v = BAD_COUNTER.load(Ordering::Relaxed);
+                        BAD_COUNTER.store(v + 1, Ordering::Relaxed);
+                    })
+                };
+                let h1 = bump();
+                let h2 = bump();
+                join_ok(h1);
+                join_ok(h2);
+                assert_eq!(
+                    BAD_COUNTER.load(Ordering::Relaxed),
+                    2,
+                    "lost increment: counter must equal increments issued"
+                );
+            },
+        )
+    }
+
+    // -----------------------------------------------------------------
+    // hist-record / seed: torn-snapshot
+    // -----------------------------------------------------------------
+
+    /// Two writers record into one `LogHistogram`; after joining, the
+    /// count and sum deltas must equal exactly what was issued.
+    fn hist_record() -> CheckReport {
+        check(
+            CheckOptions::new("hist-record").with_max_schedules(4_000),
+            || {
+                let c0 = RACE_HIST.count();
+                let s0 = RACE_HIST.sum();
+                let writer = |v: u64| {
+                    thread::spawn(move || {
+                        RACE_HIST.record(v);
+                        RACE_HIST.record(v * 3);
+                    })
+                };
+                let h1 = writer(100);
+                let h2 = writer(1_000);
+                let h3 = writer(10_000);
+                join_ok(h1);
+                join_ok(h2);
+                join_ok(h3);
+                assert_eq!(RACE_HIST.count() - c0, 6, "histogram lost a record");
+                assert_eq!(
+                    RACE_HIST.sum() - s0,
+                    100 + 300 + 1_000 + 3_000 + 10_000 + 30_000,
+                    "histogram sum drifted from the records issued"
+                );
+            },
+        )
+    }
+
+    /// Seeded defect: a reader snapshots (count, sum) while a writer is
+    /// mid-record. The pairwise RMWs are individually atomic but the
+    /// snapshot invariant `sum == 5 * count` is not — the checker must find
+    /// the torn read.
+    fn seed_torn_snapshot() -> CheckReport {
+        check(
+            CheckOptions::new("seed:torn-snapshot").with_max_schedules(4_000),
+            || {
+                TORN_COUNT.store(0, Ordering::Relaxed);
+                TORN_SUM.store(0, Ordering::Relaxed);
+                let h = thread::spawn(|| {
+                    for _ in 0..2 {
+                        TORN_COUNT.fetch_add(1, Ordering::Relaxed);
+                        TORN_SUM.fetch_add(5, Ordering::Relaxed);
+                    }
+                });
+                // Unsynchronised snapshot racing the writer: the defect.
+                let s = TORN_SUM.load(Ordering::Relaxed);
+                let c = TORN_COUNT.load(Ordering::Relaxed);
+                join_ok(h);
+                assert_eq!(s, 5 * c, "torn snapshot: sum and count read inconsistently");
+            },
+        )
+    }
+
+    // -----------------------------------------------------------------
+    // trace-tree
+    // -----------------------------------------------------------------
+
+    /// A request whose context is adopted by a spawned worker: the buffered
+    /// events must form one well-formed tree with exactly the three spans
+    /// issued (root, root child, worker child).
+    fn trace_tree() -> CheckReport {
+        check(
+            CheckOptions::new("trace-tree").with_max_schedules(3_500),
+            || {
+                trace::reset_events();
+                let trace_id;
+                {
+                    let req = trace::request("race.request");
+                    trace_id = req.trace_id().expect("tracing enabled under the suite");
+                    let ctx = trace::current().expect("active trace context");
+                    let worker = || {
+                        thread::spawn(move || {
+                            let _adopt = ctx.adopt();
+                            let _g = spans::span("race.child");
+                        })
+                    };
+                    let h1 = worker();
+                    let h2 = worker();
+                    {
+                        let _g = spans::span("race.root_child");
+                    }
+                    join_ok(h1);
+                    join_ok(h2);
+                }
+                let events = trace::events_snapshot();
+                assert!(
+                    trace::is_well_formed_tree(&events, trace_id),
+                    "trace events do not form a single well-formed tree"
+                );
+                let ours = events.iter().filter(|e| e.trace == trace_id.0).count();
+                assert_eq!(ours, 4, "trace buffered {ours} events, expected 4");
+            },
+        )
+    }
+
+    // -----------------------------------------------------------------
+    // scratch-pool / seed: double-lease
+    // -----------------------------------------------------------------
+
+    /// Correct leasing: pop under a single lock acquisition.
+    fn lease_buffer(pool: &Mutex<Vec<u64>>) -> Option<u64> {
+        pool.lock().unwrap_or_else(|e| e.into_inner()).pop()
+    }
+
+    /// Seeded defect: TOCTOU — peek under one lock acquisition, pop under
+    /// another, hand out the peeked id. Two workers can peek the same
+    /// buffer before either pops.
+    fn lease_buffer_torn(pool: &Mutex<Vec<u64>>) -> Option<u64> {
+        let peeked = pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .last()
+            .copied();
+        let _ = pool.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        peeked
+    }
+
+    /// Two workers exercise the real thread-local scratch pool (reuse must
+    /// hand back zeroed buffers and count saved bytes) and lease from a
+    /// shared buffer table; an in-use bitmask catches any double lease.
+    fn scratch_pool_check(name: &str, torn: bool) -> CheckReport {
+        check(
+            CheckOptions::new(name)
+                .with_max_schedules(3_500)
+                .with_preemption_bound(3),
+            move || {
+                let saved0 = ALLOC_SAVED_BYTES.get();
+                let pool = Arc::new(Mutex::new(vec![0u64, 1, 2]));
+                let in_use = Arc::new(AtomicU64::new(0));
+                let worker = |pool: &Arc<Mutex<Vec<u64>>>, in_use: &Arc<AtomicU64>| {
+                    let pool = Arc::clone(pool);
+                    let in_use = Arc::clone(in_use);
+                    thread::spawn(move || {
+                        // Fresh OS thread => fresh thread-local pool: the
+                        // second take must be a reuse hit and come back
+                        // zeroed despite the dirtying write.
+                        let mut a = scratch::take(64);
+                        a.iter_mut().for_each(|x| *x = 7.0);
+                        scratch::give(a);
+                        let b = scratch::take(64);
+                        assert!(
+                            b.iter().all(|&x| x == 0.0),
+                            "scratch pool handed out a dirty buffer"
+                        );
+                        scratch::give(b);
+                        let leased = if torn {
+                            lease_buffer_torn(&pool)
+                        } else {
+                            lease_buffer(&pool)
+                        };
+                        if let Some(id) = leased {
+                            let prev = in_use.fetch_or(1 << id, Ordering::Relaxed);
+                            assert_eq!(
+                                prev & (1 << id),
+                                0,
+                                "double lease: buffer {id} handed to two workers"
+                            );
+                        }
+                    })
+                };
+                let h1 = worker(&pool, &in_use);
+                let h2 = worker(&pool, &in_use);
+                let h3 = worker(&pool, &in_use);
+                join_ok(h1);
+                join_ok(h2);
+                join_ok(h3);
+                // Each worker's second take(64) reuses 64 floats = 256 B.
+                assert_eq!(
+                    ALLOC_SAVED_BYTES.get() - saved0,
+                    3 * 64 * 4,
+                    "scratch reuse accounting drifted"
+                );
+            },
+        )
+    }
+
+    fn scratch_pool() -> CheckReport {
+        scratch_pool_check("scratch-pool", false)
+    }
+
+    fn seed_double_lease() -> CheckReport {
+        scratch_pool_check("seed:double-lease", true)
+    }
+
+    // -----------------------------------------------------------------
+    // par-harness / seed: dropped-task
+    // -----------------------------------------------------------------
+
+    type Task = Box<dyn FnOnce() -> u64 + Send>;
+
+    /// Modeled mirror of `ses_tensor::par::run_tasks`: the caller runs the
+    /// first chunk inline, workers run the rest, and *every* worker is
+    /// joined before the first panic is re-raised (the same join-all
+    /// contract `ses_verify::partition` locks for the real runtime, whose
+    /// `std::thread::scope` the checker cannot intercept).
+    fn model_run_tasks(tasks: Vec<Task>, poison_first_worker: bool) -> Vec<u64> {
+        const THREADS: usize = 3;
+        let n = tasks.len();
+        if n <= 1 {
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+        let workers = THREADS.min(n);
+        let chunk = n.div_ceil(workers);
+        let mut iter = tasks.into_iter();
+        let mut chunks: Vec<Vec<Task>> = Vec::new();
+        loop {
+            let c: Vec<Task> = iter.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+        let mut chunk_iter = chunks.into_iter();
+        let first = chunk_iter.next().expect("at least one chunk");
+        let handles: Vec<_> = chunk_iter
+            .enumerate()
+            .map(|(w, c)| {
+                let poison = poison_first_worker && w == 0;
+                thread::spawn(move || {
+                    assert!(!poison, "ses-race: injected worker panic");
+                    c.into_iter().map(|t| t()).collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let mut out: Vec<Vec<u64>> = vec![first.into_iter().map(|t| t()).collect()];
+        let mut first_panic = None;
+        for h in handles {
+            match h.join() {
+                Ok(v) => out.push(v),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p);
+        }
+        out.into_iter().flatten().collect()
+    }
+
+    /// Modeled mirror of `ses_tensor::par::run_isolated`: catch the
+    /// parallel phase's panic, count the degradation, rerun serially.
+    fn model_run_isolated<P, S>(parallel: P, serial: S) -> Vec<u64>
+    where
+        P: FnOnce() -> Vec<u64>,
+        S: FnOnce() -> Vec<u64>,
+    {
+        match std::panic::catch_unwind(AssertUnwindSafe(parallel)) {
+            Ok(v) => v,
+            Err(_panic) => {
+                KERNEL_PANIC_DEGRADED.incr();
+                serial()
+            }
+        }
+    }
+
+    /// A poisoned worker panics mid-batch: degradation must be counted
+    /// exactly once and the serial rerun must produce every task's result
+    /// exactly once, in order.
+    fn par_harness_check(name: &str, drop_defect: bool) -> CheckReport {
+        check(
+            CheckOptions::new(name)
+                .with_max_schedules(3_000)
+                .with_preemption_bound(3),
+            move || {
+                let d0 = KERNEL_PANIC_DEGRADED.get();
+                let mark = Arc::new(AtomicU64::new(0));
+                let make_tasks = |mark: &Arc<AtomicU64>| -> Vec<Task> {
+                    (0..3u64)
+                        .map(|i| {
+                            let m = Arc::clone(mark);
+                            Box::new(move || {
+                                m.fetch_or(1 << i, Ordering::Relaxed);
+                                i
+                            }) as Task
+                        })
+                        .collect()
+                };
+                let par_tasks = make_tasks(&mark);
+                let ser_tasks = make_tasks(&mark);
+                let result = model_run_isolated(
+                    move || model_run_tasks(par_tasks, true),
+                    move || {
+                        // Seeded defect: the serial rerun silently skips
+                        // the first task of the batch.
+                        let skip = usize::from(drop_defect);
+                        ser_tasks.into_iter().skip(skip).map(|t| t()).collect()
+                    },
+                );
+                assert_eq!(
+                    KERNEL_PANIC_DEGRADED.get() - d0,
+                    1,
+                    "panic degradation must be counted exactly once"
+                );
+                assert_eq!(
+                    result,
+                    vec![0, 1, 2],
+                    "degraded rerun dropped or duplicated a task"
+                );
+                assert_eq!(
+                    mark.load(Ordering::Relaxed) & 0b111,
+                    0b111,
+                    "a task never ran"
+                );
+            },
+        )
+    }
+
+    fn par_harness() -> CheckReport {
+        par_harness_check("par-harness", false)
+    }
+
+    fn seed_dropped_task() -> CheckReport {
+        par_harness_check("seed:dropped-task", true)
+    }
+
+    // -----------------------------------------------------------------
+    // CLI
+    // -----------------------------------------------------------------
+
+    /// A named check: display name plus the function that runs it.
+    type NamedCheck = (&'static str, fn() -> CheckReport);
+
+    const CLEAN_CHECKS: &[NamedCheck] = &[
+        ("counter-increments", counter_increments),
+        ("hist-record", hist_record),
+        ("trace-tree", trace_tree),
+        ("scratch-pool", scratch_pool),
+        ("par-harness", par_harness),
+    ];
+
+    const SEED_DEFECTS: &[NamedCheck] = &[
+        ("lost-increment", seed_lost_increment),
+        ("torn-snapshot", seed_torn_snapshot),
+        ("double-lease", seed_double_lease),
+        ("dropped-task", seed_dropped_task),
+    ];
+
+    /// Touches every lazily-initialised global *outside* the model so no
+    /// check pays (or non-deterministically skips) first-use work: span
+    /// slots, trace ids, the event-buffer `OnceLock`, the process-start
+    /// instant, and the enabled override.
+    fn prewarm() {
+        ses_obs::set_enabled_override(Some(true));
+        {
+            let req = trace::request("race.request");
+            let _ = req.trace_id();
+            let _a = spans::span("race.root_child");
+            let _b = spans::span("race.child");
+        }
+        trace::reset_events();
+        scratch::give(scratch::take(64));
+    }
+
+    fn usage() -> String {
+        let checks: Vec<&str> = CLEAN_CHECKS.iter().map(|(n, _)| *n).collect();
+        let defects: Vec<&str> = SEED_DEFECTS.iter().map(|(n, _)| *n).collect();
+        format!(
+            "usage: ses-race [--list] [--seed-defect <{}>] [check ...]\n\
+             checks: {}",
+            defects.join("|"),
+            checks.join(", ")
+        )
+    }
+
+    pub fn cli() -> i32 {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut selected: Vec<&NamedCheck> = Vec::new();
+        let mut filter: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--list" => {
+                    for (n, _) in CLEAN_CHECKS {
+                        println!("{n}");
+                    }
+                    for (n, _) in SEED_DEFECTS {
+                        println!("seed:{n}");
+                    }
+                    return 0;
+                }
+                "--seed-defect" => {
+                    let Some(name) = args.get(i + 1) else {
+                        eprintln!("--seed-defect needs a name\n{}", usage());
+                        return 2;
+                    };
+                    let Some(d) = SEED_DEFECTS.iter().find(|(n, _)| n == name) else {
+                        eprintln!("unknown defect `{name}`\n{}", usage());
+                        return 2;
+                    };
+                    selected.push(d);
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    println!("{}", usage());
+                    return 0;
+                }
+                other if other.starts_with('-') => {
+                    eprintln!("unknown flag `{other}`\n{}", usage());
+                    return 2;
+                }
+                name => {
+                    if !CLEAN_CHECKS.iter().any(|(n, _)| *n == name) {
+                        eprintln!("unknown check `{name}`\n{}", usage());
+                        return 2;
+                    }
+                    filter.push(name.to_string());
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+
+        let full_clean_run = selected.is_empty() && filter.is_empty();
+        let runs: Vec<&NamedCheck> = if !selected.is_empty() {
+            selected
+        } else {
+            CLEAN_CHECKS
+                .iter()
+                .filter(|(n, _)| filter.is_empty() || filter.iter().any(|f| f == n))
+                .collect()
+        };
+
+        prewarm();
+
+        let mut total_schedules = 0u64;
+        let mut total_pruned = 0u64;
+        let mut failures = 0u32;
+        for (_, run) in &runs {
+            let report = run();
+            println!("{}", report.summary());
+            total_schedules += report.schedules;
+            total_pruned += report.pruned;
+            if let Some(f) = &report.failure {
+                failures += 1;
+                print!("{}", f.render());
+            }
+        }
+        println!(
+            "total: {} schedules explored across {} check(s) ({} pruned)",
+            total_schedules,
+            runs.len(),
+            total_pruned
+        );
+
+        if failures > 0 {
+            eprintln!("ses-race: {failures} check(s) FAILED");
+            return 1;
+        }
+        if full_clean_run && total_schedules < MIN_TOTAL_SCHEDULES {
+            eprintln!(
+                "ses-race: clean run explored only {total_schedules} schedules \
+                 (< {MIN_TOTAL_SCHEDULES}); raise the per-check budgets"
+            );
+            return 1;
+        }
+        0
+    }
+}
+
+fn main() {
+    #[cfg(feature = "race")]
+    std::process::exit(suite::cli());
+
+    #[cfg(not(feature = "race"))]
+    {
+        eprintln!(
+            "ses-race: built without the `race` feature, so the runtime is not on the \
+             model-checking shim.\nrebuild with: cargo run -p ses-race-suite --features race --bin ses-race"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Vector clocks over modeled tasks — the happens-before partial order.
+//!
+//! Every modeled task carries a [`VClock`]; component `i` counts task `i`'s
+//! applied operations. A store is visible "by happens-before" to a load when
+//! the store's clock is `leq` the loading task's clock; Release stores
+//! additionally publish their clock as a *release view* that Acquire loads
+//! join (see `exec::apply`).
+
+/// Componentwise vector clock; index = task id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    pub(crate) fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Bumps this task's own component (called once per applied op).
+    pub(crate) fn inc(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Componentwise maximum (acquire semantics).
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// True when every component of `self` is `<=` the matching component of
+    /// `other` — i.e. `self` happens-before-or-equals `other`.
+    pub(crate) fn leq(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.0.get(i).copied().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_join_leq() {
+        let mut a = VClock::new();
+        a.inc(0);
+        a.inc(0);
+        let mut b = VClock::new();
+        b.inc(1);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert!(j.leq(&j));
+        // zero clock is leq everything
+        assert!(VClock::new().leq(&a));
+    }
+}

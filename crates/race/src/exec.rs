@@ -1,0 +1,1054 @@
+//! One modeled execution: a cooperative scheduler that runs exactly one task
+//! at a time and consults the [`Explorer`](crate::explore::Explorer) at every
+//! decision point.
+//!
+//! Protocol: a task reaching a sync operation *announces* it (stores it as
+//! `pending`), then calls [`schedule`] under the state mutex. The scheduler
+//! picks the next runner — replaying the recorded path where one exists,
+//! otherwise taking the default (previously-running task first) and pushing a
+//! branch node when alternatives remain. The granted task *applies* its
+//! pending op inline and keeps running until its own next announcement, so a
+//! whole execution is a deterministic sequence of (task, op) steps.
+//!
+//! Memory is modeled per location as a store history with vector clocks and
+//! release views (see `clock.rs`); loads branch over every permissible stale
+//! store, which is what gives Relaxed its extra behaviors relative to
+//! Acquire/Release.
+
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::clock::VClock;
+use crate::explore::{Explorer, Node, NodeKind};
+use crate::Failure;
+
+/// Hard cap on modeled tasks per execution (vector clock width).
+pub(crate) const MAX_TASKS: usize = 8;
+
+/// Panic payload used to tear down task threads when an execution aborts
+/// (deadlock, prune, budget, or recorded failure). Never user-visible.
+pub(crate) struct AbortToken;
+
+/// Panic payload re-raised by the spawn wrapper after parking the original
+/// payload in the join slot, so the runner still learns the panic message.
+pub(crate) struct PanicNote(pub(crate) String);
+
+/// Internal-bug escape hatch: unwind with a message instead of `panic!` so
+/// library code stays free of the `no-unwrap` lint surface.
+pub(crate) fn die(msg: &str) -> ! {
+    panic::panic_any(format!("ses-race internal error: {msg}"))
+}
+
+pub(crate) fn payload_message(p: &dyn std::any::Any) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(n) = p.downcast_ref::<PanicNote>() {
+        n.0.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// A modeled synchronization operation, announced before being applied.
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// First step of a freshly spawned task; always granted eagerly.
+    Start,
+    Load {
+        loc: usize,
+        ord: Ordering,
+        init: u64,
+    },
+    Store {
+        loc: usize,
+        ord: Ordering,
+        val: u64,
+        init: u64,
+    },
+    Rmw {
+        loc: usize,
+        ord: Ordering,
+        kind: RmwKind,
+        arg: u64,
+        arg2: u64,
+        init: u64,
+    },
+    LockAcquire {
+        loc: usize,
+    },
+    LockRelease {
+        loc: usize,
+    },
+    Spawn,
+    Join {
+        target: usize,
+    },
+    Yield,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RmwKind {
+    Add,
+    Sub,
+    Max,
+    Min,
+    MaxI64,
+    MinI64,
+    Or,
+    And,
+    Swap,
+    /// `arg` = expected, `arg2` = replacement; fails (pure read) on mismatch.
+    Cas,
+}
+
+/// New value produced by an RMW given the observed old value.
+pub(crate) fn rmw_value(kind: RmwKind, old: u64, arg: u64, arg2: u64) -> u64 {
+    match kind {
+        RmwKind::Add => old.wrapping_add(arg),
+        RmwKind::Sub => old.wrapping_sub(arg),
+        RmwKind::Max => old.max(arg),
+        RmwKind::Min => old.min(arg),
+        RmwKind::MaxI64 => (old as i64).max(arg as i64) as u64,
+        RmwKind::MinI64 => (old as i64).min(arg as i64) as u64,
+        RmwKind::Or => old | arg,
+        RmwKind::And => old & arg,
+        RmwKind::Swap => arg,
+        RmwKind::Cas => {
+            if old == arg {
+                arg2
+            } else {
+                old
+            }
+        }
+    }
+}
+
+/// Conservative dependency signature of an op, for sleep-set propagation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OpSig {
+    /// Commutes with everything (start/finish/spawn/yield).
+    Pure,
+    Mem {
+        loc: usize,
+        write: bool,
+    },
+    Lock {
+        loc: usize,
+    },
+    /// Dependent with everything (join — conservative).
+    Global,
+}
+
+pub(crate) fn independent(a: OpSig, b: OpSig) -> bool {
+    match (a, b) {
+        (OpSig::Pure, _) | (_, OpSig::Pure) => true,
+        (OpSig::Global, _) | (_, OpSig::Global) => false,
+        (OpSig::Mem { loc: l1, write: w1 }, OpSig::Mem { loc: l2, write: w2 }) => {
+            l1 != l2 || (!w1 && !w2)
+        }
+        (OpSig::Lock { loc: l1 }, OpSig::Lock { loc: l2 }) => l1 != l2,
+        (OpSig::Mem { .. }, OpSig::Lock { .. }) | (OpSig::Lock { .. }, OpSig::Mem { .. }) => true,
+    }
+}
+
+fn sig_of(op: &Op) -> OpSig {
+    match op {
+        Op::Load { loc, .. } => OpSig::Mem {
+            loc: *loc,
+            write: false,
+        },
+        Op::Store { loc, .. } | Op::Rmw { loc, .. } => OpSig::Mem {
+            loc: *loc,
+            write: true,
+        },
+        Op::LockAcquire { loc } | Op::LockRelease { loc } => OpSig::Lock { loc: *loc },
+        Op::Join { .. } => OpSig::Global,
+        Op::Start | Op::Spawn | Op::Yield => OpSig::Pure,
+    }
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(
+        ord,
+        // ordering: classifying which orderings carry acquire semantics
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(
+        ord,
+        // ordering: classifying which orderings carry release semantics
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn ord_name(ord: Ordering) -> &'static str {
+    match ord {
+        Ordering::Relaxed => "Relaxed", // ordering: display name only
+        Ordering::Acquire => "Acquire", // ordering: display name only
+        Ordering::Release => "Release", // ordering: display name only
+        Ordering::AcqRel => "AcqRel",   // ordering: display name only
+        Ordering::SeqCst => "SeqCst",   // ordering: display name only
+        _ => "?",
+    }
+}
+
+fn fmt_val(v: u64) -> String {
+    // Large values are almost certainly negative i64s round-tripped through
+    // the u64 model cell (AtomicI64); render them signed for readability.
+    if v > i64::MAX as u64 {
+        format!("{}", v as i64)
+    } else {
+        v.to_string()
+    }
+}
+
+/// One store in a location's modification history.
+#[derive(Clone, Debug)]
+pub(crate) struct StoreRec {
+    pub(crate) val: u64,
+    /// Writer's clock at the store (for happens-before visibility floors).
+    pub(crate) clock: VClock,
+    /// Clock published to Acquire readers (Release stores and continued
+    /// release sequences).
+    pub(crate) release: Option<VClock>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct LocState {
+    pub(crate) stores: Vec<StoreRec>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct LockState {
+    pub(crate) held_by: Option<usize>,
+    pub(crate) release_view: VClock,
+}
+
+pub(crate) struct Task {
+    pub(crate) clock: VClock,
+    pub(crate) pending: Option<Op>,
+    pub(crate) finished: bool,
+    pub(crate) panicked: Option<String>,
+    pub(crate) joined: bool,
+    pub(crate) final_clock: VClock,
+    /// Per-location floor: oldest store index this task may still read
+    /// (coherence — a task never observes older stores than one it has seen).
+    pub(crate) min_read: BTreeMap<usize, usize>,
+}
+
+impl Task {
+    fn new(clock: VClock) -> Self {
+        Self {
+            clock,
+            pending: None,
+            finished: false,
+            panicked: None,
+            joined: false,
+            final_clock: VClock::new(),
+            min_read: BTreeMap::new(),
+        }
+    }
+}
+
+pub(crate) struct ExecCfg {
+    pub(crate) bound: Option<u32>,
+    pub(crate) max_steps: u64,
+    pub(crate) max_store_history: usize,
+}
+
+pub(crate) struct ExecState {
+    pub(crate) explorer: Explorer,
+    /// Replay cursor into `explorer.nodes`.
+    pub(crate) cursor: usize,
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) mem: BTreeMap<usize, LocState>,
+    pub(crate) locks: BTreeMap<usize, LockState>,
+    /// Raw shim address -> stable dense location id. Addresses change between
+    /// executions (the closure re-allocates its state), so everything recorded
+    /// across executions — op sigs in decision nodes in particular — must key
+    /// off the interning order, which is deterministic along a replayed prefix
+    /// because exactly one task runs (and thus announces) at a time.
+    pub(crate) loc_ids: BTreeMap<usize, usize>,
+    pub(crate) sleep: Vec<(usize, OpSig)>,
+    pub(crate) trace: Vec<(usize, String)>,
+    pub(crate) atomic_names: BTreeMap<usize, usize>,
+    pub(crate) lock_names: BTreeMap<usize, usize>,
+    pub(crate) steps: u64,
+    pub(crate) preemptions: u32,
+    pub(crate) last_ran: Option<usize>,
+    pub(crate) active: Option<usize>,
+    pub(crate) complete: bool,
+    pub(crate) aborting: bool,
+    pub(crate) pruned: bool,
+    pub(crate) failure: Option<Failure>,
+    pub(crate) os_handles: Vec<std::thread::JoinHandle<()>>,
+    pub(crate) bound: Option<u32>,
+    pub(crate) max_steps: u64,
+    pub(crate) max_store_history: usize,
+}
+
+impl ExecState {
+    fn intern_loc(&mut self, addr: usize) -> usize {
+        let next = self.loc_ids.len();
+        *self.loc_ids.entry(addr).or_insert(next)
+    }
+
+    fn new(explorer: Explorer, cfg: ExecCfg) -> Self {
+        let mut root = Task::new(VClock::new());
+        root.pending = Some(Op::Start);
+        Self {
+            explorer,
+            cursor: 0,
+            tasks: vec![root],
+            mem: BTreeMap::new(),
+            locks: BTreeMap::new(),
+            loc_ids: BTreeMap::new(),
+            sleep: Vec::new(),
+            trace: Vec::new(),
+            atomic_names: BTreeMap::new(),
+            lock_names: BTreeMap::new(),
+            steps: 0,
+            preemptions: 0,
+            last_ran: None,
+            active: None,
+            complete: false,
+            aborting: false,
+            pruned: false,
+            failure: None,
+            os_handles: Vec::new(),
+            bound: cfg.bound,
+            max_steps: cfg.max_steps,
+            max_store_history: cfg.max_store_history,
+        }
+    }
+}
+
+/// Shared handle for one modeled execution.
+pub(crate) struct Execution {
+    pub(crate) st: Mutex<ExecState>,
+    pub(crate) cv: Condvar,
+}
+
+/// Thread-local identity of a modeled task (stored in `sync::CTX`).
+pub(crate) struct TaskCtx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+impl Clone for TaskCtx {
+    fn clone(&self) -> Self {
+        Self {
+            exec: Arc::clone(&self.exec),
+            tid: self.tid,
+        }
+    }
+}
+
+pub(crate) fn lock(m: &Mutex<ExecState>) -> MutexGuard<'_, ExecState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a>(cv: &Condvar, g: MutexGuard<'a, ExecState>) -> MutexGuard<'a, ExecState> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
+
+fn push_trace(st: &mut ExecState, tid: usize, desc: String) {
+    st.trace.push((tid, desc));
+}
+
+fn aname(st: &ExecState, loc: usize) -> String {
+    match st.atomic_names.get(&loc) {
+        Some(n) => format!("A{n}"),
+        None => "A?".to_string(),
+    }
+}
+
+fn mname(st: &ExecState, loc: usize) -> String {
+    match st.lock_names.get(&loc) {
+        Some(n) => format!("M{n}"),
+        None => "M?".to_string(),
+    }
+}
+
+fn render_trace(st: &ExecState) -> Vec<String> {
+    st.trace.iter().map(|(t, d)| format!("T{t}  {d}")).collect()
+}
+
+fn make_failure(st: &ExecState, message: String) -> Failure {
+    Failure {
+        message,
+        trace: render_trace(st),
+        preemptions: st.preemptions,
+    }
+}
+
+pub(crate) enum Grant {
+    Run(usize),
+    Done,
+    Abort,
+}
+
+fn fail_and_abort(st: &mut ExecState, message: String) {
+    if st.failure.is_none() {
+        st.failure = Some(make_failure(st, message));
+    }
+    st.aborting = true;
+}
+
+/// Picks the next task to run. Called under the state mutex at every
+/// announcement point. Returns `Run(tid)` (with `active` set), `Done` when
+/// every task has finished, or `Abort` when the execution must tear down.
+pub(crate) fn schedule(st: &mut ExecState) -> Grant {
+    if st.aborting {
+        return Grant::Abort;
+    }
+    let mut enabled = Vec::new();
+    for i in 0..st.tasks.len() {
+        if st.tasks[i].finished {
+            continue;
+        }
+        let ok = match &st.tasks[i].pending {
+            None => false,
+            Some(Op::Join { target }) => st.tasks[*target].finished,
+            Some(Op::LockAcquire { loc }) => st.locks.get(loc).is_none_or(|l| l.held_by.is_none()),
+            Some(_) => true,
+        };
+        if ok {
+            enabled.push(i);
+        }
+    }
+    if enabled.is_empty() {
+        if st.tasks.iter().all(|t| t.finished) {
+            st.complete = true;
+            return Grant::Done;
+        }
+        let blocked: Vec<String> = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.finished)
+            .map(|(i, t)| match &t.pending {
+                Some(Op::Join { target }) => format!("T{i} blocked joining T{target}"),
+                Some(Op::LockAcquire { loc }) => {
+                    format!("T{i} blocked locking {}", mname(st, *loc))
+                }
+                _ => format!("T{i} blocked"),
+            })
+            .collect();
+        fail_and_abort(st, format!("deadlock: {}", blocked.join("; ")));
+        return Grant::Abort;
+    }
+    // Fresh tasks are granted eagerly: Start is invisible to every other
+    // task, so interleaving it is pure schedule-tree bloat.
+    if let Some(&t) = enabled
+        .iter()
+        .find(|&&t| matches!(st.tasks[t].pending, Some(Op::Start)))
+    {
+        st.active = Some(t);
+        return Grant::Run(t);
+    }
+    let nonsleep: Vec<usize> = enabled
+        .iter()
+        .copied()
+        .filter(|t| !st.sleep.iter().any(|&(s, _)| s == *t))
+        .collect();
+    if nonsleep.is_empty() {
+        // Every runnable task is asleep: this whole subtree is equivalent to
+        // one already explored. Prune.
+        st.pruned = true;
+        st.aborting = true;
+        return Grant::Abort;
+    }
+    // Candidate options are recomputed deterministically at every point:
+    // default (previously-running) task first, preemption bound applied.
+    // Only points with >1 candidates are decision nodes — single-option
+    // points never touch the replay cursor.
+    let mut options = nonsleep.clone();
+    if let Some(p) = st.last_ran {
+        if let Some(pos) = options.iter().position(|&t| t == p) {
+            options.remove(pos);
+            options.insert(0, p);
+        }
+    }
+    if let Some(b) = st.bound {
+        if st.preemptions >= b {
+            if let Some(p) = st.last_ran {
+                if nonsleep.contains(&p) {
+                    options = vec![p];
+                }
+            }
+        }
+    }
+    let chosen_tid;
+    if options.len() == 1 {
+        chosen_tid = options[0];
+    } else if st.cursor < st.explorer.nodes.len() {
+        // Replay the recorded decision.
+        let node = &st.explorer.nodes[st.cursor];
+        match &node.kind {
+            NodeKind::Task {
+                options: rec_options,
+                sigs,
+                sleep_at_entry,
+            } => {
+                let c = node.chosen;
+                let tid = rec_options[c];
+                let mut sl = sleep_at_entry.clone();
+                for i in 0..c {
+                    sl.push((rec_options[i], sigs[i]));
+                }
+                if !enabled.contains(&tid) {
+                    fail_and_abort(
+                        st,
+                        "nondeterministic replay: recorded task choice is not runnable \
+                         (model code must be deterministic given the schedule)"
+                            .to_string(),
+                    );
+                    return Grant::Abort;
+                }
+                st.sleep = sl;
+                chosen_tid = tid;
+            }
+            NodeKind::Load { .. } => {
+                fail_and_abort(
+                    st,
+                    "nondeterministic replay: expected a task-choice node, found a \
+                     load-choice node"
+                        .to_string(),
+                );
+                return Grant::Abort;
+            }
+        }
+        st.cursor += 1;
+    } else {
+        // Fresh territory: take the default and record the alternatives.
+        let sigs: Vec<OpSig> = options
+            .iter()
+            .map(|&t| match &st.tasks[t].pending {
+                Some(op) => sig_of(op),
+                None => OpSig::Global,
+            })
+            .collect();
+        chosen_tid = options[0];
+        let sleep_at_entry = st.sleep.clone();
+        st.explorer.nodes.push(Node {
+            kind: NodeKind::Task {
+                options,
+                sigs,
+                sleep_at_entry,
+            },
+            chosen: 0,
+        });
+        st.cursor += 1;
+    }
+    if let Some(p) = st.last_ran {
+        if p != chosen_tid && enabled.contains(&p) {
+            st.preemptions += 1;
+        }
+    }
+    st.last_ran = Some(chosen_tid);
+    st.active = Some(chosen_tid);
+    Grant::Run(chosen_tid)
+}
+
+pub(crate) struct ApplyOut {
+    pub(crate) val: u64,
+    pub(crate) ok: bool,
+}
+
+fn ensure_loc(st: &mut ExecState, loc: usize, init: u64) {
+    if let std::collections::btree_map::Entry::Vacant(e) = st.mem.entry(loc) {
+        e.insert(LocState {
+            stores: vec![StoreRec {
+                val: init,
+                clock: VClock::new(),
+                release: None,
+            }],
+        });
+        let n = st.atomic_names.len();
+        st.atomic_names.entry(loc).or_insert(n);
+    }
+}
+
+/// Picks which of `span` permissible stores a load observes (0 = newest),
+/// consulting / extending the exploration tree.
+fn choose_load(st: &mut ExecState, span: usize) -> usize {
+    if st.cursor < st.explorer.nodes.len() {
+        let node = &st.explorer.nodes[st.cursor];
+        match node.kind {
+            NodeKind::Load { span: s } if s == span => {
+                let c = node.chosen;
+                st.cursor += 1;
+                c
+            }
+            _ => {
+                fail_and_abort(
+                    st,
+                    "nondeterministic replay: load-choice node mismatch".to_string(),
+                );
+                0
+            }
+        }
+    } else {
+        st.explorer.nodes.push(Node {
+            kind: NodeKind::Load { span },
+            chosen: 0,
+        });
+        st.cursor += 1;
+        0
+    }
+}
+
+/// Applies `tid`'s pending op. Must be called under the state mutex by the
+/// granted task itself.
+pub(crate) fn apply(st: &mut ExecState, me: usize) -> ApplyOut {
+    let Some(op) = st.tasks[me].pending.take() else {
+        fail_and_abort(st, "apply called with no pending op".to_string());
+        return ApplyOut { val: 0, ok: false };
+    };
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        fail_and_abort(
+            st,
+            format!(
+                "exceeded max_steps={} — likely an unbounded retry/spin loop, which \
+                 cannot terminate under exhaustive scheduling",
+                st.max_steps
+            ),
+        );
+        return ApplyOut { val: 0, ok: false };
+    }
+    let sig = sig_of(&op);
+    st.sleep.retain(|&(t, s)| t != me && independent(s, sig));
+    st.tasks[me].clock.inc(me);
+    match op {
+        Op::Start => {
+            push_trace(st, me, "start".to_string());
+            ApplyOut { val: 0, ok: true }
+        }
+        Op::Yield => {
+            push_trace(st, me, "yield".to_string());
+            ApplyOut { val: 0, ok: true }
+        }
+        Op::Load { loc, ord, init } => {
+            ensure_loc(st, loc, init);
+            let me_clock = st.tasks[me].clock.clone();
+            let hist_len = st.mem[&loc].stores.len();
+            let mut floor = st.tasks[me].min_read.get(&loc).copied().unwrap_or(0);
+            {
+                // Newest store that happens-before this load bounds staleness.
+                let stores = &st.mem[&loc].stores;
+                for i in (floor..hist_len).rev() {
+                    if stores[i].clock.leq(&me_clock) {
+                        floor = floor.max(i);
+                        break;
+                    }
+                }
+            }
+            // ordering: SeqCst loads are approximated as "observe the newest
+            // store" (single total order collapses staleness); weaker loads
+            // may observe any coherent store in the bounded window.
+            let lo = if matches!(ord, Ordering::SeqCst) {
+                hist_len - 1
+            } else {
+                floor.max(hist_len.saturating_sub(st.max_store_history))
+            };
+            let span = hist_len - lo;
+            let pick = if span > 1 { choose_load(st, span) } else { 0 };
+            if st.aborting {
+                return ApplyOut { val: 0, ok: false };
+            }
+            let idx = hist_len - 1 - pick;
+            st.tasks[me].min_read.insert(loc, idx);
+            let (val, rel) = {
+                let s = &st.mem[&loc].stores[idx];
+                (s.val, s.release.clone())
+            };
+            if is_acquire(ord) {
+                if let Some(r) = rel {
+                    st.tasks[me].clock.join(&r);
+                }
+            }
+            let stale = if pick > 0 {
+                format!("  [stale: skipped {pick} newer store(s)]")
+            } else {
+                String::new()
+            };
+            let desc = format!(
+                "{}.load({}) -> {}{stale}",
+                aname(st, loc),
+                ord_name(ord),
+                fmt_val(val)
+            );
+            push_trace(st, me, desc);
+            ApplyOut { val, ok: true }
+        }
+        Op::Store {
+            loc,
+            ord,
+            val,
+            init,
+        } => {
+            ensure_loc(st, loc, init);
+            let clock = st.tasks[me].clock.clone();
+            let release = if is_release(ord) {
+                Some(clock.clone())
+            } else {
+                None
+            };
+            let desc = format!(
+                "{}.store({}, {})",
+                aname(st, loc),
+                fmt_val(val),
+                ord_name(ord)
+            );
+            let entry = st.mem.entry(loc).or_default();
+            entry.stores.push(StoreRec {
+                val,
+                clock,
+                release,
+            });
+            let idx = entry.stores.len() - 1;
+            st.tasks[me].min_read.insert(loc, idx);
+            push_trace(st, me, desc);
+            ApplyOut { val, ok: true }
+        }
+        Op::Rmw {
+            loc,
+            ord,
+            kind,
+            arg,
+            arg2,
+            init,
+        } => {
+            ensure_loc(st, loc, init);
+            let (old, old_release) = {
+                let s = match st.mem[&loc].stores.last() {
+                    Some(s) => s,
+                    None => die("rmw on empty store history"),
+                };
+                (s.val, s.release.clone())
+            };
+            // ordering: an acquiring RMW synchronizes with the release view
+            // of the store it reads from.
+            if is_acquire(ord) {
+                if let Some(r) = &old_release {
+                    st.tasks[me].clock.join(r);
+                }
+            }
+            let ok = match kind {
+                RmwKind::Cas => old == arg,
+                _ => true,
+            };
+            let newv = rmw_value(kind, old, arg, arg2);
+            let hist_len = st.mem[&loc].stores.len();
+            if ok {
+                let clock = st.tasks[me].clock.clone();
+                // ordering: a releasing RMW publishes its own clock; a
+                // relaxed RMW continues the release sequence of the store it
+                // read from (C11 release-sequence rule).
+                let release = if is_release(ord) {
+                    Some(clock.clone())
+                } else {
+                    old_release
+                };
+                let entry = st.mem.entry(loc).or_default();
+                entry.stores.push(StoreRec {
+                    val: newv,
+                    clock,
+                    release,
+                });
+                st.tasks[me].min_read.insert(loc, hist_len);
+            } else {
+                st.tasks[me].min_read.insert(loc, hist_len - 1);
+            }
+            let failed = if ok { "" } else { "  [cas failed]" };
+            let desc = format!(
+                "{}.{:?}({}, {}) -> {}{failed}",
+                aname(st, loc),
+                kind,
+                fmt_val(arg),
+                ord_name(ord),
+                fmt_val(old)
+            );
+            push_trace(st, me, desc);
+            ApplyOut { val: old, ok }
+        }
+        Op::LockAcquire { loc } => {
+            let n = st.lock_names.len();
+            st.lock_names.entry(loc).or_insert(n);
+            let view = {
+                let l = st.locks.entry(loc).or_default();
+                l.held_by = Some(me);
+                l.release_view.clone()
+            };
+            st.tasks[me].clock.join(&view);
+            let desc = format!("{}.lock()", mname(st, loc));
+            push_trace(st, me, desc);
+            ApplyOut { val: 0, ok: true }
+        }
+        Op::LockRelease { loc } => {
+            let clock = st.tasks[me].clock.clone();
+            if let Some(l) = st.locks.get_mut(&loc) {
+                l.held_by = None;
+                l.release_view = clock;
+            }
+            let desc = format!("{}.unlock()", mname(st, loc));
+            push_trace(st, me, desc);
+            ApplyOut { val: 0, ok: true }
+        }
+        Op::Spawn => {
+            let tid = st.tasks.len();
+            if tid >= MAX_TASKS {
+                fail_and_abort(st, format!("too many modeled tasks (max {MAX_TASKS})"));
+                return ApplyOut { val: 0, ok: false };
+            }
+            let mut t = Task::new(st.tasks[me].clock.clone());
+            t.pending = Some(Op::Start);
+            st.tasks.push(t);
+            push_trace(st, me, format!("spawn -> T{tid}"));
+            ApplyOut {
+                val: tid as u64,
+                ok: true,
+            }
+        }
+        Op::Join { target } => {
+            let fc = st.tasks[target].final_clock.clone();
+            st.tasks[me].clock.join(&fc);
+            st.tasks[target].joined = true;
+            push_trace(st, me, format!("join T{target}"));
+            ApplyOut { val: 0, ok: true }
+        }
+    }
+}
+
+fn abort_unwind(exec: &Execution) -> ! {
+    exec.cv.notify_all();
+    panic::panic_any(AbortToken)
+}
+
+/// Announce `op`, let the scheduler pick the next runner, and apply the op
+/// once granted. The calling thread may park here while other tasks run.
+pub(crate) fn yield_op(cx: &TaskCtx, op: Op) -> ApplyOut {
+    let exec = &*cx.exec;
+    let me = cx.tid;
+    let mut st = lock(&exec.st);
+    if st.aborting {
+        drop(st);
+        abort_unwind(exec);
+    }
+    let mut op = op;
+    // Replace the raw shim address with its stable interned id before the op
+    // becomes visible to the scheduler (and so to recorded decision nodes).
+    match &mut op {
+        Op::Load { loc, .. }
+        | Op::Store { loc, .. }
+        | Op::Rmw { loc, .. }
+        | Op::LockAcquire { loc }
+        | Op::LockRelease { loc } => *loc = st.intern_loc(*loc),
+        Op::Start | Op::Spawn | Op::Join { .. } | Op::Yield => {}
+    }
+    st.tasks[me].pending = Some(op);
+    match schedule(&mut st) {
+        Grant::Run(t) if t == me => {
+            let out = apply(&mut st, me);
+            if st.aborting {
+                drop(st);
+                abort_unwind(exec);
+            }
+            out
+        }
+        Grant::Run(_) => {
+            exec.cv.notify_all();
+            loop {
+                st = wait(&exec.cv, st);
+                if st.aborting {
+                    drop(st);
+                    abort_unwind(exec);
+                }
+                if st.active == Some(me) {
+                    let out = apply(&mut st, me);
+                    if st.aborting {
+                        drop(st);
+                        abort_unwind(exec);
+                    }
+                    return out;
+                }
+            }
+        }
+        Grant::Done | Grant::Abort => {
+            drop(st);
+            abort_unwind(exec);
+        }
+    }
+}
+
+/// Marks `tid` finished (recording any panic), hands the schedule to the next
+/// runner, and checks for completion. The caller's thread exits afterwards.
+pub(crate) fn finish_task(exec: &Execution, tid: usize, panicked: Option<String>) {
+    let mut st = lock(&exec.st);
+    if st.aborting {
+        drop(st);
+        exec.cv.notify_all();
+        return;
+    }
+    st.steps += 1;
+    st.tasks[tid].clock.inc(tid);
+    let fc = st.tasks[tid].clock.clone();
+    st.tasks[tid].final_clock = fc;
+    st.tasks[tid].finished = true;
+    st.tasks[tid].pending = None;
+    st.tasks[tid].panicked = panicked.clone();
+    let desc = match &panicked {
+        Some(m) => format!("finish (panicked: {m})"),
+        None => "finish".to_string(),
+    };
+    push_trace(&mut st, tid, desc);
+    st.sleep.retain(|&(t, _)| t != tid);
+    if tid == 0 {
+        if let Some(m) = panicked {
+            fail_and_abort(&mut st, format!("main task panicked: {m}"));
+        }
+    }
+    if st.tasks.iter().all(|t| t.finished) {
+        if st.failure.is_none() {
+            let leaked: Option<(usize, String)> = st
+                .tasks
+                .iter()
+                .enumerate()
+                .find(|(i, t)| *i != 0 && t.panicked.is_some() && !t.joined)
+                .map(|(i, t)| (i, t.panicked.clone().unwrap_or_default()));
+            if let Some((i, m)) = leaked {
+                let f = make_failure(&st, format!("task T{i} panicked and was never joined: {m}"));
+                st.failure = Some(f);
+            }
+        }
+        st.complete = true;
+    } else if !st.aborting {
+        let _ = schedule(&mut st);
+    }
+    drop(st);
+    exec.cv.notify_all();
+}
+
+/// Releases a modeled lock without a scheduling point — used when a guard is
+/// dropped during a panic unwind, where running the announce protocol could
+/// double-panic.
+pub(crate) fn silent_release(exec: &Execution, tid: usize, loc: usize) {
+    let mut st = lock(&exec.st);
+    if st.aborting {
+        return;
+    }
+    // `loc` arrives as a raw address; the acquire already interned it.
+    let loc = st.intern_loc(loc);
+    let clock = st.tasks[tid].clock.clone();
+    if let Some(l) = st.locks.get_mut(&loc) {
+        l.held_by = None;
+        l.release_view = clock;
+    }
+    let desc = format!("{}.unlock()  [during unwind]", mname(&st, loc));
+    push_trace(&mut st, tid, desc);
+}
+
+/// Body of every modeled task's OS thread: wait for the Start grant, run the
+/// user closure, then finish.
+pub(crate) fn task_runner(exec: Arc<Execution>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    crate::sync::set_ctx(Some(TaskCtx {
+        exec: Arc::clone(&exec),
+        tid,
+    }));
+    {
+        let mut st = lock(&exec.st);
+        loop {
+            if st.aborting {
+                drop(st);
+                exec.cv.notify_all();
+                crate::sync::set_ctx(None);
+                return;
+            }
+            if st.active == Some(tid) {
+                apply(&mut st, tid);
+                break;
+            }
+            st = wait(&exec.cv, st);
+        }
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(body));
+    let panicked = match result {
+        Ok(()) => None,
+        Err(payload) => {
+            if payload.downcast_ref::<AbortToken>().is_some() {
+                crate::sync::set_ctx(None);
+                return;
+            }
+            Some(payload_message(payload.as_ref()))
+        }
+    };
+    finish_task(&exec, tid, panicked);
+    crate::sync::set_ctx(None);
+}
+
+pub(crate) enum ExecOutcome {
+    Completed { failure: Option<Failure> },
+    Pruned,
+}
+
+type CheckFn = Arc<dyn Fn() + Send + Sync + 'static>;
+
+/// Runs one execution of `f` under the schedule recorded in `explorer`,
+/// returning the (possibly extended) explorer and the outcome.
+pub(crate) fn run_one(f: CheckFn, explorer: Explorer, cfg: ExecCfg) -> (Explorer, ExecOutcome) {
+    let exec = Arc::new(Execution {
+        st: Mutex::new(ExecState::new(explorer, cfg)),
+        cv: Condvar::new(),
+    });
+    let e2 = Arc::clone(&exec);
+    let body: Box<dyn FnOnce() + Send> = Box::new(move || f());
+    let root = match std::thread::Builder::new()
+        .name("ses-race-t0".to_string())
+        .spawn(move || task_runner(e2, 0, body))
+    {
+        Ok(h) => h,
+        Err(_) => die("failed to spawn model root thread"),
+    };
+    {
+        let mut st = lock(&exec.st);
+        let _ = schedule(&mut st);
+    }
+    exec.cv.notify_all();
+    {
+        let mut st = lock(&exec.st);
+        while !st.complete && !st.aborting {
+            st = wait(&exec.cv, st);
+        }
+    }
+    exec.cv.notify_all();
+    loop {
+        let h = lock(&exec.st).os_handles.pop();
+        match h {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+    let _ = root.join();
+    let mut st = lock(&exec.st);
+    let explorer = std::mem::take(&mut st.explorer);
+    let outcome = if st.failure.is_some() {
+        ExecOutcome::Completed {
+            failure: st.failure.take(),
+        }
+    } else if st.pruned {
+        ExecOutcome::Pruned
+    } else {
+        ExecOutcome::Completed { failure: None }
+    };
+    (explorer, outcome)
+}

@@ -1,0 +1,100 @@
+//! The exploration tree: a DFS over schedule decisions, persisted across
+//! executions and replayed from the root on every run.
+//!
+//! Two kinds of decision node exist:
+//!
+//! * **Task** nodes — at a scheduling point with more than one runnable,
+//!   non-sleeping task, the checker branches over which task runs next.
+//!   The node memoizes the option list, each option's operation signature
+//!   (for sleep-set propagation) and the sleep set at entry.
+//! * **Load** nodes — a Relaxed/Acquire load with more than one permissible
+//!   store in its visibility window branches over which store it observes.
+//!
+//! [`Explorer::backtrack`] advances the deepest node with an unexplored
+//! sibling and truncates everything below it; the next execution replays the
+//! recorded prefix deterministically and runs fresh from there.
+
+use crate::exec::OpSig;
+
+#[derive(Debug)]
+pub(crate) enum NodeKind {
+    Task {
+        /// Candidate task ids, default (non-preemptive) choice first.
+        options: Vec<usize>,
+        /// `options[i]`'s pending-op signature at node creation.
+        sigs: Vec<OpSig>,
+        /// Sleep set when this node was first reached.
+        sleep_at_entry: Vec<(usize, OpSig)>,
+    },
+    Load {
+        /// Number of permissible stores (choice 0 = newest).
+        span: usize,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub(crate) kind: NodeKind,
+    /// Index of the branch taken on the current path.
+    pub(crate) chosen: usize,
+}
+
+impl Node {
+    pub(crate) fn len(&self) -> usize {
+        match &self.kind {
+            NodeKind::Task { options, .. } => options.len(),
+            NodeKind::Load { span } => *span,
+        }
+    }
+}
+
+/// Exploration state shared across executions of one check.
+#[derive(Debug, Default)]
+pub(crate) struct Explorer {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Explorer {
+    /// Advances to the next unexplored path. Returns false when the whole
+    /// tree has been visited.
+    pub(crate) fn backtrack(&mut self) -> bool {
+        while let Some(last) = self.nodes.last_mut() {
+            last.chosen += 1;
+            if last.chosen < last.len() {
+                return true;
+            }
+            self.nodes.pop();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(span: usize) -> Node {
+        Node {
+            kind: NodeKind::Load { span },
+            chosen: 0,
+        }
+    }
+
+    #[test]
+    fn backtrack_enumerates_product() {
+        let mut e = Explorer::default();
+        e.nodes.push(load(2));
+        e.nodes.push(load(3));
+        // 2 * 3 paths total; we are on path (0,0); expect 5 more.
+        let mut paths = 1;
+        while e.backtrack() {
+            paths += 1;
+            // simulate re-running past the recorded prefix: re-push any
+            // popped suffix as fresh nodes with chosen = 0
+            while e.nodes.len() < 2 {
+                e.nodes.push(load(if e.nodes.len() == 1 { 3 } else { 2 }));
+            }
+        }
+        assert_eq!(paths, 6);
+    }
+}

@@ -1,0 +1,264 @@
+//! `ses-race` — a deterministic, schedule-exploring concurrency model checker
+//! for the SES lock-free runtime, in the spirit of
+//! [loom](https://github.com/tokio-rs/loom).
+//!
+//! # What it does
+//!
+//! [`check`] runs a closure many times, each time under a different thread
+//! interleaving, until the schedule space is exhausted (or bounded). Code
+//! under test uses the shim types in [`sync`] instead of `std::sync`; outside
+//! a check they are zero-cost passthroughs to `std`, inside a check every
+//! atomic load/store/RMW, mutex lock/unlock and thread spawn/join becomes a
+//! *scheduling point* routed through a cooperative scheduler that runs
+//! exactly one task at a time and replays recorded decision prefixes, so
+//! every execution is deterministic.
+//!
+//! # Memory model
+//!
+//! Per-location store histories with vector clocks, a C11-lite approximation:
+//!
+//! * a `Relaxed` load may observe **any** coherent store in a bounded recent
+//!   window (newest happens-before store and this task's own reads floor the
+//!   window) — the checker branches over each choice;
+//! * `Release` stores publish the writer's clock; `Acquire` loads/RMWs that
+//!   read them join it (establishing happens-before); relaxed RMWs continue
+//!   the release sequence of the store they replace;
+//! * `SeqCst` is approximated as `AcqRel` plus "loads observe the newest
+//!   store" (no modeling of the SC total order beyond that);
+//! * mutexes are modeled release/acquire pairs with blocking enabledness,
+//!   so lock cycles are reported as deadlocks.
+//!
+//! # Exploration strategy
+//!
+//! Depth-first over a persistent decision tree with **sleep sets** (explored
+//! siblings stay asleep until a dependent operation wakes them — a sound
+//! partial-order reduction) and an optional **preemption bound** for larger
+//! checks. Small checks (≲3 tasks, ≲20 sync ops) are feasible bounded
+//! exhaustively. On a violation, the checker re-explores with escalating
+//! preemption bounds `0, 1, …` to report a **minimal failing schedule**.
+//!
+//! # What counts as a violation
+//!
+//! A panic in the root task (use plain `assert!` at the end of the closure),
+//! a panic in a spawned task that is never joined, a deadlock, or exceeding
+//! the per-execution step budget (spin loops cannot terminate under a
+//! scheduler that is allowed to starve the other side — write bounded checks).
+//!
+//! # Limitations
+//!
+//! Only operations routed through [`sync`] are modeled: plain shared memory
+//! (e.g. `&mut` through `UnsafeCell`), `std` primitives used directly, and
+//! OS/time effects are invisible to the scheduler. Closures must be
+//! re-runnable: create shared state *inside* the closure (or assert on
+//! before/after deltas for persistent statics, which keep their values
+//! between executions). See `docs/CORRECTNESS.md` for the full write-a-check
+//! guide.
+
+mod clock;
+mod exec;
+mod explore;
+pub mod sync;
+
+use std::sync::Arc;
+
+use exec::{run_one, ExecCfg, ExecOutcome};
+use explore::Explorer;
+
+pub use sync::is_modeled;
+
+/// Tuning knobs for one [`check`].
+#[derive(Clone, Debug)]
+pub struct CheckOptions {
+    /// Check name, echoed in reports.
+    pub name: String,
+    /// Stop after this many completed schedules (sets `truncated`).
+    pub max_schedules: u64,
+    /// Per-execution op budget; exceeding it is reported as a failure.
+    pub max_steps: u64,
+    /// How many recent stores a relaxed load may observe (visibility window).
+    pub max_store_history: usize,
+    /// `Some(b)`: explore only schedules with at most `b` preemptions
+    /// (unsound but effective for larger checks). `None`: exhaustive.
+    pub preemption_bound: Option<u32>,
+    /// Re-explore with escalating preemption bounds on failure to report a
+    /// minimal failing schedule.
+    pub minimize: bool,
+}
+
+impl CheckOptions {
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            max_schedules: 100_000,
+            max_steps: 5_000,
+            max_store_history: 4,
+            preemption_bound: None,
+            minimize: true,
+        }
+    }
+
+    pub fn with_preemption_bound(mut self, b: u32) -> Self {
+        self.preemption_bound = Some(b);
+        self
+    }
+
+    pub fn with_max_schedules(mut self, n: u64) -> Self {
+        self.max_schedules = n;
+        self
+    }
+}
+
+/// A schedule under which the checked invariant was violated.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong (panic message, deadlock description, …).
+    pub message: String,
+    /// The failing schedule, one `T<tid>  <op>` line per applied operation.
+    pub trace: Vec<String>,
+    /// Preemptions (involuntary context switches) in the failing schedule.
+    pub preemptions: u32,
+}
+
+impl Failure {
+    /// Multi-line human-readable rendering of the failing schedule.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "violation: {}\nminimal failing schedule ({} preemption(s), {} step(s)):\n",
+            self.message,
+            self.preemptions,
+            self.trace.len()
+        ));
+        for (i, line) in self.trace.iter().enumerate() {
+            out.push_str(&format!("  #{:<3} {}\n", i + 1, line));
+        }
+        out
+    }
+}
+
+/// Result of one [`check`] run.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Check name (from [`CheckOptions`]).
+    pub name: String,
+    /// Completed schedules explored (including the minimization passes).
+    pub schedules: u64,
+    /// Executions cut short by sleep-set pruning (subsumed by an explored
+    /// sibling — not counted in `schedules`).
+    pub pruned: u64,
+    /// True when `max_schedules` stopped exploration before exhaustion.
+    pub truncated: bool,
+    /// The (minimized) violation, if any schedule failed.
+    pub failure: Option<Failure>,
+}
+
+impl CheckReport {
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// One-line summary for CLI output.
+    pub fn summary(&self) -> String {
+        let state = if self.passed() { "ok" } else { "FAILED" };
+        let trunc = if self.truncated { ", truncated" } else { "" };
+        format!(
+            "check {:<24} {:>8} schedules ({} pruned{trunc}) ... {state}",
+            self.name, self.schedules, self.pruned
+        )
+    }
+}
+
+fn explore_all(
+    opts: &CheckOptions,
+    f: &Arc<dyn Fn() + Send + Sync>,
+    bound: Option<u32>,
+) -> (u64, u64, bool, Option<Failure>) {
+    let mut explorer = Explorer::default();
+    let mut schedules = 0u64;
+    let mut pruned = 0u64;
+    loop {
+        let (ex2, outcome) = run_one(
+            Arc::clone(f),
+            explorer,
+            ExecCfg {
+                bound,
+                max_steps: opts.max_steps,
+                max_store_history: opts.max_store_history,
+            },
+        );
+        explorer = ex2;
+        match outcome {
+            ExecOutcome::Completed {
+                failure: Some(fail),
+            } => {
+                return (schedules + 1, pruned, false, Some(fail));
+            }
+            ExecOutcome::Completed { failure: None } => schedules += 1,
+            ExecOutcome::Pruned => pruned += 1,
+        }
+        if schedules >= opts.max_schedules {
+            return (schedules, pruned, true, None);
+        }
+        if !explorer.backtrack() {
+            return (schedules, pruned, false, None);
+        }
+    }
+}
+
+/// Explores interleavings of `f` and reports the first violation found.
+///
+/// `f` runs once per schedule and must be deterministic given the schedule;
+/// create the shared state under test inside the closure and `assert!` the
+/// invariant at the end (after joining spawned tasks).
+/// Installs (once, process-wide) a panic hook that stays quiet for panics on
+/// modeled task threads: teardown tokens and expected assertion failures fire
+/// on every explored failing schedule, and the interesting one is reported
+/// through [`CheckReport`] instead. Panics anywhere else go to the previous
+/// hook unchanged.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if is_modeled() || info.payload().downcast_ref::<exec::AbortToken>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+pub fn check<F>(opts: CheckOptions, f: F) -> CheckReport
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if is_modeled() {
+        exec::die("nested ses_race::check inside a model run is not supported");
+    }
+    install_quiet_hook();
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let (mut schedules, mut pruned, truncated, mut failure) =
+        explore_all(&opts, &f, opts.preemption_bound);
+    if opts.minimize {
+        if let Some(f0) = &failure {
+            // Hunt for a schedule with fewer preemptions: re-explore under
+            // escalating bounds and keep the first (smallest-bound) failure.
+            for b in 0..f0.preemptions {
+                let (s2, p2, _t2, f2) = explore_all(&opts, &f, Some(b));
+                schedules += s2;
+                pruned += p2;
+                if let Some(found) = f2 {
+                    failure = Some(found);
+                    break;
+                }
+            }
+        }
+    }
+    CheckReport {
+        name: opts.name,
+        schedules,
+        pruned,
+        truncated,
+        failure,
+    }
+}

@@ -1,0 +1,682 @@
+//! Shim sync layer: drop-in replacements for the `std::sync` types the SES
+//! runtime uses, instrumented for the model checker.
+//!
+//! Outside a model run (no task context on the current thread) every type is
+//! a transparent passthrough to its `std` counterpart — same memory layout
+//! (one inner std atomic / mutex), same semantics, no branches beyond one
+//! thread-local read per operation, and `const fn new` so statics still work.
+//! Inside [`crate::check`], every load/store/RMW, lock/unlock and spawn/join
+//! becomes an announced scheduling point routed through the cooperative
+//! scheduler in `exec.rs`, and values come from the modeled store history
+//! rather than the real cell (which is kept write-through coherent).
+//!
+//! Deliberate model simplifications (documented in `docs/CORRECTNESS.md`):
+//! `compare_exchange_weak` never fails spuriously; narrow atomics model their
+//! arithmetic at 64-bit width (harmless below the type's range); SeqCst is
+//! treated as AcqRel plus "loads observe the newest store".
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex as StdMutex;
+use std::sync::{LockResult, PoisonError};
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::Arc;
+
+use crate::exec::{
+    die, lock as lock_state, payload_message, rmw_value, silent_release, task_runner, yield_op,
+    AbortToken, Op, PanicNote, RmwKind, TaskCtx,
+};
+
+thread_local! {
+    static CTX: RefCell<Option<TaskCtx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(c: Option<TaskCtx>) {
+    CTX.with(|x| *x.borrow_mut() = c);
+}
+
+fn cur() -> Option<TaskCtx> {
+    // A thread that is already unwinding must never re-enter the scheduler:
+    // raising the abort token inside a `Drop` running during a panic would
+    // be a non-unwinding double panic and abort the whole process. Ops done
+    // by drops mid-unwind (span guards flushing trace events, lock guards
+    // releasing) fall through to the passthrough path instead, which is safe
+    // — atomics hit the real cell and locks take the real mutex, and the
+    // execution is either being torn down or will surface the panic at the
+    // owning `join`.
+    if std::thread::panicking() {
+        return None;
+    }
+    CTX.with(|x| x.borrow().clone())
+}
+
+/// True when the calling thread is a task inside an active model run.
+pub fn is_modeled() -> bool {
+    CTX.with(|x| x.borrow().is_some())
+}
+
+macro_rules! shim_atomic {
+    ($(#[$meta:meta])* $name:ident, $std:ty, $prim:ty) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(v: $prim) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const _ as usize
+            }
+
+            fn init(&self) -> u64 {
+                // ordering: announce-time snapshot of the real cell, used
+                // only to seed the modeled history on first touch.
+                self.inner.load(Ordering::Relaxed) as u64
+            }
+
+            fn rmw_model(&self, cx: &TaskCtx, kind: RmwKind, arg: u64, ord: Ordering) -> u64 {
+                let out = yield_op(
+                    cx,
+                    Op::Rmw {
+                        loc: self.addr(),
+                        ord,
+                        kind,
+                        arg,
+                        arg2: 0,
+                        init: self.init(),
+                    },
+                );
+                // ordering: write-through keeps the real cell coherent with
+                // the model's newest store; the model run is single-threaded
+                // at this point so Relaxed suffices.
+                self.inner
+                    .store(rmw_value(kind, out.val, arg, 0) as $prim, Ordering::Relaxed); // ordering: see the write-through note above
+                out.val
+            }
+
+            pub fn load(&self, ord: Ordering) -> $prim {
+                match cur() {
+                    None => self.inner.load(ord),
+                    Some(cx) => {
+                        let out = yield_op(
+                            &cx,
+                            Op::Load {
+                                loc: self.addr(),
+                                ord,
+                                init: self.init(),
+                            },
+                        );
+                        out.val as $prim
+                    }
+                }
+            }
+
+            pub fn store(&self, v: $prim, ord: Ordering) {
+                match cur() {
+                    None => self.inner.store(v, ord),
+                    Some(cx) => {
+                        yield_op(
+                            &cx,
+                            Op::Store {
+                                loc: self.addr(),
+                                ord,
+                                val: v as u64,
+                                init: self.init(),
+                            },
+                        );
+                        // ordering: write-through; see rmw_model above.
+                        self.inner.store(v, Ordering::Relaxed);
+                    }
+                }
+            }
+
+            pub fn swap(&self, v: $prim, ord: Ordering) -> $prim {
+                match cur() {
+                    None => self.inner.swap(v, ord),
+                    Some(cx) => self.rmw_model(&cx, RmwKind::Swap, v as u64, ord) as $prim,
+                }
+            }
+
+            pub fn fetch_add(&self, v: $prim, ord: Ordering) -> $prim {
+                match cur() {
+                    None => self.inner.fetch_add(v, ord),
+                    Some(cx) => self.rmw_model(&cx, RmwKind::Add, v as u64, ord) as $prim,
+                }
+            }
+
+            pub fn fetch_sub(&self, v: $prim, ord: Ordering) -> $prim {
+                match cur() {
+                    None => self.inner.fetch_sub(v, ord),
+                    Some(cx) => self.rmw_model(&cx, RmwKind::Sub, v as u64, ord) as $prim,
+                }
+            }
+
+            pub fn fetch_max(&self, v: $prim, ord: Ordering) -> $prim {
+                match cur() {
+                    None => self.inner.fetch_max(v, ord),
+                    Some(cx) => self.rmw_model(&cx, RmwKind::Max, v as u64, ord) as $prim,
+                }
+            }
+
+            pub fn fetch_min(&self, v: $prim, ord: Ordering) -> $prim {
+                match cur() {
+                    None => self.inner.fetch_min(v, ord),
+                    Some(cx) => self.rmw_model(&cx, RmwKind::Min, v as u64, ord) as $prim,
+                }
+            }
+
+            pub fn fetch_or(&self, v: $prim, ord: Ordering) -> $prim {
+                match cur() {
+                    None => self.inner.fetch_or(v, ord),
+                    Some(cx) => self.rmw_model(&cx, RmwKind::Or, v as u64, ord) as $prim,
+                }
+            }
+
+            pub fn fetch_and(&self, v: $prim, ord: Ordering) -> $prim {
+                match cur() {
+                    None => self.inner.fetch_and(v, ord),
+                    Some(cx) => self.rmw_model(&cx, RmwKind::And, v as u64, ord) as $prim,
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match cur() {
+                    None => self.inner.compare_exchange(current, new, success, failure),
+                    Some(cx) => {
+                        let out = yield_op(
+                            &cx,
+                            Op::Rmw {
+                                loc: self.addr(),
+                                ord: success,
+                                kind: RmwKind::Cas,
+                                arg: current as u64,
+                                arg2: new as u64,
+                                init: self.init(),
+                            },
+                        );
+                        if out.ok {
+                            // ordering: write-through; see rmw_model above.
+                            self.inner.store(new, Ordering::Relaxed);
+                            Ok(out.val as $prim)
+                        } else {
+                            Err(out.val as $prim)
+                        }
+                    }
+                }
+            }
+
+            /// Modeled weak CAS never fails spuriously (a sound refinement:
+            /// every schedule it explores is also a strong-CAS schedule).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+shim_atomic!(
+    /// Shim for [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+shim_atomic!(
+    /// Shim for [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+shim_atomic!(
+    /// Shim for [`std::sync::atomic::AtomicU32`].
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32
+);
+shim_atomic!(
+    /// Shim for [`std::sync::atomic::AtomicU8`].
+    AtomicU8,
+    std::sync::atomic::AtomicU8,
+    u8
+);
+
+/// Shim for [`std::sync::atomic::AtomicI64`]. Stored in the model as the
+/// two's-complement `u64` bit pattern; max/min use signed comparison.
+#[derive(Debug, Default)]
+pub struct AtomicI64 {
+    inner: std::sync::atomic::AtomicI64,
+}
+
+impl AtomicI64 {
+    pub const fn new(v: i64) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicI64::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    fn init(&self) -> u64 {
+        // ordering: announce-time snapshot seeding the modeled history.
+        self.inner.load(Ordering::Relaxed) as u64
+    }
+
+    fn rmw_model(&self, cx: &TaskCtx, kind: RmwKind, arg: u64, ord: Ordering) -> i64 {
+        let out = yield_op(
+            cx,
+            Op::Rmw {
+                loc: self.addr(),
+                ord,
+                kind,
+                arg,
+                arg2: 0,
+                init: self.init(),
+            },
+        );
+        // ordering: write-through; model run is single-threaded here.
+        self.inner
+            .store(rmw_value(kind, out.val, arg, 0) as i64, Ordering::Relaxed); // ordering: see the write-through note above
+        out.val as i64
+    }
+
+    pub fn load(&self, ord: Ordering) -> i64 {
+        match cur() {
+            None => self.inner.load(ord),
+            Some(cx) => {
+                let out = yield_op(
+                    &cx,
+                    Op::Load {
+                        loc: self.addr(),
+                        ord,
+                        init: self.init(),
+                    },
+                );
+                out.val as i64
+            }
+        }
+    }
+
+    pub fn store(&self, v: i64, ord: Ordering) {
+        match cur() {
+            None => self.inner.store(v, ord),
+            Some(cx) => {
+                yield_op(
+                    &cx,
+                    Op::Store {
+                        loc: self.addr(),
+                        ord,
+                        val: v as u64,
+                        init: self.init(),
+                    },
+                );
+                // ordering: write-through; model run is single-threaded here.
+                self.inner.store(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub fn fetch_add(&self, v: i64, ord: Ordering) -> i64 {
+        match cur() {
+            None => self.inner.fetch_add(v, ord),
+            // Two's-complement wrapping add is bit-identical in u64.
+            Some(cx) => self.rmw_model(&cx, RmwKind::Add, v as u64, ord),
+        }
+    }
+
+    pub fn fetch_sub(&self, v: i64, ord: Ordering) -> i64 {
+        match cur() {
+            None => self.inner.fetch_sub(v, ord),
+            Some(cx) => self.rmw_model(&cx, RmwKind::Sub, v as u64, ord),
+        }
+    }
+
+    pub fn fetch_max(&self, v: i64, ord: Ordering) -> i64 {
+        match cur() {
+            None => self.inner.fetch_max(v, ord),
+            Some(cx) => self.rmw_model(&cx, RmwKind::MaxI64, v as u64, ord),
+        }
+    }
+
+    pub fn fetch_min(&self, v: i64, ord: Ordering) -> i64 {
+        match cur() {
+            None => self.inner.fetch_min(v, ord),
+            Some(cx) => self.rmw_model(&cx, RmwKind::MinI64, v as u64, ord),
+        }
+    }
+}
+
+/// Shim for [`std::sync::atomic::AtomicBool`].
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    fn init(&self) -> u64 {
+        // ordering: announce-time snapshot seeding the modeled history.
+        u64::from(self.inner.load(Ordering::Relaxed))
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        match cur() {
+            None => self.inner.load(ord),
+            Some(cx) => {
+                let out = yield_op(
+                    &cx,
+                    Op::Load {
+                        loc: self.addr(),
+                        ord,
+                        init: self.init(),
+                    },
+                );
+                out.val != 0
+            }
+        }
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        match cur() {
+            None => self.inner.store(v, ord),
+            Some(cx) => {
+                yield_op(
+                    &cx,
+                    Op::Store {
+                        loc: self.addr(),
+                        ord,
+                        val: u64::from(v),
+                        init: self.init(),
+                    },
+                );
+                // ordering: write-through; model run is single-threaded here.
+                self.inner.store(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        match cur() {
+            None => self.inner.swap(v, ord),
+            Some(cx) => {
+                let out = yield_op(
+                    &cx,
+                    Op::Rmw {
+                        loc: self.addr(),
+                        ord,
+                        kind: RmwKind::Swap,
+                        arg: u64::from(v),
+                        arg2: 0,
+                        init: self.init(),
+                    },
+                );
+                // ordering: write-through; model run is single-threaded here.
+                self.inner.store(v, Ordering::Relaxed);
+                out.val != 0
+            }
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match cur() {
+            None => self.inner.compare_exchange(current, new, success, failure),
+            Some(cx) => {
+                let out = yield_op(
+                    &cx,
+                    Op::Rmw {
+                        loc: self.addr(),
+                        ord: success,
+                        kind: RmwKind::Cas,
+                        arg: u64::from(current),
+                        arg2: u64::from(new),
+                        init: self.init(),
+                    },
+                );
+                if out.ok {
+                    // ordering: write-through; model run is single-threaded
+                    // here.
+                    self.inner.store(new, Ordering::Relaxed);
+                    Ok(out.val != 0)
+                } else {
+                    Err(out.val != 0)
+                }
+            }
+        }
+    }
+}
+
+/// Shim for [`std::sync::Mutex`]: a modeled acquire/release pair around the
+/// real (always-uncontended inside a model run) std mutex.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Self {
+            inner: StdMutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        self as *const _ as *const () as usize
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match cur() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(p.into_inner()),
+                    model: None,
+                })),
+            },
+            Some(cx) => {
+                let loc = self.addr();
+                yield_op(&cx, Op::LockAcquire { loc });
+                // The modeled grant guarantees exclusivity, so this real lock
+                // never blocks (all other tasks are parked).
+                match self.inner.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        inner: Some(g),
+                        model: Some((cx, loc)),
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        inner: Some(p.into_inner()),
+                        model: Some((cx, loc)),
+                    })),
+                }
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+/// Guard for [`Mutex`]; releasing is a modeled scheduling point.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(TaskCtx, usize)>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => die("guard used after release"),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => die("guard used after release"),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((cx, loc)) = self.model.take() {
+            if std::thread::panicking() {
+                silent_release(&cx.exec, cx.tid, loc);
+            } else {
+                yield_op(&cx, Op::LockRelease { loc });
+            }
+        }
+        // The real guard drops only after the modeled release: the releasing
+        // task stays the sole runner until its next announcement, so no other
+        // task can reach the real mutex in between.
+        self.inner = None;
+    }
+}
+
+/// Shim for `std::thread`: modeled spawn/join inside a check, passthrough
+/// otherwise. Scoped threads are not shimmed (use plain closures + `Arc`).
+pub mod thread {
+    use super::*;
+
+    pub use std::thread::Result;
+
+    type Slot<T> = Arc<StdMutex<Option<std::thread::Result<T>>>>;
+
+    enum Inner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model { target: usize, slot: Slot<T> },
+    }
+
+    /// Shim for [`std::thread::JoinHandle`].
+    pub struct JoinHandle<T> {
+        inner: Inner<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Join, returning the closure's result or its panic payload, like
+        /// [`std::thread::JoinHandle::join`].
+        pub fn join(self) -> Result<T> {
+            match self.inner {
+                Inner::Std(h) => h.join(),
+                Inner::Model { target, slot, .. } => {
+                    match cur() {
+                        Some(cx) => {
+                            yield_op(&cx, Op::Join { target });
+                        }
+                        None => die("modeled JoinHandle joined outside the model run"),
+                    }
+                    let taken = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+                    match taken {
+                        Some(r) => r,
+                        None => die("join: result slot empty after modeled join"),
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match cur() {
+            None => JoinHandle {
+                inner: Inner::Std(std::thread::spawn(f)),
+            },
+            Some(cx) => {
+                let out = yield_op(&cx, Op::Spawn);
+                let tid = out.val as usize;
+                let slot: Slot<T> = Arc::new(StdMutex::new(None));
+                let slot2 = Arc::clone(&slot);
+                let body: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    let r = catch_unwind(AssertUnwindSafe(f));
+                    match r {
+                        Ok(v) => {
+                            *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                        }
+                        Err(p) => {
+                            if p.downcast_ref::<AbortToken>().is_some() {
+                                resume_unwind(p);
+                            }
+                            let msg = payload_message(p.as_ref());
+                            *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Err(p));
+                            resume_unwind(Box::new(PanicNote(msg)));
+                        }
+                    }
+                });
+                let exec = Arc::clone(&cx.exec);
+                let exec2 = Arc::clone(&exec);
+                let os = match std::thread::Builder::new()
+                    .name(format!("ses-race-t{tid}"))
+                    .spawn(move || task_runner(exec2, tid, body))
+                {
+                    Ok(h) => h,
+                    Err(_) => die("failed to spawn model task thread"),
+                };
+                lock_state(&exec.st).os_handles.push(os);
+                JoinHandle {
+                    inner: Inner::Model { target: tid, slot },
+                }
+            }
+        }
+    }
+
+    /// Shim for [`std::thread::yield_now`]: a pure modeled scheduling point.
+    pub fn yield_now() {
+        match cur() {
+            None => std::thread::yield_now(),
+            Some(cx) => {
+                yield_op(&cx, Op::Yield);
+            }
+        }
+    }
+}

@@ -40,6 +40,7 @@ pub mod optim;
 pub mod par;
 pub mod scratch;
 pub mod sparse;
+pub(crate) mod sync;
 pub mod tape;
 
 pub use matrix::Matrix;

@@ -42,8 +42,10 @@
 
 use std::cell::Cell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Once, OnceLock};
+
+use crate::sync::{AtomicBool, AtomicUsize};
 
 pub mod dispatch;
 
@@ -57,13 +59,13 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// mutating process environment (the `SES_THREADS` lookup is cached). Takes
 /// effect for all subsequent kernel wrapper calls in this process.
 pub fn set_thread_override(n: usize) {
-    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed); // ordering: standalone config knob; readers only need the value
 }
 
 /// The thread count every kernel wrapper uses: override, else `SES_THREADS`,
 /// else the machine's available parallelism (min 1).
 pub fn configured_threads() -> usize {
-    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed); // ordering: standalone config knob; readers only need the value
     if o > 0 {
         return o;
     }
@@ -92,12 +94,12 @@ static ISOLATION_ENABLED: AtomicBool = AtomicBool::new(true);
 /// Enables (default) or disables the panic-isolation layer in
 /// [`run_isolated`].
 pub fn set_isolation_enabled(on: bool) {
-    ISOLATION_ENABLED.store(on, Ordering::Relaxed);
+    ISOLATION_ENABLED.store(on, Ordering::Relaxed); // ordering: standalone config knob; readers only need the value
 }
 
 /// True when [`run_isolated`] degrades panicking parallel ops to serial.
 pub fn isolation_enabled() -> bool {
-    ISOLATION_ENABLED.load(Ordering::Relaxed)
+    ISOLATION_ENABLED.load(Ordering::Relaxed) // ordering: standalone config knob; readers only need the value
 }
 
 thread_local! {

@@ -24,8 +24,10 @@
 //! Bit-identity at any thread count makes all of this pure scheduling: the
 //! dispatch decision can never change a result, only its latency.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::OnceLock;
+
+use crate::sync::{AtomicBool, AtomicUsize};
 
 /// `(kernel, crossover work size)` — at or above the crossover the kernel
 /// runs at the caller's thread count, below it the clamp forces serial.
@@ -53,7 +55,7 @@ static BYPASS: AtomicBool = AtomicBool::new(false);
 
 /// Enables or disables the crossover clamp (bench calibration only).
 pub fn set_bypass(on: bool) {
-    BYPASS.store(on, Ordering::Relaxed);
+    BYPASS.store(on, Ordering::Relaxed); // ordering: standalone calibration flag; no data guarded
 }
 
 /// The kernel names this table knows, in table order.
@@ -75,7 +77,7 @@ pub fn crossover(kernel: &str) -> usize {
         // lint:allow(no-unwrap): documented panic — a typo'd kernel name
         // must fail the first test that runs it, not silently never clamp
         .unwrap_or_else(|| panic!("dispatch: unknown kernel `{kernel}`"))
-        .load(Ordering::Relaxed)
+        .load(Ordering::Relaxed) // ordering: standalone threshold value; no data guarded
 }
 
 /// Installs a crossover for `kernel`. Unknown names panic (same rationale
@@ -85,7 +87,7 @@ pub fn set_crossover(kernel: &str, work: usize) {
         // lint:allow(no-unwrap): documented panic, same rationale as
         // `crossover`
         .unwrap_or_else(|| panic!("dispatch: unknown kernel `{kernel}`"))
-        .store(work, Ordering::Relaxed);
+        .store(work, Ordering::Relaxed); // ordering: standalone threshold value; no data guarded
 }
 
 /// The thread count `kernel` should actually run at for a problem of size
@@ -93,6 +95,7 @@ pub fn set_crossover(kernel: &str, work: usize) {
 /// above it. This is what replaced `par::size_aware_threads`.
 pub fn threads_for(kernel: &str, work: usize, threads: usize) -> usize {
     ensure_env_table_loaded();
+    // ordering: standalone calibration flag; no data guarded
     if BYPASS.load(Ordering::Relaxed) {
         return threads;
     }
@@ -136,7 +139,7 @@ pub fn load_from_json(text: &str) -> usize {
             continue;
         };
         if let Some(s) = slot(&kernel) {
-            s.store(work, Ordering::Relaxed);
+            s.store(work, Ordering::Relaxed); // ordering: standalone threshold value; no data guarded
             applied += 1;
         }
     }

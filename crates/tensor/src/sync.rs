@@ -1,0 +1,13 @@
+//! Swappable sync primitives for the parallel runtime (see
+//! `ses_obs::sync` for the full rationale).
+//!
+//! Normal builds re-export the plain `std` atomics; the `race` feature —
+//! enabled only by the `ses-race` model-checking suite — swaps in the
+//! `ses-race` shim so dispatch-table and isolation-flag operations become
+//! scheduling points inside `ses_race::check`.
+
+#[cfg(feature = "race")]
+pub(crate) use ses_race::sync::{AtomicBool, AtomicUsize};
+
+#[cfg(not(feature = "race"))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicUsize};

@@ -444,6 +444,142 @@ pub fn beyond_bound_spotchecks() -> PartitionReport {
     report.finish()
 }
 
+/// Regression-lock for the `run_isolated` first-task-panic edge case: the
+/// *first* task of a multi-task batch panics on the calling thread — inside
+/// the caller's own chunk, before any spawned worker is joined — and the
+/// `std::thread::scope` inside `run_tasks` must still run **and join** every
+/// spawned chunk to completion before the payload reaches `run_isolated`'s
+/// catch and the op degrades to serial. A regression that let the panic
+/// escape the scope early (or leaked still-running workers into the serial
+/// rerun) would corrupt the degraded recompute; this case pins the
+/// join-all-then-degrade ordering with per-task completion markers
+/// snapshotted at the instant the serial fallback begins.
+pub fn isolation_first_task_panic() -> PartitionReport {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use ses_tensor::par::{isolation_enabled, run_isolated, run_tasks, set_isolation_enabled};
+
+    const CHECK: &str = "isolation-first-task-panic";
+    const TASKS: usize = 6;
+    const THREADS: usize = 3;
+    let subject = format!("run_isolated(first-task-panic, threads={THREADS}, tasks={TASKS})");
+
+    let mut report = PartitionReport::default();
+    let mut diags = Vec::new();
+
+    // Force both paths under test on, restoring the knobs afterwards so the
+    // sweep composes with whatever configuration the caller runs under.
+    let isolation_was = isolation_enabled();
+    set_isolation_enabled(true);
+    ses_obs::set_enabled_override(Some(true));
+    let degraded_before = ses_obs::metrics::KERNEL_PANIC_DEGRADED.get();
+
+    // One completion marker per task. With threads=3 and 6 tasks the chunk
+    // layout is caller=[0,1], worker0=[2,3], worker1=[4,5]: task 0's panic
+    // aborts the caller's chunk (task 1 never starts), while every spawned
+    // task must still finish before degradation begins.
+    let ran: Vec<AtomicUsize> = (0..TASKS).map(|_| AtomicUsize::new(0)).collect();
+    // Marker snapshot taken at the instant the serial fallback starts.
+    let at_degrade: std::sync::Mutex<Option<Vec<usize>>> = std::sync::Mutex::new(None);
+
+    let result: Vec<usize> = run_isolated(
+        "verify.first_task_panic",
+        THREADS,
+        || {
+            run_tasks(
+                THREADS,
+                (0..TASKS)
+                    .map(|i| {
+                        let ran = &ran;
+                        move || {
+                            if i == 0 {
+                                // lint:allow(no-unwrap): the seeded fault under test
+                                panic!(
+                                    "ses-verify: seeded first-task panic \
+                                     (expected; exercising run_isolated join-all)"
+                                );
+                            }
+                            // ordering: markers are read back across the scope join
+                            ran[i].fetch_add(1, Ordering::SeqCst);
+                            i
+                        }
+                    })
+                    .collect(),
+            )
+        },
+        || {
+            // The scope join happens-before the catch arm, so every spawned
+            // task's marker store is visible here.
+            let snap: Vec<usize> = ran
+                .iter()
+                // ordering: scope join already synchronised the stores
+                .map(|m| m.load(Ordering::SeqCst))
+                .collect();
+            if let Ok(mut slot) = at_degrade.lock() {
+                *slot = Some(snap);
+            }
+            (0..TASKS).collect()
+        },
+    );
+
+    let degraded_delta = ses_obs::metrics::KERNEL_PANIC_DEGRADED.get() - degraded_before;
+    ses_obs::set_enabled_override(None);
+    set_isolation_enabled(isolation_was);
+
+    match at_degrade.into_inner() {
+        Ok(Some(snap)) => {
+            for (i, &count) in snap.iter().enumerate().skip(2) {
+                if count != 1 {
+                    diags.push(err(
+                        CHECK,
+                        &subject,
+                        format!(
+                            "spawned task {i} had run {count} times when degradation began; \
+                             run_tasks must join every worker exactly once before the panic \
+                             escapes the scope"
+                        ),
+                    ));
+                }
+            }
+            if snap[1] != 0 {
+                diags.push(err(
+                    CHECK,
+                    &subject,
+                    format!(
+                        "task 1 ran {} time(s) before degradation; the caller's chunk must \
+                         stop at the first panicking task",
+                        snap[1]
+                    ),
+                ));
+            }
+        }
+        _ => diags.push(err(
+            CHECK,
+            &subject,
+            "serial fallback never ran: the panic escaped run_isolated or the parallel \
+             attempt spuriously succeeded"
+                .to_string(),
+        )),
+    }
+    if degraded_delta != 1 {
+        diags.push(err(
+            CHECK,
+            &subject,
+            format!("expected exactly one KERNEL_PANIC_DEGRADED increment, saw {degraded_delta}"),
+        ));
+    }
+    let expect: Vec<usize> = (0..TASKS).collect();
+    if result != expect {
+        diags.push(err(
+            CHECK,
+            &subject,
+            format!("degraded serial rerun returned {result:?}, expected {expect:?}"),
+        ));
+    }
+    report.absorb(diags);
+    report.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,6 +617,13 @@ mod tests {
         let lopsided = vec![0..4, 4..5];
         let ds = check_row_partition("fixture", 5, 2, &lopsided, true);
         assert!(ds.iter().any(|d| d.check == "balance"), "{ds:?}");
+    }
+
+    #[test]
+    fn first_task_panic_joins_all_workers_before_degrading() {
+        let r = isolation_first_task_panic();
+        assert_eq!(r.cases, 1);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
     }
 
     #[test]

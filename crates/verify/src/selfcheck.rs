@@ -20,7 +20,7 @@ use crate::builder::IrBuilder;
 use crate::equiv::check_equivalence;
 use crate::partition::{
     beyond_bound_spotchecks, check_row_partition, edge_case_suite, exhaustive_csr_model,
-    exhaustive_small_model, PartitionReport,
+    exhaustive_small_model, isolation_first_task_panic, PartitionReport,
 };
 use crate::tape_check::{verify_tape, TapeCheckConfig};
 use crate::{error_count, Diag};
@@ -298,6 +298,7 @@ pub fn run(defect: Option<SeededDefect>) -> SelfCheckReport {
             parts.merge(exhaustive_csr_model(4, 3, 6));
             parts.merge(edge_case_suite());
             parts.merge(beyond_bound_spotchecks());
+            parts.merge(isolation_first_task_panic());
             absorb_partitions(&mut report, parts);
         }
         Some(SeededDefect::ShapeMismatch) => {
