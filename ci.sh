@@ -98,6 +98,42 @@ for fault in "nan-grad@3,seed=7" "worker-panic@3,seed=7" "ckpt-io@3,seed=7"; do
   fi
 done
 
+echo "== serve drills (serve-path faults degrade gracefully; fatal with recovery off)"
+# Each serve-path fault must be absorbed by the runtime's nets under the
+# standard policy — the process stays up, every request completes (possibly
+# degraded), the matching serve.* counter moves, and the overload burst
+# sheds — and the *same* fault must be fatal with recovery disabled. The
+# emitted serve_counters record is validated so the telemetry contract
+# (serve.shed / serve.degraded.* / serve.deadline.breach / serve.cache.*)
+# holds end to end.
+for fault in "slow-stage@encode" "panic@request-3" "cache-poison"; do
+  echo "   -- $fault (recovery on: must degrade and recover)"
+  SES_FAULT="$fault" \
+  SES_OBS=1 \
+  SES_OBS_FILE="$PWD/target/serve_drill.jsonl" \
+  cargo run -q -p ses-serve --bin serve-drill
+  cargo run -q -p ses-obs --bin obs-validate -- "$PWD/target/serve_drill.jsonl" \
+    --require serve_counters
+  echo "   -- $fault (recovery off: must be fatal)"
+  if SES_FAULT="$fault" SES_RECOVERY=off cargo run -q -p ses-serve --bin serve-drill \
+      >/dev/null 2>&1; then
+    echo "ci: serve fault '$fault' was survived with recovery disabled" >&2
+    exit 1
+  fi
+done
+
+echo "== serve bench (throughput + p99 explain-latency gate)"
+# Release build: the gate is on tail latency, debug timings are meaningless.
+# The bench also asserts the deterministic overload burst sheds exactly the
+# overflow, and its bench_row record must validate.
+SES_BENCH_QUICK=1 \
+SES_BENCH_OUT="$PWD/BENCH_serve.json" \
+SES_OBS=1 \
+SES_OBS_FILE="$PWD/target/serve_bench.jsonl" \
+cargo run -q --release -p ses-serve --bin serve-bench
+cargo run -q -p ses-obs --bin obs-validate -- "$PWD/target/serve_bench.jsonl" \
+  --require bench_row
+
 echo "== bench smoke (quick mode, regression gate)"
 # Absolute paths: cargo runs the bench binary from the package root.
 SES_BENCH_QUICK=1 \

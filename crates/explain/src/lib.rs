@@ -35,7 +35,7 @@ pub mod traits;
 pub use att::AttExplainer;
 pub use backbone::Backbone;
 pub use gnnexplainer::{GnnExplainer, GnnExplainerConfig};
-pub use grad::GradExplainer;
+pub use grad::{GradExplainer, SaliencyTable};
 pub use graphlime::{GraphLime, GraphLimeConfig};
 pub use pgexplainer::{PgExplainer, PgExplainerConfig};
 pub use pgmexplainer::{PgmExplainer, PgmExplainerConfig};

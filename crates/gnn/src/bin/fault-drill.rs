@@ -96,6 +96,13 @@ fn main() {
                 "trainer.recover.ckpt_io_errors",
                 ses_obs::metrics::TRAIN_RECOVER_CKPT_IO_ERRORS.get(),
             ),
+            FaultKind::SlowStage(_) | FaultKind::PanicRequest(_) | FaultKind::CachePoison => {
+                // Serve-path faults are drilled by `serve-drill` (ses-serve),
+                // not the training loop — running them here would silently
+                // measure nothing.
+                eprintln!("fault-drill: {spec} is a serve-path fault; use serve-drill");
+                std::process::exit(1);
+            }
         };
         if count == 0 {
             eprintln!("fault-drill: {spec} injected but {name} counter stayed 0");

@@ -214,6 +214,7 @@ pub fn run(ws: &Workspace) -> Vec<Violation> {
         rules::no_vec_alloc_in_kernel_loop(f, &mut out);
         rules::no_raw_instant_in_lib(f, &mut out);
         rules::atomic_ordering_needs_comment(f, &mut out);
+        rules::no_blocking_sleep_in_lib(f, &mut out);
         rules::allow_syntax(f, &mut out);
     }
     rules::gradcheck_coverage(&ws.files, &mut out);

@@ -35,6 +35,8 @@ pub const NO_VEC_ALLOC_IN_KERNEL_LOOP: &str = "no-vec-alloc-in-kernel-loop";
 pub const NO_RAW_INSTANT_IN_LIB: &str = "no-raw-instant-in-lib";
 /// See [`NO_UNWRAP`].
 pub const ATOMIC_ORDERING_NEEDS_COMMENT: &str = "atomic-ordering-needs-comment";
+/// See [`NO_UNWRAP`].
+pub const NO_BLOCKING_SLEEP_IN_LIB: &str = "no-blocking-sleep-in-lib";
 
 /// All rule names, for validating `lint:allow(..)` directives.
 pub const ALL_RULES: &[&str] = &[
@@ -51,6 +53,7 @@ pub const ALL_RULES: &[&str] = &[
     NO_VEC_ALLOC_IN_KERNEL_LOOP,
     NO_RAW_INSTANT_IN_LIB,
     ATOMIC_ORDERING_NEEDS_COMMENT,
+    NO_BLOCKING_SLEEP_IN_LIB,
 ];
 
 /// True for paths whose panics are acceptable: test code, benchmarks,
@@ -413,6 +416,44 @@ pub fn no_raw_instant_in_lib(file: &LintFile, out: &mut Vec<Violation>) {
                        `// lint:allow(no-raw-instant-in-lib): <reason>`"
                 .to_string();
             flag(file, &toks[i], NO_RAW_INSTANT_IN_LIB, true, msg, out);
+        }
+    }
+}
+
+/// Paths where a blocking `thread::sleep` stays legal: the sanctioned
+/// backoff module (the audited wrapper every lib sleep must route through),
+/// plus everything already exempt from panics (tests, benches, examples,
+/// binaries) and vendored stubs.
+fn is_exempt_from_blocking_sleep(rel_path: &str) -> bool {
+    is_exempt_from_panics(rel_path)
+        || rel_path == "crates/serve/src/backoff.rs"
+        || rel_path.starts_with("vendor/")
+}
+
+/// `no-blocking-sleep-in-lib`: forbids `thread::sleep(..)` in library
+/// runtime paths. Sleeping on a worker thread is a deliberate act with
+/// throughput consequences; it must route through `ses_serve::backoff`
+/// (jittered, capped, enumerable in one audited file) rather than hide as
+/// an ad-hoc stall. Tests, benches, examples, binaries, vendored stubs and
+/// the backoff module itself are exempt.
+pub fn no_blocking_sleep_in_lib(file: &LintFile, out: &mut Vec<Violation>) {
+    if is_exempt_from_blocking_sleep(&file.rel_path) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let hit = toks[i].is_ident("thread")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("sleep"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('));
+        if hit {
+            let msg = "`thread::sleep(..)` in library runtime path: route \
+                       the wait through `ses_serve::backoff` (jittered, \
+                       capped, auditable), or justify with \
+                       `// lint:allow(no-blocking-sleep-in-lib): <reason>`"
+                .to_string();
+            flag(file, &toks[i], NO_BLOCKING_SLEEP_IN_LIB, true, msg, out);
         }
     }
 }
@@ -862,6 +903,50 @@ mod tests {
         // `elapsed()` on a stored Instant or other idents must not trip
         let ok = "fn f() { let d = sw.elapsed(); my_instant.now(); }";
         let v = run_single(&file("crates/foo/src/lib.rs", ok), no_raw_instant_in_lib);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn blocking_sleep_flagged_in_lib_paths_only() {
+        let src = "fn f() { thread::sleep(Duration::from_millis(1)); }";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", src),
+            no_blocking_sleep_in_lib,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, NO_BLOCKING_SLEEP_IN_LIB);
+        // fully-qualified form matches too (same trailing token sequence)
+        let fq = "fn f() { std::thread::sleep(Duration::from_millis(1)); }";
+        let v = run_single(&file("crates/foo/src/lib.rs", fq), no_blocking_sleep_in_lib);
+        assert_eq!(v.len(), 1, "{v:?}");
+        // exempt locations: tests, benches, binaries, the backoff module, vendor
+        for path in [
+            "crates/foo/tests/it.rs",
+            "crates/foo/benches/b.rs",
+            "crates/foo/src/bin/main.rs",
+            "crates/serve/src/backoff.rs",
+            "vendor/rand/src/lib.rs",
+        ] {
+            let v = run_single(&file(path, src), no_blocking_sleep_in_lib);
+            assert!(v.is_empty(), "{path} should be exempt: {v:?}");
+        }
+        // test regions inside lib files are exempt
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { thread::sleep(Duration::ZERO); }\n}";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", in_test),
+            no_blocking_sleep_in_lib,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // a reasoned allow silences it
+        let allowed = "fn f() {\n    // lint:allow(no-blocking-sleep-in-lib): startup settle\n    thread::sleep(Duration::ZERO);\n}";
+        let v = run_single(
+            &file("crates/foo/src/lib.rs", allowed),
+            no_blocking_sleep_in_lib,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // other `sleep` idents must not trip (e.g. a method named sleep)
+        let ok = "fn f() { backoff.sleep(2); scheduler::sleep_queue(); }";
+        let v = run_single(&file("crates/foo/src/lib.rs", ok), no_blocking_sleep_in_lib);
         assert!(v.is_empty(), "{v:?}");
     }
 

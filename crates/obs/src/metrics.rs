@@ -267,6 +267,46 @@ pub static ALLOC_SAVED_BYTES: Counter = Counter::new("alloc.saved_bytes");
 /// as opposed to the EPL phase covered by `trainer.recover.*`.
 pub static TRAIN_RECOVER_MASK_PHASE: Counter = Counter::new("trainer.recover.mask_phase");
 
+/// Rotated checkpoint files skipped by `latest_checkpoint` because they
+/// failed validation (truncated, bit-flipped, bad magic); resume fell back
+/// to the next-newest `keep_last_n` copy.
+pub static TRAIN_RECOVER_CORRUPT_CKPT_SKIPPED: Counter =
+    Counter::new("trainer.recover.corrupt_ckpt_skipped");
+
+// -- ses-serve: explanation-serving runtime instruments ---------------------
+
+/// Requests admitted into the serving queue (accepted, not yet completed).
+pub static SERVE_ADMITTED: Counter = Counter::new("serve.admitted");
+/// Requests rejected at admission because the bounded queue was full.
+pub static SERVE_SHED: Counter = Counter::new("serve.shed");
+/// Requests that completed with a response (any ladder tier).
+pub static SERVE_COMPLETED: Counter = Counter::new("serve.completed");
+/// Requests that returned a hard error (deadline with recovery off, etc.).
+pub static SERVE_FAILED: Counter = Counter::new("serve.failed");
+/// Request attempts whose panic was caught at the isolation boundary.
+pub static SERVE_PANIC_ISOLATED: Counter = Counter::new("serve.panic_isolated");
+/// Retries of a request attempt after a transient fault (jittered backoff).
+pub static SERVE_RETRIES: Counter = Counter::new("serve.retry");
+/// Deadline budget exhausted at a stage boundary.
+pub static SERVE_DEADLINE_BREACH: Counter = Counter::new("serve.deadline.breach");
+/// Circuit-breaker transitions into the open state.
+pub static SERVE_BREAKER_OPEN: Counter = Counter::new("serve.breaker.open");
+/// Explanation-cache hits (content-hash key matched a live entry).
+pub static SERVE_CACHE_HIT: Counter = Counter::new("serve.cache.hit");
+/// Explanation-cache misses.
+pub static SERVE_CACHE_MISS: Counter = Counter::new("serve.cache.miss");
+/// Explanation-cache entries evicted to respect the entry/byte caps.
+pub static SERVE_CACHE_EVICT: Counter = Counter::new("serve.cache.evict");
+/// Cache hits discarded because the entry failed its integrity checksum.
+pub static SERVE_CACHE_POISONED: Counter = Counter::new("serve.cache.poisoned");
+/// Requests answered from the explanation cache while degraded (ladder
+/// step 2; a healthy-path cache hit counts only `serve.cache.hit`).
+pub static SERVE_DEGRADED_CACHE: Counter = Counter::new("serve.degraded.cache");
+/// Requests answered by the gradient-saliency fallback (ladder step 3).
+pub static SERVE_DEGRADED_SALIENCY: Counter = Counter::new("serve.degraded.saliency");
+/// Requests answered predict-only, no explanation (ladder step 4).
+pub static SERVE_DEGRADED_PREDICT_ONLY: Counter = Counter::new("serve.degraded.predict_only");
+
 /// Request-shaped traces opened via `ses_obs::trace::request`.
 pub static TRACE_REQUESTS: Counter = Counter::new("trace.requests");
 /// Child span events recorded into trace trees.
@@ -303,8 +343,10 @@ pub static EXPLAIN_STAGE_RANK_NS: LogHistogram = LogHistogram::new("explain.stag
 pub static EXPLAIN_REQUEST_NS: LogHistogram = LogHistogram::new("explain.request_ns");
 /// Training epoch wall-clock latency (backbone and explain phases).
 pub static TRAIN_EPOCH_NS: LogHistogram = LogHistogram::new("trainer.epoch_ns");
+/// End-to-end serving-request latency (admission to response, all tiers).
+pub static SERVE_REQUEST_NS: LogHistogram = LogHistogram::new("serve.request_ns");
 
-static ALL_COUNTERS: [&Counter; 37] = [
+static ALL_COUNTERS: [&Counter; 53] = [
     &TAPE_NODES,
     &TAPE_BACKWARDS,
     &SPMM_CALLS,
@@ -342,16 +384,33 @@ static ALL_COUNTERS: [&Counter; 37] = [
     &SLO_BREACH_EPOCH,
     &SLO_BREACH_REQUEST,
     &SLO_BREACH_OTHER,
+    &TRAIN_RECOVER_CORRUPT_CKPT_SKIPPED,
+    &SERVE_ADMITTED,
+    &SERVE_SHED,
+    &SERVE_COMPLETED,
+    &SERVE_FAILED,
+    &SERVE_PANIC_ISOLATED,
+    &SERVE_RETRIES,
+    &SERVE_DEADLINE_BREACH,
+    &SERVE_BREAKER_OPEN,
+    &SERVE_CACHE_HIT,
+    &SERVE_CACHE_MISS,
+    &SERVE_CACHE_EVICT,
+    &SERVE_CACHE_POISONED,
+    &SERVE_DEGRADED_CACHE,
+    &SERVE_DEGRADED_SALIENCY,
+    &SERVE_DEGRADED_PREDICT_ONLY,
 ];
 static ALL_GAUGES: [&Gauge; 2] = [&TAPE_PEAK_NODES, &SCRATCH_HIGHWATER];
 static ALL_HISTOGRAMS: [&Histogram; 1] = [&EXPLAIN_NODE_NS];
-static ALL_LOG_HISTOGRAMS: [&LogHistogram; 6] = [
+static ALL_LOG_HISTOGRAMS: [&LogHistogram; 7] = [
     &EXPLAIN_STAGE_EXTRACT_NS,
     &EXPLAIN_STAGE_ENCODE_NS,
     &EXPLAIN_STAGE_MASK_NS,
     &EXPLAIN_STAGE_RANK_NS,
     &EXPLAIN_REQUEST_NS,
     &TRAIN_EPOCH_NS,
+    &SERVE_REQUEST_NS,
 ];
 
 /// All well-known counters, for the summary table and end-of-run records.

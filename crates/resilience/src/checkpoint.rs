@@ -340,15 +340,39 @@ pub fn rotated_checkpoints(base: &Path) -> Vec<(u64, PathBuf)> {
     found
 }
 
-/// The newest checkpoint reachable from `base`: the rotated sibling with the
-/// highest epoch when rotation is in use, else `base` itself when it exists,
-/// else `None`. This is the resume entry point — callers pass it straight to
-/// [`TrainCheckpoint::read_from`] (or a trainer's `resume_from`).
+/// The newest *valid* checkpoint reachable from `base`: candidates are the
+/// rotated siblings newest-first, then `base` itself, and each is fully
+/// read and checksum-validated before being offered. A corrupt or truncated
+/// entry (torn disk write, bit rot) is skipped with a
+/// `trainer.recover.corrupt_ckpt_skipped` count and a one-line warning —
+/// resume falls back to the next-newest `keep_last_n` copy instead of
+/// hard-erroring on a file that can never load. Returns `None` when no
+/// candidate validates. This is the resume entry point — callers pass it
+/// straight to [`TrainCheckpoint::read_from`] (or a trainer's
+/// `resume_from`), which is guaranteed to succeed barring a concurrent
+/// delete.
 pub fn latest_checkpoint(base: &Path) -> Option<PathBuf> {
-    if let Some((_, path)) = rotated_checkpoints(base).into_iter().last() {
-        return Some(path);
+    let mut candidates: Vec<PathBuf> = rotated_checkpoints(base)
+        .into_iter()
+        .rev()
+        .map(|(_, path)| path)
+        .collect();
+    if base.exists() {
+        candidates.push(base.to_path_buf());
     }
-    base.exists().then(|| base.to_path_buf())
+    for path in candidates {
+        match TrainCheckpoint::read_from(&path) {
+            Ok(_) => return Some(path),
+            Err(e) => {
+                ses_obs::metrics::TRAIN_RECOVER_CORRUPT_CKPT_SKIPPED.incr();
+                ses_obs::info!(
+                    "trainer.recover: skipping corrupt checkpoint {} ({e})",
+                    path.display()
+                );
+            }
+        }
+    }
+    None
 }
 
 fn push_u64(buf: &mut Vec<u8>, v: u64) {

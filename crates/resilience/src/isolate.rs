@@ -1,0 +1,76 @@
+//! Request-scoped panic isolation for the serving path.
+//!
+//! `ses_tensor::par::run_isolated` is the *kernel-side* isolation boundary:
+//! a poisoned parallel attempt degrades to the bit-identical serial path.
+//! The serving runtime needs a second, coarser boundary: one bad request
+//! (poisoned cache entry, malformed subgraph, injected `panic@request-<n>`
+//! fault) must not take down the whole process or wedge its worker. This
+//! module is that boundary — the only other sanctioned `catch_unwind` site
+//! besides `run_isolated` (see the `no-catch-unwind-outside-resilience`
+//! lint rule).
+//!
+//! [`run_request_isolated`] swallows the panic, extracts a human-readable
+//! message for the error path, and hands the decision back to the caller
+//! (retry, degrade down the ladder, or fail the request) instead of hiding
+//! it. It deliberately does *not* count or log anything itself: the serving
+//! runtime owns the `serve.*` counters so the telemetry stays in one place.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f`, converting a panic into `Err(message)` instead of unwinding.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: serving request state is
+/// rebuilt per attempt (the runtime retries from the original request, not
+/// from half-mutated scratch), so observing broken invariants after a panic
+/// is not possible by construction. The panic payload is rendered via
+/// [`panic_message`]; non-string payloads become `"<non-string panic>"`.
+pub fn run_request_isolated<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| panic_message(payload.as_ref()))
+}
+
+/// Renders a panic payload as text: `&str` and `String` payloads pass
+/// through, anything else becomes a placeholder.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_path_passes_value_through() {
+        assert_eq!(run_request_isolated(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn str_panic_is_captured_as_message() {
+        let err = run_request_isolated(|| -> u32 { panic!("stage blew up") });
+        assert_eq!(err, Err("stage blew up".to_string()));
+    }
+
+    #[test]
+    fn formatted_panic_is_captured_as_message() {
+        let n = 7;
+        let err = run_request_isolated(|| -> u32 { panic!("request {n} poisoned") });
+        assert_eq!(err, Err("request 7 poisoned".to_string()));
+    }
+
+    #[test]
+    fn non_string_panic_gets_placeholder() {
+        let err = run_request_isolated(|| -> u32 { std::panic::panic_any(13_i32) });
+        assert_eq!(err, Err("<non-string panic>".to_string()));
+    }
+
+    #[test]
+    fn process_survives_and_later_calls_succeed() {
+        let _ = run_request_isolated(|| -> u32 { panic!("first request dies") });
+        assert_eq!(run_request_isolated(|| 7), Ok(7));
+    }
+}

@@ -15,20 +15,25 @@
 //!   and checkpoint IO errors at chosen epochs, so tests and ci.sh can
 //!   prove every recovery path actually fires.
 //!
-//! The fourth leg — panic-isolated parallel kernels — lives in
-//! `ses_tensor::par::run_isolated`, because the degradation decision has to
-//! sit where the threads are spawned; this crate's fault harness drives it.
+//! A fourth piece, [`isolate`], is the request-level panic boundary for the
+//! serving runtime: one poisoned request degrades down the ladder instead of
+//! killing the process. The kernel-level analogue — panic-isolated parallel
+//! kernels — lives in `ses_tensor::par::run_isolated`, because the
+//! degradation decision has to sit where the threads are spawned; this
+//! crate's fault harness drives both.
 //!
 //! See `docs/ROBUSTNESS.md` for the checkpoint format, the fault-spec
 //! grammar, recovery semantics, and the degradation matrix.
 
 pub mod checkpoint;
 pub mod fault;
+pub mod isolate;
 pub mod recovery;
 
 pub use checkpoint::{
     latest_checkpoint, rotated_checkpoints, rotated_path, CheckpointError, ParamState,
     TrainCheckpoint,
 };
-pub use fault::{FaultKind, FaultSpec};
+pub use fault::{FaultKind, FaultSpec, ServeStage};
+pub use isolate::run_request_isolated;
 pub use recovery::{RecoveryError, RecoveryManager, RecoveryPolicy, Verdict};

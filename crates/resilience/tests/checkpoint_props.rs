@@ -3,8 +3,13 @@
 //! and *any* truncation, single-bit corruption, or trailing garbage on a
 //! valid file is detected — a damaged checkpoint is never silently loaded.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use proptest::prelude::*;
-use ses_resilience::{CheckpointError, ParamState, TrainCheckpoint};
+use ses_resilience::{
+    latest_checkpoint, rotated_path, CheckpointError, ParamState, TrainCheckpoint,
+};
 
 /// Assembles a checkpoint from flat fuzz inputs: `dims` pairs become
 /// parameter shapes, `raw` feeds values cyclically, and a deterministic
@@ -143,4 +148,98 @@ proptest! {
         encoded.extend(std::iter::repeat_n(0xAAu8, extra));
         prop_assert!(TrainCheckpoint::from_bytes(&encoded).is_err());
     }
+
+    /// Any single corrupted rotation file still resumes: `latest_checkpoint`
+    /// skips the damaged entry and lands on the newest sibling that
+    /// validates — never the corrupt one, never a hard error.
+    #[test]
+    fn single_corrupted_rotation_entry_still_resumes(
+        rng_state in proptest::collection::vec(0u64..u64::MAX, 4),
+        raw in proptest::collection::vec(-100.0f32..100.0, 1..16),
+        n_rotations in 2usize..5,
+        victim in 0usize..1_000,
+        damage in 0usize..1_000_000,
+        mode in 0usize..3,
+    ) {
+        let dir = fresh_dir();
+        let base = dir.join("train.ckpt");
+        let epochs: Vec<u64> = (0..n_rotations as u64).map(|i| 10 + i).collect();
+        for &epoch in &epochs {
+            let ckpt = build_ckpt(epoch, epoch * 3, 0.01, &rng_state, &[2, 3], &raw);
+            ckpt.write_atomic(&rotated_path(&base, epoch), false)
+                .expect("rotation write");
+        }
+        let victim_epoch = epochs[victim % epochs.len()];
+        let victim_path = rotated_path(&base, victim_epoch);
+        corrupt_file(&victim_path, damage, mode);
+
+        let resolved = latest_checkpoint(&base).expect("a valid sibling must remain");
+        let resumed = TrainCheckpoint::read_from(&resolved)
+            .expect("resolved checkpoint must load");
+        // The newest *valid* epoch: the last rotation unless it was the victim.
+        let expect_epoch = epochs
+            .iter()
+            .rev()
+            .copied()
+            .find(|&e| e != victim_epoch)
+            .expect("n_rotations >= 2");
+        prop_assert_eq!(resumed.epoch, expect_epoch);
+        prop_assert_eq!(resolved, rotated_path(&base, expect_epoch));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A unique scratch directory per proptest case (no timestamps — keyed off
+/// the pid and a process-local counter).
+fn fresh_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    // ordering: test-local unique-id counter; no data published
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("ses-ckpt-props-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Damages the file at `path` one of three ways, keyed by `mode`:
+/// truncation, a single bit flip, or whole-file garbage replacement.
+fn corrupt_file(path: &std::path::Path, damage: usize, mode: usize) {
+    let bytes = std::fs::read(path).expect("read victim");
+    let damaged = match mode {
+        0 => bytes[..damage % bytes.len()].to_vec(),
+        1 => {
+            let mut b = bytes;
+            let at = damage % b.len();
+            b[at] ^= 1u8 << (damage % 8);
+            b
+        }
+        _ => vec![0x5Au8; 1 + damage % 64],
+    };
+    std::fs::write(path, damaged).expect("write damage");
+}
+
+/// The corrupt-skip path is observable: each skipped sibling moves the
+/// `trainer.recover.corrupt_ckpt_skipped` counter.
+#[test]
+fn corrupt_skip_counter_moves() {
+    ses_obs::set_enabled_override(Some(true));
+    let dir = fresh_dir();
+    let base = dir.join("train.ckpt");
+    let ckpt = build_ckpt(5, 15, 0.01, &[1, 2, 3, 4], &[2, 2], &[1.0, -2.0]);
+    ckpt.write_atomic(&rotated_path(&base, 5), false)
+        .expect("write");
+    let newest = build_ckpt(6, 18, 0.01, &[1, 2, 3, 4], &[2, 2], &[3.0, 4.0]);
+    newest
+        .write_atomic(&rotated_path(&base, 6), false)
+        .expect("write");
+    corrupt_file(&rotated_path(&base, 6), 13, 1);
+
+    let before = ses_obs::metrics::TRAIN_RECOVER_CORRUPT_CKPT_SKIPPED.get();
+    let resolved = latest_checkpoint(&base).expect("epoch 5 still valid");
+    assert_eq!(resolved, rotated_path(&base, 5));
+    let after = ses_obs::metrics::TRAIN_RECOVER_CORRUPT_CKPT_SKIPPED.get();
+    assert_eq!(after, before + 1, "one skipped sibling, one count");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    ses_obs::set_enabled_override(None);
 }

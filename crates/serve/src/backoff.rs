@@ -1,0 +1,103 @@
+//! Jittered exponential backoff — the workspace's one sanctioned blocking
+//! sleep.
+//!
+//! Retrying a transient fault immediately usually re-hits the same
+//! contention that caused it, and a fleet of workers retrying on the same
+//! schedule synchronises into waves. The standard fix is exponential
+//! backoff with *jitter*: attempt `k` waits `base * 2^k` scaled by a random
+//! factor in `[0.5, 1.0]`, capped at `max`. The jitter source is a seeded
+//! [`StdRng`] (workspace rule: no `thread_rng`), so a given seed produces a
+//! reproducible schedule — drills and tests stay deterministic.
+//!
+//! The `no-blocking-sleep-in-lib` lint rule forbids `std::thread::sleep`
+//! in library code everywhere except this file: sleeping on a worker is a
+//! deliberate act with throughput consequences, and routing every such
+//! sleep through [`Backoff`] keeps them enumerable, jittered, and capped.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exponential backoff schedule with multiplicative jitter.
+#[derive(Debug)]
+pub struct Backoff {
+    rng: StdRng,
+    base_ns: u64,
+    max_ns: u64,
+}
+
+impl Backoff {
+    /// A schedule starting at `base_ns` and capped at `max_ns`, jittered
+    /// from `seed`.
+    pub fn new(seed: u64, base_ns: u64, max_ns: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            base_ns,
+            max_ns: max_ns.max(base_ns),
+        }
+    }
+
+    /// The jittered delay for retry `attempt` (0-based). Pure computation —
+    /// callers that cannot block (tests, simulations) use this directly.
+    pub fn delay(&mut self, attempt: u32) -> Duration {
+        let exp = self.base_ns.saturating_mul(1u64 << attempt.min(20));
+        let capped = exp.min(self.max_ns);
+        // Jitter factor in [0.5, 1.0): full jitter halves the worst-case
+        // herd without ever waiting longer than the deterministic schedule.
+        let factor = 0.5 + 0.5 * self.rng.gen::<f64>();
+        // lint:allow(no-narrowing-cast): ns fits f64 mantissa at these magnitudes
+        Duration::from_nanos((capped as f64 * factor) as u64)
+    }
+
+    /// Blocks the current thread for the jittered delay of `attempt`.
+    pub fn sleep(&mut self, attempt: u32) {
+        sleep_for(self.delay(attempt));
+    }
+}
+
+/// The one sanctioned blocking sleep (see module docs). Fault injection
+/// (`slow-stage@<stage>`) also routes through here so the stall shows up in
+/// the same audited place.
+pub fn sleep_for(d: Duration) {
+    if !d.is_zero() {
+        std::thread::sleep(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let mut b = Backoff::new(7, 1_000, 50_000);
+        let d0 = b.delay(0);
+        assert!(d0 >= Duration::from_nanos(500) && d0 < Duration::from_nanos(1_000));
+        let d4 = b.delay(4); // 16_000 ns pre-jitter
+        assert!(d4 >= Duration::from_nanos(8_000) && d4 < Duration::from_nanos(16_000));
+        let d20 = b.delay(20); // capped at 50_000 pre-jitter
+        assert!(d20 <= Duration::from_nanos(50_000));
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = Backoff::new(42, 1_000, 1_000_000);
+        let mut b = Backoff::new(42, 1_000, 1_000_000);
+        for attempt in 0..6 {
+            assert_eq!(a.delay(attempt), b.delay(attempt));
+        }
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let mut b = Backoff::new(1, u64::MAX / 2, u64::MAX);
+        let d = b.delay(u32::MAX);
+        assert!(d <= Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn zero_sleep_returns_immediately() {
+        sleep_for(Duration::ZERO);
+    }
+}

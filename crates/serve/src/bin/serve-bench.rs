@@ -1,0 +1,221 @@
+//! `serve-bench` — throughput and tail-latency benchmark for the serving
+//! runtime, plus the p99 latency gate wired into `ci.sh`.
+//!
+//! Serves a seeded request mix (hot nodes repeat, so the cache path carries
+//! real weight) against a synthetic PolBlogs-sized artifact with several
+//! worker threads draining the shared admission queue, then runs a
+//! deterministic overload burst that must shed. Writes a machine-readable
+//! `BENCH_serve.json` report and emits a `bench_row` record for
+//! `obs-validate`.
+//!
+//! Environment:
+//! * `SES_BENCH_QUICK=1` — fewer requests (the CI smoke mode);
+//! * `SES_BENCH_OUT=<path>` — where to write the JSON report
+//!   (default `BENCH_serve.json` in the invocation directory);
+//! * `SES_SERVE_P99_BUDGET_MS=<ms>` — p99 per-request explain-latency gate
+//!   (default 250 ms); the bench exits non-zero past it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ses_data::{realworld, Profile};
+use ses_serve::backoff::sleep_for;
+use ses_serve::{ModelArtifact, ServeConfig, Server, Tier};
+
+const WORKERS: usize = 4;
+
+fn main() {
+    ses_obs::set_enabled_override(Some(true));
+    let quick = std::env::var("SES_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let requests: usize = if quick { 300 } else { 2_000 };
+    let budget_ms: f64 = std::env::var("SES_SERVE_P99_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250.0);
+
+    let mut rng = StdRng::seed_from_u64(23);
+    let d = realworld::polblogs_like(Profile::Fast, &mut rng);
+    let n_nodes = d.graph.n_nodes();
+    let artifact = ModelArtifact::synthetic(d.graph, 2, 23);
+    let server = Server::new(
+        artifact,
+        ServeConfig {
+            queue_capacity: 64,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Request mix: 70% of traffic over 16 hot nodes, the rest uniform.
+    let nodes: Vec<usize> = (0..requests)
+        .map(|_| {
+            if rng.gen::<f64>() < 0.7 {
+                rng.gen_range(0..16.min(n_nodes))
+            } else {
+                rng.gen_range(0..n_nodes)
+            }
+        })
+        .collect();
+
+    // Phase 1 — throughput: one producer with backpressure (a shed here is
+    // retried, not dropped), WORKERS consumers timing each request.
+    let done = AtomicBool::new(false);
+    let wall = ses_obs::Stopwatch::start();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(requests);
+    let mut tier_counts = [0u64; 4];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..WORKERS {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<(u64, Tier)> = Vec::new();
+                loop {
+                    let sw = ses_obs::Stopwatch::start();
+                    match server.run_next() {
+                        Some((req, Ok(resp))) => {
+                            let _ = req;
+                            local.push((sw.elapsed_ns(), resp.tier));
+                        }
+                        Some((req, Err(e))) => {
+                            eprintln!("serve-bench: request {} failed: {e}", req.id);
+                            std::process::exit(1);
+                        }
+                        // ordering: shutdown flag; a late extra poll is harmless
+                        None if done.load(Ordering::Relaxed) => return local,
+                        None => sleep_for(std::time::Duration::from_micros(50)),
+                    }
+                }
+            }));
+        }
+        for &node in &nodes {
+            // Backpressure: keep trying until the queue has room.
+            while server.submit(node).is_err() {
+                sleep_for(std::time::Duration::from_micros(100));
+            }
+        }
+        // ordering: shutdown flag publication; workers re-check queue after
+        done.store(true, Ordering::Relaxed);
+        for h in handles {
+            for (ns, tier) in h.join().expect("worker panicked") {
+                latencies_ns.push(ns);
+                tier_counts[tier_index(tier)] += 1;
+            }
+        }
+    });
+    let wall_s = wall.elapsed_ms() / 1e3;
+    if latencies_ns.len() != requests {
+        eprintln!(
+            "serve-bench: served {} of {requests} requests",
+            latencies_ns.len()
+        );
+        std::process::exit(1);
+    }
+
+    // Phase 2 — deterministic overload: with no worker draining, submits
+    // past capacity must shed (reject-newest), then the queue drains clean.
+    let shed_before = ses_obs::metrics::SERVE_SHED.get();
+    let burst = server.config().queue_capacity + 8;
+    let mut burst_shed = 0u64;
+    for i in 0..burst {
+        if server.submit(i % n_nodes).is_err() {
+            burst_shed += 1;
+        }
+    }
+    while let Some((req, result)) = server.run_next() {
+        if let Err(e) = result {
+            eprintln!("serve-bench: post-burst request {} failed: {e}", req.id);
+            std::process::exit(1);
+        }
+    }
+    if burst_shed != 8 || ses_obs::metrics::SERVE_SHED.get() < shed_before + 8 {
+        eprintln!(
+            "serve-bench: overload burst shed {burst_shed} (expected 8) — queue cap not enforced"
+        );
+        std::process::exit(1);
+    }
+
+    latencies_ns.sort_unstable();
+    let p50 = percentile_ns(&latencies_ns, 0.50);
+    let p99 = percentile_ns(&latencies_ns, 0.99);
+    let max = *latencies_ns.last().unwrap_or(&0);
+    let rps = requests as f64 / wall_s.max(1e-9);
+    let [full, cache, saliency, predict_only] = tier_counts;
+
+    let out = std::env::var("SES_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"ses-bench-serve/v1\",\n",
+            "  \"quick\": {quick},\n",
+            "  \"workers\": {workers},\n",
+            "  \"requests\": {requests},\n",
+            "  \"rps\": {rps:.1},\n",
+            "  \"p50_ns\": {p50},\n",
+            "  \"p99_ns\": {p99},\n",
+            "  \"max_ns\": {max},\n",
+            "  \"shed\": {shed},\n",
+            "  \"tiers\": {{\"full\": {full}, \"cache\": {cache}, ",
+            "\"saliency\": {saliency}, \"predict_only\": {predict_only}}}\n",
+            "}}\n"
+        ),
+        quick = quick,
+        workers = WORKERS,
+        requests = requests,
+        rps = rps,
+        p50 = p50,
+        p99 = p99,
+        max = max,
+        shed = burst_shed,
+        full = full,
+        cache = cache,
+        saliency = saliency,
+        predict_only = predict_only,
+    );
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("serve-bench: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+
+    ses_obs::Record::new("bench_row")
+        .str("sheet", "serve")
+        .uint("requests", requests as u64)
+        .num("rps", rps)
+        .uint("p50_ns", p50)
+        .uint("p99_ns", p99)
+        .uint("shed", burst_shed)
+        .uint("cache_hits", ses_obs::metrics::SERVE_CACHE_HIT.get())
+        .emit();
+
+    eprintln!(
+        "serve-bench: {requests} requests, {rps:.0} rps, p50 {:.2}ms, p99 {:.2}ms \
+         (full {full} / cache {cache} / saliency {saliency} / predict-only {predict_only})",
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+    );
+
+    if (p99 as f64) / 1e6 > budget_ms {
+        eprintln!(
+            "serve-bench: p99 explain latency {:.2}ms exceeds the {budget_ms:.0}ms budget",
+            p99 as f64 / 1e6
+        );
+        std::process::exit(1);
+    }
+    eprintln!("serve-bench: ok (report at {out})");
+}
+
+fn tier_index(t: Tier) -> usize {
+    match t {
+        Tier::Full => 0,
+        Tier::Cache => 1,
+        Tier::Saliency => 2,
+        Tier::PredictOnly => 3,
+    }
+}
+
+/// Exact percentile over sorted latencies (nearest-rank).
+fn percentile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}

@@ -1,0 +1,86 @@
+//! Typed serving errors.
+//!
+//! Every way a request can fail has its own variant, so drills and tests
+//! assert on *which* net caught the fall — a `String` error could not
+//! distinguish a shed request from a blown deadline.
+
+use std::fmt;
+
+/// Why a serving request failed (or was refused).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded admission queue was full; the request was shed at the
+    /// door (reject-newest) and never admitted.
+    QueueFull {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The deadline budget ran out, checked cooperatively at a stage
+    /// boundary. `stage` names where the budget died: one of the explain
+    /// stages (`extract`/`encode`/`mask`/`rank`) or a ladder step.
+    DeadlineExceeded {
+        /// Stage boundary at which the budget was found exhausted.
+        stage: &'static str,
+    },
+    /// A request attempt panicked and recovery is off (with recovery on,
+    /// the panic is isolated and the request degrades instead).
+    RequestPanicked {
+        /// The captured panic message.
+        msg: String,
+    },
+    /// A cached explanation failed its integrity checksum and recovery is
+    /// off (with recovery on, the entry is evicted and recomputed).
+    CachePoisoned,
+    /// The requested node id is outside the served graph.
+    UnknownNode {
+        /// The offending node id.
+        node: usize,
+    },
+    /// The runtime exhausted its retry budget and every ladder tier was
+    /// unavailable (only reachable with degradation disabled).
+    Exhausted,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "admission queue full (capacity {capacity}); request shed"
+                )
+            }
+            ServeError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded at stage `{stage}`")
+            }
+            ServeError::RequestPanicked { msg } => {
+                write!(f, "request panicked with recovery off: {msg}")
+            }
+            ServeError::CachePoisoned => {
+                write!(
+                    f,
+                    "cached explanation failed its checksum with recovery off"
+                )
+            }
+            ServeError::UnknownNode { node } => {
+                write!(f, "node {node} is outside the served graph")
+            }
+            ServeError::Exhausted => {
+                write!(f, "retries exhausted and no degradation tier available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_stage() {
+        let e = ServeError::DeadlineExceeded { stage: "encode" };
+        assert!(e.to_string().contains("`encode`"));
+    }
+}
